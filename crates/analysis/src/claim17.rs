@@ -1,0 +1,127 @@
+//! Claim 17: polynomials vanishing at two nearby points are flat between
+//! them.
+
+use bitdissem_poly::{Bernstein, Polynomial};
+
+/// A derivative bound `C = sup_{[0,1]} |p'|`, computed rigorously from the
+/// Bernstein coefficients of `p'` (whose maximum absolute coefficient
+/// bounds the function on `[0, 1]` since the basis is a partition of
+/// unity). This is the constant `C₀·2` of Claim 17.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_poly::Polynomial;
+/// use bitdissem_analysis::claim17::derivative_sup_bound;
+///
+/// let p = Polynomial::new(vec![0.0, 1.0]); // p(x) = x, p' = 1
+/// assert!((derivative_sup_bound(&p) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn derivative_sup_bound(p: &Polynomial) -> f64 {
+    let d = p.derivative();
+    if d.is_zero() {
+        return 0.0;
+    }
+    Bernstein::from_polynomial(&d).max_abs_coeff()
+}
+
+/// The Claim 17 bound: if `p(a) = p(b) = 0` with `0 ≤ a ≤ b ≤ 1`, then for
+/// every `x ∈ [a, b]`, `|p(x)| ≤ C₀ · (b − a)` with `C₀ = sup |p'| / 2`.
+/// Returns that bound.
+///
+/// # Panics
+///
+/// Panics if `a > b` or either endpoint is outside `[0, 1]`.
+#[must_use]
+pub fn flatness_bound(p: &Polynomial, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b), "endpoints in [0,1]");
+    assert!(a <= b, "need a <= b");
+    derivative_sup_bound(p) / 2.0 * (b - a)
+}
+
+/// Empirically verifies Claim 17 on a grid: returns the worst ratio
+/// `|p(x)| / bound` over `x ∈ [a, b]` (values `≤ 1` confirm the claim;
+/// meaningful only when `p(a) ≈ p(b) ≈ 0`).
+///
+/// # Panics
+///
+/// Same conditions as [`flatness_bound`], plus `grid ≥ 2`.
+#[must_use]
+pub fn verify_on_grid(p: &Polynomial, a: f64, b: f64, grid: usize) -> f64 {
+    assert!(grid >= 2, "need at least two grid points");
+    let bound = flatness_bound(p, a, b);
+    if bound == 0.0 {
+        return 0.0;
+    }
+    let mut worst: f64 = 0.0;
+    for i in 0..=grid {
+        let x = a + (b - a) * i as f64 / grid as f64;
+        worst = worst.max(p.eval(x).abs() / bound);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn derivative_bound_of_constants_is_zero() {
+        assert_eq!(derivative_sup_bound(&Polynomial::constant(5.0)), 0.0);
+        assert_eq!(derivative_sup_bound(&Polynomial::zero()), 0.0);
+    }
+
+    #[test]
+    fn derivative_bound_dominates_samples() {
+        let p = Polynomial::new(vec![1.0, -3.0, 2.0, 4.0]);
+        let bound = derivative_sup_bound(&p);
+        let d = p.derivative();
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert!(d.eval(x).abs() <= bound + 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn claim17_holds_for_double_root_quadratic() {
+        // p = (x − 0.4)(x − 0.6): vanishes at both endpoints of [0.4, 0.6].
+        let p = Polynomial::from_roots(&[0.4, 0.6]);
+        let worst = verify_on_grid(&p, 0.4, 0.6, 1000);
+        assert!(worst <= 1.0 + 1e-9, "worst ratio {worst}");
+    }
+
+    #[test]
+    fn claim17_shrinks_with_interval() {
+        let p = Polynomial::from_roots(&[0.45, 0.55]);
+        let wide = flatness_bound(&p, 0.3, 0.7);
+        let narrow = flatness_bound(&p, 0.45, 0.55);
+        assert!(narrow < wide);
+    }
+
+    #[test]
+    #[should_panic(expected = "a <= b")]
+    fn rejects_inverted_interval() {
+        let _ = flatness_bound(&Polynomial::x(), 0.7, 0.3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_claim17_on_random_double_rooted_polynomials(
+            a in 0.1f64..0.45,
+            width in 0.01f64..0.4,
+            extra in proptest::collection::vec(-2.0f64..2.0, 0..3),
+        ) {
+            let b = a + width;
+            // p = (x−a)(x−b)·q(x) vanishes at a and b by construction.
+            let mut roots = vec![a, b];
+            roots.extend(extra.iter().copied());
+            let p = Polynomial::from_roots(&roots);
+            let worst = verify_on_grid(&p, a, b, 200);
+            prop_assert!(worst <= 1.0 + 1e-6, "worst {}", worst);
+        }
+    }
+}

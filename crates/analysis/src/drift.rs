@@ -1,0 +1,105 @@
+//! Proposition 5: the drift sandwich.
+
+use crate::bias::BiasPolynomial;
+
+/// The Proposition 5 bounds on the conditional expectation:
+///
+/// ```text
+/// x + n·F_n(x/n) − 1 ≤ E[X_{t+1} | X_t = x] ≤ x + n·F_n(x/n) + 1,
+/// ```
+///
+/// where the `±1` slack absorbs the source term
+/// `z(1 − P₁) − (1 − z)P₀ ∈ [−1, 1]`.
+///
+/// Returns `(lower, upper)`.
+///
+/// # Panics
+///
+/// Panics if `x > n`.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_core::dynamics::Voter;
+/// use bitdissem_analysis::{bias::BiasPolynomial, drift::expected_next_bounds};
+///
+/// let f = BiasPolynomial::build(&Voter::new(1)?, 100)?;
+/// let (lo, hi) = expected_next_bounds(&f, 40);
+/// // Voter has F ≡ 0, so the expectation is 40 ± 1.
+/// assert_eq!((lo, hi), (39.0, 41.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn expected_next_bounds(f: &BiasPolynomial, x: u64) -> (f64, f64) {
+    let drift = f.drift_at(x);
+    let center = x as f64 + drift;
+    (center - 1.0, center + 1.0)
+}
+
+/// Verifies the Proposition 5 sandwich against an externally computed exact
+/// conditional expectation (e.g. from the `bitdissem-markov` crate),
+/// returning the violation magnitude (0 when the sandwich holds).
+#[must_use]
+pub fn sandwich_violation(f: &BiasPolynomial, x: u64, exact_expectation: f64) -> f64 {
+    let (lo, hi) = expected_next_bounds(f, x);
+    if exact_expectation < lo {
+        lo - exact_expectation
+    } else if exact_expectation > hi {
+        exact_expectation - hi
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::dynamics::{Majority, Minority, PowerVoter, TwoChoices, Voter};
+    use bitdissem_core::{Opinion, Protocol};
+    use bitdissem_markov::AggregateChain;
+
+    fn check_sandwich_everywhere<P: Protocol>(protocol: &P, n: u64) {
+        let f = BiasPolynomial::build(protocol, n).unwrap();
+        for correct in Opinion::ALL {
+            let chain = AggregateChain::build(protocol, n, correct).unwrap();
+            for x in chain.states() {
+                let exact = chain.expected_next(x);
+                let v = sandwich_violation(&f, x, exact);
+                assert!(v < 1e-9, "{} n={n} z={correct} x={x}: violation {v}", protocol.name());
+            }
+        }
+    }
+
+    #[test]
+    fn proposition5_holds_for_voter() {
+        check_sandwich_everywhere(&Voter::new(1).unwrap(), 50);
+        check_sandwich_everywhere(&Voter::new(4).unwrap(), 50);
+    }
+
+    #[test]
+    fn proposition5_holds_for_minority() {
+        check_sandwich_everywhere(&Minority::new(3).unwrap(), 60);
+        check_sandwich_everywhere(&Minority::new(6).unwrap(), 60);
+    }
+
+    #[test]
+    fn proposition5_holds_for_majority_and_two_choices() {
+        check_sandwich_everywhere(&Majority::new(3).unwrap(), 40);
+        check_sandwich_everywhere(&TwoChoices::new(), 40);
+    }
+
+    #[test]
+    fn proposition5_holds_for_power_voter() {
+        check_sandwich_everywhere(&PowerVoter::new(3, 2.0).unwrap(), 40);
+        check_sandwich_everywhere(&PowerVoter::new(3, 0.5).unwrap(), 40);
+    }
+
+    #[test]
+    fn violation_is_reported_when_outside() {
+        let f = BiasPolynomial::build(&Voter::new(1).unwrap(), 100).unwrap();
+        // Voter at x = 40: sandwich is [39, 41].
+        assert_eq!(sandwich_violation(&f, 40, 42.0), 1.0);
+        assert_eq!(sandwich_violation(&f, 40, 37.5), 1.5);
+        assert_eq!(sandwich_violation(&f, 40, 40.0), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Proposition 4: the one-step jump bound.
+
+/// The constant `y(c, ℓ)` of Proposition 4: with
+/// `a(c, ℓ) = (1−c)^{ℓ+1}`, the paper sets `y = 1 − a/2`, and proves that
+/// from any state `X_t ≤ c·n` the next state satisfies `X_{t+1} ≤ y·n`
+/// except with probability `exp(−2√n)`.
+///
+/// Intuition: at least `(1−c)n` agents hold 0, each sees an all-zero
+/// sample with probability `≥ (1−c)^ℓ` and then *stays* at 0 (Prop. 3), so
+/// about `a·n` zeros persist; Hoeffding keeps at least half of them.
+///
+/// # Panics
+///
+/// Panics if `c` is not in `(0, 1)` or `ell == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_analysis::jump::y_constant;
+/// let y = y_constant(0.5, 3);
+/// assert!((y - (1.0 - 0.5f64.powi(4) / 2.0)).abs() < 1e-15);
+/// assert!(y > 0.5 && y < 1.0);
+/// ```
+#[must_use]
+pub fn y_constant(c: f64, ell: usize) -> f64 {
+    assert!(c > 0.0 && c < 1.0, "c must be in (0,1), got {c}");
+    assert!(ell >= 1, "sample size must be at least 1");
+    let a = (1.0 - c).powi(ell as i32 + 1);
+    1.0 - a / 2.0
+}
+
+/// The failure-probability bound of Proposition 4: `exp(−2·√n)`.
+#[must_use]
+pub fn failure_probability(n: u64) -> f64 {
+    (-2.0 * (n as f64).sqrt()).exp()
+}
+
+/// Checks a single observed transition `(x_t, x_{t+1})` against the
+/// Proposition 4 jump bound with parameter `c`: if `x_t ≤ c·n`, then
+/// `x_{t+1} ≤ y(c,ℓ)·n` must hold (up to the exponentially small failure
+/// probability). Returns `None` if the premise does not apply, `Some(ok)`
+/// otherwise.
+#[must_use]
+pub fn check_jump(n: u64, ell: usize, c: f64, x_t: u64, x_next: u64) -> Option<bool> {
+    if (x_t as f64) > c * n as f64 {
+        return None;
+    }
+    let y = y_constant(c, ell);
+    Some((x_next as f64) <= y * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn y_is_strictly_between_c_and_one() {
+        for &c in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            for ell in 1..=7 {
+                let y = y_constant(c, ell);
+                assert!(y > c, "c={c} ell={ell}: y={y}");
+                assert!(y < 1.0, "c={c} ell={ell}: y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn y_increases_with_ell() {
+        // Larger samples make an all-zero sample rarer: the bound weakens.
+        let mut prev = 0.0;
+        for ell in 1..=10 {
+            let y = y_constant(0.5, ell);
+            assert!(y > prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn failure_probability_is_tiny_for_moderate_n() {
+        assert!(failure_probability(100) < 1e-8);
+        assert!(failure_probability(10_000) < 1e-86);
+        assert!(failure_probability(4) < 1.0);
+    }
+
+    #[test]
+    fn check_jump_applies_premise() {
+        // x_t above c·n: premise fails, no verdict.
+        assert_eq!(check_jump(100, 3, 0.5, 60, 99), None);
+        // x_t below: verdict depends on y.
+        let y = y_constant(0.5, 3);
+        let limit = (y * 100.0) as u64;
+        assert_eq!(check_jump(100, 3, 0.5, 40, limit), Some(true));
+        assert_eq!(check_jump(100, 3, 0.5, 40, 100), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be in (0,1)")]
+    fn rejects_bad_c() {
+        let _ = y_constant(1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size")]
+    fn rejects_zero_ell() {
+        let _ = y_constant(0.5, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_y_matches_formula(c in 0.01f64..0.99, ell in 1usize..10) {
+            let y = y_constant(c, ell);
+            let a = (1.0 - c).powi(ell as i32 + 1);
+            prop_assert!((y - (1.0 - a / 2.0)).abs() < 1e-15);
+        }
+    }
+}

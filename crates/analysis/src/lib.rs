@@ -1,0 +1,57 @@
+//! The lower-bound machinery of D'Archivio & Vacus (PODC 2024), executable.
+//!
+//! The paper's central idea is to translate a memory-less protocol into its
+//! **bias polynomial** (Eq. 3)
+//!
+//! ```text
+//! F_n(p) = −p + Σ_k C(ℓ,k) p^k (1−p)^{ℓ−k} · (p·g¹(k) + (1−p)·g⁰(k))
+//! ```
+//!
+//! of degree at most `ℓ + 1`, and to derive the `Ω(n^{1−ε})` lower bound
+//! (Theorem 1) from the structure of its roots in `[0, 1]`. This crate makes
+//! each proof ingredient a concrete, testable artifact:
+//!
+//! * [`bias::BiasPolynomial`] — Eq. 3, built symbolically from any protocol;
+//! * [`roots::RootStructure`] — the roots and constant-sign intervals of
+//!   `F_n` on `[0, 1]`;
+//! * [`witness::LowerBoundWitness`] — the Theorem 12 case split made
+//!   executable: given a protocol and `n`, produce the adversarial initial
+//!   configuration and the threshold whose crossing provably takes
+//!   `Ω(n^{1−ε})` rounds;
+//! * [`drift`] — the Proposition 5 drift sandwich
+//!   `E[X_{t+1} | X_t = x] = x + n·F_n(x/n) ± 1`;
+//! * [`jump`] — the Proposition 4 one-step jump bound and its constant
+//!   `y(c, ℓ) = 1 − (1−c)^{ℓ+1}/2`;
+//! * [`claim17`] — the polynomial flatness bound near a double endpoint;
+//! * [`concentration`] — Hoeffding and the large-jump Azuma–Hoeffding
+//!   inequality (Theorem 16);
+//! * [`doob`] — the Doob decomposition tracker used by the Theorem 6 proof
+//!   (Figure 1 of the paper), replayable along simulated trajectories.
+//!
+//! # Example
+//!
+//! ```
+//! use bitdissem_core::dynamics::Voter;
+//! use bitdissem_analysis::bias::BiasPolynomial;
+//!
+//! // The Voter's bias polynomial is identically zero (Section 4.1).
+//! let f = BiasPolynomial::build(&Voter::new(3)?, 1000)?;
+//! assert!(f.is_identically_zero());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bias;
+pub mod claim17;
+pub mod concentration;
+pub mod doob;
+pub mod drift;
+pub mod jump;
+pub mod roots;
+pub mod witness;
+
+pub use bias::BiasPolynomial;
+pub use roots::RootStructure;
+pub use witness::{LowerBoundWitness, WitnessCase};

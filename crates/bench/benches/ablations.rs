@@ -1,0 +1,17 @@
+//! Benchmarks regenerating the design ablations A1–A3.
+
+use bitdissem_bench::{bench_experiment, experiment_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    bench_experiment(c, "bench_a1_agg_vs_agent", "a1");
+    bench_experiment(c, "bench_a2_binomial", "a2");
+    bench_experiment(c, "bench_a3_roots", "a3");
+}
+
+criterion_group! {
+    name = ablations;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(ablations);

@@ -1,0 +1,21 @@
+//! Benchmarks regenerating the extension experiments E13–E15 (constant
+//! memory, observation noise, and the exact sequential lower bound).
+
+use bitdissem_bench::{bench_experiment, experiment_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    bench_experiment(c, "bench_e13_memory", "e13");
+    bench_experiment(c, "bench_e14_noise", "e14");
+    bench_experiment(c, "bench_e15_sequential_lb", "e15");
+    bench_experiment(c, "bench_e16_selfstab", "e16");
+    bench_experiment(c, "bench_e17_synthesis", "e17");
+    bench_experiment(c, "bench_e18_synchronicity", "e18");
+}
+
+criterion_group! {
+    name = extensions;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(extensions);

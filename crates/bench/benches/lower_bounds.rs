@@ -1,0 +1,19 @@
+//! Benchmarks regenerating the scaling tables E1–E4 (Theorem 1, Theorem 2,
+//! the \[15\] upper bound, and the sample-size sweep).
+
+use bitdissem_bench::{bench_experiment, experiment_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    bench_experiment(c, "bench_e1_lower_bound", "e1");
+    bench_experiment(c, "bench_e2_voter_upper", "e2");
+    bench_experiment(c, "bench_e3_minority_fast", "e3");
+    bench_experiment(c, "bench_e4_sample_sweep", "e4");
+}
+
+criterion_group! {
+    name = lower_bounds;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(lower_bounds);

@@ -1,0 +1,95 @@
+//! Engine micro-benchmarks: binomial samplers, simulator round costs,
+//! bias-polynomial construction, root isolation and the dense LU solve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bitdissem_analysis::{BiasPolynomial, RootStructure};
+use bitdissem_core::dynamics::{Minority, Voter};
+use bitdissem_core::{Configuration, Opinion};
+use bitdissem_markov::absorbing::expected_hitting_times;
+use bitdissem_markov::AggregateChain;
+use bitdissem_sim::agent::AgentSim;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::binomial::{sample_binomial, sample_binomial_naive};
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::Simulator;
+
+fn bench_binomial_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sampler");
+    for &(n, p, label) in
+        &[(50u64, 0.05, "binv_regime"), (10_000, 0.3, "btrs_regime"), (1_000_000, 0.4, "btrs_huge")]
+    {
+        group.bench_function(format!("auto_{label}"), |b| {
+            let mut rng = rng_from(1);
+            b.iter(|| std::hint::black_box(sample_binomial(&mut rng, n, p)));
+        });
+    }
+    group.bench_function("naive_n50", |b| {
+        let mut rng = rng_from(2);
+        b.iter(|| std::hint::black_box(sample_binomial_naive(&mut rng, 50, 0.05)));
+    });
+    group.finish();
+}
+
+fn bench_simulator_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_round");
+    let minority = Minority::new(3).unwrap();
+    for &n in &[1_024u64, 65_536] {
+        let start = Configuration::new(n, Opinion::One, (3 * n) / 4).unwrap();
+        group.bench_function(format!("aggregate_n{n}"), |b| {
+            let mut rng = rng_from(3);
+            let mut sim = AggregateSim::new(&minority, start).unwrap();
+            b.iter(|| {
+                sim.step_round(&mut rng);
+                std::hint::black_box(sim.configuration().ones())
+            });
+        });
+    }
+    let n = 1_024u64;
+    let start = Configuration::new(n, Opinion::One, (3 * n) / 4).unwrap();
+    group.bench_function(format!("agent_n{n}"), |b| {
+        let mut rng = rng_from(4);
+        let mut sim = AgentSim::new(&minority, start).unwrap();
+        b.iter(|| {
+            sim.step_round(&mut rng);
+            std::hint::black_box(sim.configuration().ones())
+        });
+    });
+    group.finish();
+}
+
+fn bench_analysis_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("bias_build_minority7", |b| {
+        let m = Minority::new(7).unwrap();
+        b.iter(|| std::hint::black_box(BiasPolynomial::build(&m, 4096).unwrap()));
+    });
+    let f = BiasPolynomial::build(&Minority::new(7).unwrap(), 4096).unwrap();
+    group.bench_function("root_structure_minority7", |b| {
+        b.iter(|| std::hint::black_box(RootStructure::analyze(&f)));
+    });
+    group.finish();
+}
+
+fn bench_markov_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov");
+    group.sample_size(10);
+    let voter = Voter::new(1).unwrap();
+    group.bench_function("hitting_times_n128", |b| {
+        b.iter_batched(
+            || AggregateChain::build(&voter, 128, Opinion::One).unwrap(),
+            |chain| std::hint::black_box(expected_hitting_times(&chain)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_binomial_samplers,
+    bench_simulator_rounds,
+    bench_analysis_paths,
+    bench_markov_solvers
+);
+criterion_main!(micro);

@@ -1,0 +1,20 @@
+//! Benchmarks regenerating the process comparisons E7, E10, E11, E12
+//! (dual coalescence, exact-chain validation, sequential/parallel gap,
+//! source-less Minority).
+
+use bitdissem_bench::{bench_experiment, experiment_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    bench_experiment(c, "bench_e7_dual", "e7");
+    bench_experiment(c, "bench_e10_exact", "e10");
+    bench_experiment(c, "bench_e11_seq_par", "e11");
+    bench_experiment(c, "bench_e12_minority_consensus", "e12");
+}
+
+criterion_group! {
+    name = processes;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(processes);

@@ -1,0 +1,19 @@
+//! Benchmarks regenerating the structural validations E5, E6, E8, E9
+//! (bias-polynomial figures, Doob decomposition, Propositions 3 and 4).
+
+use bitdissem_bench::{bench_experiment, experiment_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    bench_experiment(c, "bench_e5_bias_roots", "e5");
+    bench_experiment(c, "bench_e6_doob", "e6");
+    bench_experiment(c, "bench_e8_jump", "e8");
+    bench_experiment(c, "bench_e9_prop3", "e9");
+}
+
+criterion_group! {
+    name = structure;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(structure);

@@ -1,0 +1,44 @@
+//! Shared helpers for the Criterion benchmark binaries.
+//!
+//! Each reproduced table/figure has a named benchmark (`bench_e1_…` through
+//! `bench_a3_…`) that regenerates the experiment at smoke scale; `micro`
+//! benches cover the engine primitives. Run a single one with, e.g.,
+//! `cargo bench bench_e1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+use bitdissem_experiments::{registry, RunConfig};
+
+/// Registers one experiment as a Criterion benchmark with the given
+/// benchmark name; the measured unit of work is a full smoke-scale run.
+///
+/// # Panics
+///
+/// Panics if `id` is not a registered experiment.
+pub fn bench_experiment(c: &mut Criterion, bench_name: &str, id: &str) {
+    let cfg = RunConfig { scale: bitdissem_experiments::Scale::Smoke, seed: 99, threads: Some(1) };
+    // Validate the id once, eagerly.
+    assert!(registry::all().iter().any(|e| e.id == id), "unknown experiment id {id}");
+    c.bench_function(bench_name, |b| {
+        b.iter(|| {
+            let report = registry::run(id, &cfg).expect("registered");
+            std::hint::black_box(report.tables.len())
+        });
+    });
+}
+
+/// A Criterion instance tuned for coarse-grained experiment benchmarks
+/// (each iteration is a whole experiment, so short measurement windows
+/// suffice).
+#[must_use]
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}

@@ -1,0 +1,439 @@
+//! Library backing the `bitdissem` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `list` — the experiment registry;
+//! * `run <id> [--scale smoke|standard|full] [--seed N] [--csv]` — run an
+//!   experiment and print its report;
+//! * `analyze <protocol> [--ell L] [--n N]` — bias polynomial, roots, sign
+//!   intervals and the Theorem-12 witness of a protocol;
+//! * `simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B]
+//!   [--sequential]` — one adversarial run with a trajectory summary;
+//! * `exact <protocol> [--ell L] [--n N]` — exact expected hitting times
+//!   (small `n`).
+//!
+//! All output goes through a returned `String` so the commands are unit
+//! testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
+use bitdissem_core::dynamics::{self, BoxedProtocol};
+use bitdissem_core::Protocol;
+use bitdissem_experiments::{registry, RunConfig, Scale};
+use bitdissem_markov::absorbing::expected_hitting_times;
+use bitdissem_markov::AggregateChain;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::{Outcome, Simulator};
+use bitdissem_sim::sequential::SequentialSim;
+use bitdissem_sim::trajectory::Trajectory;
+use bitdissem_stats::table::fmt_num;
+
+use args::Args;
+
+/// Exit status of a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Command succeeded.
+    Ok,
+    /// Command ran but a directional check failed.
+    CheckFailed,
+    /// Bad usage.
+    UsageError,
+}
+
+impl Status {
+    /// Process exit code.
+    #[must_use]
+    pub fn code(self) -> i32 {
+        match self {
+            Status::Ok => 0,
+            Status::CheckFailed => 1,
+            Status::UsageError => 2,
+        }
+    }
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    "bitdissem — reproduction of 'On the Limits of Information Spread by Memory-less Agents'\n\
+     \n\
+     usage:\n\
+     \x20 bitdissem list\n\
+     \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N] [--csv]\n\
+     \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
+     \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
+     \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
+     \n\
+     protocols: voter, minority, majority, two-choices, lazy-voter, power-voter, anti-voter, stay\n"
+        .to_string()
+}
+
+fn build_protocol(args: &Args) -> Result<BoxedProtocol, String> {
+    let name = args.positional.first().ok_or_else(|| "missing protocol name".to_string())?;
+    let ell: usize = args.get_parsed("ell", 3)?;
+    match dynamics::by_name(name, ell) {
+        Some(Ok(p)) => Ok(p),
+        Some(Err(e)) => Err(format!("invalid parameters for '{name}': {e}")),
+        None => Err(format!("unknown protocol '{name}'")),
+    }
+}
+
+/// Runs a parsed command and returns `(output, status)`.
+#[must_use]
+pub fn dispatch(args: &Args) -> (String, Status) {
+    match args.command.as_deref() {
+        None | Some("help") => (usage(), Status::Ok),
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(args),
+        Some("analyze") => cmd_analyze(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("exact") => cmd_exact(args),
+        Some(other) => (format!("unknown command '{other}'\n\n{}", usage()), Status::UsageError),
+    }
+}
+
+fn cmd_list() -> (String, Status) {
+    let mut out = String::from("registered experiments:\n");
+    for e in registry::all() {
+        let _ = writeln!(out, "  {:<4} {}", e.id, e.description);
+    }
+    (out, Status::Ok)
+}
+
+fn cmd_run(args: &Args) -> (String, Status) {
+    let id = match args.positional.first() {
+        Some(id) => id.clone(),
+        None => return ("missing experiment id\n".to_string(), Status::UsageError),
+    };
+    let scale = match args.get("scale").map(Scale::from_str).transpose() {
+        Ok(s) => s.unwrap_or(Scale::Standard),
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let seed = match args.get_parsed("seed", 2024u64) {
+        Ok(s) => s,
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let cfg = RunConfig { scale, seed, threads: None };
+
+    let ids: Vec<String> = if id == "all" {
+        registry::all().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        vec![id]
+    };
+    let mut out = String::new();
+    let mut all_pass = true;
+    for id in ids {
+        match registry::run(&id, &cfg) {
+            Some(report) => {
+                if args.flag("csv") {
+                    for (caption, table) in &report.tables {
+                        let _ = writeln!(out, "# {}: {caption}", report.id);
+                        out.push_str(&table.to_csv());
+                    }
+                } else {
+                    out.push_str(&report.render());
+                    out.push('\n');
+                }
+                all_pass &= report.pass;
+            }
+            None => {
+                return (format!("unknown experiment '{id}' (try 'list')\n"), Status::UsageError)
+            }
+        }
+    }
+    (out, if all_pass { Status::Ok } else { Status::CheckFailed })
+}
+
+fn cmd_analyze(args: &Args) -> (String, Status) {
+    let protocol = match build_protocol(args) {
+        Ok(p) => p,
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let n = match args.get_parsed("n", 4096u64) {
+        Ok(n) if n >= 8 => n,
+        Ok(_) => return ("--n must be at least 8\n".to_string(), Status::UsageError),
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "protocol: {} at n = {n}", protocol.name());
+    let f = match BiasPolynomial::build(&protocol, n) {
+        Ok(f) => f,
+        Err(e) => return (format!("cannot build bias polynomial: {e}\n"), Status::UsageError),
+    };
+    let _ = writeln!(out, "bias polynomial: F_n(p) = {}", f.as_polynomial());
+    let rs = RootStructure::analyze(&f);
+    if rs.is_identically_zero() {
+        let _ = writeln!(out, "F_n is identically zero (voter-like, Lemma 11)");
+    } else {
+        let _ = writeln!(out, "roots in [0,1]: {:?}", rs.roots());
+        for &(lo, hi, s) in rs.sign_intervals() {
+            let _ = writeln!(
+                out,
+                "  F_n is {} on ({lo:.4}, {hi:.4})",
+                if s > 0 { "positive" } else { "negative" }
+            );
+        }
+    }
+    let w = LowerBoundWitness::from_bias(&f);
+    let _ = writeln!(out, "witness: {}", w.case());
+    let (a1, a2, a3) = w.interval_constants();
+    let _ = writeln!(out, "  (a1, a2, a3) = ({a1:.4}, {a2:.4}, {a3:.4})");
+    let _ = writeln!(out, "  adversarial start: {}", w.start());
+    let _ = writeln!(out, "  slow threshold: X = {}", w.threshold());
+    let _ = writeln!(
+        out,
+        "  Theorem 1 predicts >= n^0.9 = {:.0} rounds to cross",
+        w.predicted_min_rounds(0.1)
+    );
+    (out, Status::Ok)
+}
+
+fn cmd_simulate(args: &Args) -> (String, Status) {
+    let protocol = match build_protocol(args) {
+        Ok(p) => p,
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let n = match args.get_parsed("n", 4096u64) {
+        Ok(n) if n >= 8 => n,
+        Ok(_) => return ("--n must be at least 8\n".to_string(), Status::UsageError),
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let seed = match args.get_parsed("seed", 1u64) {
+        Ok(s) => s,
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let budget = match args.get_parsed("budget", 100 * n) {
+        Ok(b) => b,
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let witness = match LowerBoundWitness::construct(&protocol, n) {
+        Ok(w) => w,
+        Err(e) => return (format!("cannot build witness: {e}\n"), Status::UsageError),
+    };
+    let mut rng = rng_from(seed);
+    let mut trajectory = Trajectory::new(24);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulating {} from {} ({}, budget {budget} rounds, seed {seed})",
+        protocol.name(),
+        witness.start(),
+        if args.flag("sequential") { "sequential" } else { "parallel" },
+    );
+
+    let outcome = if args.flag("sequential") {
+        let mut sim = SequentialSim::new(&protocol, witness.start()).expect("validated above");
+        run_with_recorder(&mut sim, &mut rng, budget, &mut trajectory)
+    } else {
+        let mut sim = AggregateSim::new(&protocol, witness.start()).expect("validated above");
+        run_with_recorder(&mut sim, &mut rng, budget, &mut trajectory)
+    };
+
+    let _ = writeln!(out, "trajectory (round, X/n):");
+    for (round, x) in trajectory.iter() {
+        let _ = writeln!(out, "  {round:>10}  {}", fmt_num(x as f64 / n as f64));
+    }
+    match outcome {
+        Outcome::Converged { rounds } => {
+            let _ = writeln!(out, "converged after {rounds} parallel rounds");
+        }
+        Outcome::TimedOut { rounds } => {
+            let _ = writeln!(out, "not converged within {rounds} rounds (lower bound at work)");
+        }
+    }
+    (out, Status::Ok)
+}
+
+fn run_with_recorder<S: Simulator>(
+    sim: &mut S,
+    rng: &mut bitdissem_sim::rng::SimRng,
+    budget: u64,
+    trajectory: &mut Trajectory,
+) -> Outcome {
+    for t in 0..=budget {
+        trajectory.record(sim.configuration().ones());
+        if sim.configuration().is_correct_consensus() {
+            return Outcome::Converged { rounds: t };
+        }
+        if t == budget {
+            break;
+        }
+        sim.step_round(rng);
+    }
+    Outcome::TimedOut { rounds: budget }
+}
+
+fn cmd_exact(args: &Args) -> (String, Status) {
+    let protocol = match build_protocol(args) {
+        Ok(p) => p,
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let n = match args.get_parsed("n", 64u64) {
+        Ok(n) if (2..=512).contains(&n) => n,
+        Ok(n) => {
+            return (
+                format!("--n must be in [2, 512] for the exact solver, got {n}\n"),
+                Status::UsageError,
+            )
+        }
+        Err(e) => return (format!("{e}\n"), Status::UsageError),
+    };
+    let mut out = String::new();
+    for correct in bitdissem_core::Opinion::ALL {
+        let chain = match AggregateChain::build(&protocol, n, correct) {
+            Ok(c) => c,
+            Err(e) => return (format!("cannot build chain: {e}\n"), Status::UsageError),
+        };
+        match expected_hitting_times(&chain) {
+            Some(times) => {
+                let (state, worst) = times.worst();
+                let _ = writeln!(
+                    out,
+                    "z = {correct}: worst expected convergence {} rounds (from X = {state})",
+                    fmt_num(worst)
+                );
+            }
+            None => {
+                let _ =
+                    writeln!(out, "z = {correct}: correct consensus unreachable from some state");
+            }
+        }
+    }
+    (out, Status::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(argv: &[&str]) -> (String, Status) {
+        dispatch(&Args::parse(argv.iter().copied()))
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert_eq!(run_cli(&[]).1, Status::Ok);
+        assert_eq!(run_cli(&["help"]).1, Status::Ok);
+        let (out, status) = run_cli(&["frobnicate"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn list_shows_registry() {
+        let (out, status) = run_cli(&["list"]);
+        assert_eq!(status, Status::Ok);
+        assert!(out.contains("e1"));
+        assert!(out.contains("a3"));
+    }
+
+    #[test]
+    fn analyze_minority() {
+        let (out, status) = run_cli(&["analyze", "minority", "--ell", "3", "--n", "1024"]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("case 1"), "{out}");
+        assert!(out.contains("roots"));
+    }
+
+    #[test]
+    fn analyze_voter_is_voter_like() {
+        let (out, status) = run_cli(&["analyze", "voter", "--ell", "1"]);
+        assert_eq!(status, Status::Ok);
+        assert!(out.contains("identically zero"), "{out}");
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_protocol() {
+        let (out, status) = run_cli(&["analyze", "nonsense"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("unknown protocol"));
+    }
+
+    #[test]
+    fn simulate_voter_small() {
+        let (out, status) =
+            run_cli(&["simulate", "voter", "--ell", "1", "--n", "64", "--seed", "3"]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("trajectory"));
+        assert!(out.contains("converged"), "{out}");
+    }
+
+    #[test]
+    fn simulate_sequential_small() {
+        let (out, status) = run_cli(&[
+            "simulate",
+            "voter",
+            "--ell",
+            "1",
+            "--n",
+            "32",
+            "--sequential",
+            "--budget",
+            "100000",
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("sequential"));
+    }
+
+    #[test]
+    fn exact_solver_voter() {
+        let (out, status) = run_cli(&["exact", "voter", "--ell", "1", "--n", "24"]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("z = 0"));
+        assert!(out.contains("z = 1"));
+    }
+
+    #[test]
+    fn exact_solver_reports_unreachable_consensus() {
+        let (out, status) = run_cli(&["exact", "stay", "--n", "16"]);
+        assert_eq!(status, Status::Ok);
+        assert!(out.contains("unreachable"), "{out}");
+    }
+
+    #[test]
+    fn exact_rejects_large_n() {
+        let (_, status) = run_cli(&["exact", "voter", "--n", "100000"]);
+        assert_eq!(status, Status::UsageError);
+    }
+
+    #[test]
+    fn run_unknown_experiment() {
+        let (out, status) = run_cli(&["run", "e99"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn run_e5_smoke_text_and_csv() {
+        let (out, status) = run_cli(&["run", "e5", "--scale", "smoke"]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("verdict"));
+        let (csv, status) = run_cli(&["run", "e5", "--scale", "smoke", "--csv"]);
+        assert_eq!(status, Status::Ok);
+        assert!(csv.contains("protocol,"), "{csv}");
+    }
+
+    #[test]
+    fn bad_option_values_are_usage_errors() {
+        let (_, status) = run_cli(&["run", "e5", "--scale", "bogus"]);
+        assert_eq!(status, Status::UsageError);
+        let (_, status) = run_cli(&["simulate", "voter", "--n", "abc"]);
+        assert_eq!(status, Status::UsageError);
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 0);
+        assert_eq!(Status::CheckFailed.code(), 1);
+        assert_eq!(Status::UsageError.code(), 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! The `bitdissem` binary: thin wrapper around [`bitdissem_cli::dispatch`].
+
+fn main() {
+    let args = bitdissem_cli::args::Args::parse(std::env::args().skip(1));
+    let (output, status) = bitdissem_cli::dispatch(&args);
+    print!("{output}");
+    std::process::exit(status.code());
+}

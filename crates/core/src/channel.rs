@@ -1,0 +1,179 @@
+//! Noisy observation channels.
+//!
+//! The model's motivation is *passive communication*: agents observe each
+//! other rather than exchange messages, so observations are naturally
+//! error-prone. If each of the `ℓ` observed opinions is independently
+//! flipped with probability `δ`, the induced process is again a memory-less
+//! protocol: given the true sample contains `k` ones, the *observed* count
+//! is `J = Bin(k, 1−δ) + Bin(ℓ−k, δ)`, so the effective rule is
+//! `g̃(k) = E[g(J)]` — computable exactly and expressible as a plain
+//! [`GTable`]. Experiment E14 uses this to show that any observation noise
+//! destroys the Proposition 3 endpoints (consensus stops being absorbing),
+//! connecting the model's idealization to its robustness limits.
+
+use crate::error::ProtocolError;
+use crate::opinion::Opinion;
+use crate::protocol::{Protocol, ProtocolExt};
+use crate::table::GTable;
+
+/// Applies an independent per-observation flip channel with error
+/// probability `delta` to a protocol, returning the induced effective rule
+/// at population size `n`.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidProbability`] if `delta` is outside
+/// `[0, 1/2]`, or propagates table materialization errors.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_core::channel::with_observation_noise;
+/// use bitdissem_core::dynamics::Voter;
+/// use bitdissem_core::{Opinion, Protocol};
+///
+/// let noisy = with_observation_noise(&Voter::new(1)?, 0.1, 100)?;
+/// // Seeing a true 0 now reads as a 1 with probability δ.
+/// assert!((noisy.prob_one(Opinion::Zero, 0, 100) - 0.1).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn with_observation_noise<P: Protocol + ?Sized>(
+    protocol: &P,
+    delta: f64,
+    n: u64,
+) -> Result<GTable, ProtocolError> {
+    if !delta.is_finite() || !(0.0..=0.5).contains(&delta) {
+        return Err(ProtocolError::InvalidProbability { own: 0, k: 0, value: delta });
+    }
+    let table = protocol.to_table(n)?;
+    let ell = table.sample_size();
+    // P(J = j | true count k): convolution of Bin(k, 1−δ) and Bin(ℓ−k, δ).
+    let channel = |k: usize| -> Vec<f64> {
+        let ones_kept = bitdissem_poly_pmf(k as u64, 1.0 - delta);
+        let zeros_flipped = bitdissem_poly_pmf((ell - k) as u64, delta);
+        let mut out = vec![0.0; ell + 1];
+        for (a, &wa) in ones_kept.iter().enumerate() {
+            for (b, &wb) in zeros_flipped.iter().enumerate() {
+                out[a + b] += wa * wb;
+            }
+        }
+        out
+    };
+    let mut g0 = Vec::with_capacity(ell + 1);
+    let mut g1 = Vec::with_capacity(ell + 1);
+    for k in 0..=ell {
+        let dist = channel(k);
+        let mut e0 = 0.0;
+        let mut e1 = 0.0;
+        for (j, &w) in dist.iter().enumerate() {
+            e0 += w * table.g(Opinion::Zero, j);
+            e1 += w * table.g(Opinion::One, j);
+        }
+        g0.push(e0.clamp(0.0, 1.0));
+        g1.push(e1.clamp(0.0, 1.0));
+    }
+    Ok(GTable::new(g0, g1)?.with_name(format!("{}+noise(delta={delta})", protocol.name())))
+}
+
+// Local binomial PMF to keep this crate dependency-free: the counts here
+// are tiny (≤ ℓ), so the direct product formula is exact enough.
+fn bitdissem_poly_pmf(n: u64, p: f64) -> Vec<f64> {
+    let len = n as usize + 1;
+    let mut pmf = vec![0.0; len];
+    if p <= 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p >= 1.0 {
+        pmf[len - 1] = 1.0;
+        return pmf;
+    }
+    // C(n, k) p^k (1-p)^{n-k} with the multiplicative recurrence.
+    let q = 1.0 - p;
+    let mut current = q.powi(n as i32);
+    for (k, slot) in pmf.iter_mut().enumerate() {
+        *slot = current;
+        if (k as u64) < n {
+            current *= (n - k as u64) as f64 / (k as f64 + 1.0) * (p / q);
+        }
+    }
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{Minority, Voter};
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let m = Minority::new(3).unwrap();
+        let noisy = with_observation_noise(&m, 0.0, 100).unwrap();
+        for k in 0..=3 {
+            for own in Opinion::ALL {
+                assert_eq!(noisy.prob_one(own, k, 100), m.prob_one(own, k, 100));
+            }
+        }
+    }
+
+    #[test]
+    fn any_noise_breaks_proposition3() {
+        for &delta in &[0.001, 0.05, 0.2] {
+            let noisy = with_observation_noise(&Voter::new(2).unwrap(), delta, 100).unwrap();
+            assert!(
+                noisy.check_proposition3(100).is_err(),
+                "delta={delta} should break the endpoints"
+            );
+            assert!(noisy.prob_one(Opinion::Zero, 0, 100) > 0.0);
+            assert!(noisy.prob_one(Opinion::One, 2, 100) < 1.0);
+        }
+    }
+
+    #[test]
+    fn voter_channel_matches_closed_form() {
+        // For the Voter, E[J]/ℓ = (k(1−δ) + (ℓ−k)δ)/ℓ.
+        let ell = 4;
+        let delta = 0.15;
+        let noisy = with_observation_noise(&Voter::new(ell).unwrap(), delta, 100).unwrap();
+        for k in 0..=ell {
+            let expect = (k as f64 * (1.0 - delta) + (ell - k) as f64 * delta) / ell as f64;
+            let got = noisy.prob_one(Opinion::Zero, k, 100);
+            assert!((got - expect).abs() < 1e-12, "k={k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn maximal_noise_erases_information() {
+        // δ = 1/2: observations carry no information, so g̃ is constant in k.
+        let noisy = with_observation_noise(&Minority::new(3).unwrap(), 0.5, 100).unwrap();
+        let base = noisy.prob_one(Opinion::Zero, 0, 100);
+        for k in 1..=3 {
+            assert!((noisy.prob_one(Opinion::Zero, k, 100) - base).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_delta() {
+        let v = Voter::new(1).unwrap();
+        assert!(with_observation_noise(&v, -0.1, 10).is_err());
+        assert!(with_observation_noise(&v, 0.6, 10).is_err());
+        assert!(with_observation_noise(&v, f64::NAN, 10).is_err());
+    }
+
+    #[test]
+    fn name_mentions_noise() {
+        let noisy = with_observation_noise(&Voter::new(1).unwrap(), 0.25, 10).unwrap();
+        assert!(Protocol::name(&noisy).contains("noise"));
+    }
+
+    #[test]
+    fn local_pmf_is_normalized() {
+        for n in 0..8u64 {
+            for &p in &[0.0, 0.2, 0.5, 0.9, 1.0] {
+                let pmf = bitdissem_poly_pmf(n, p);
+                let s: f64 = pmf.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "n={n} p={p}");
+            }
+        }
+    }
+}

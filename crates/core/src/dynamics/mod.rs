@@ -1,0 +1,109 @@
+//! Named opinion dynamics.
+//!
+//! Every dynamics studied or referenced by the paper, plus a few parametric
+//! families used to exercise both cases of the Theorem 12 proof:
+//!
+//! * [`Voter`] — Protocol 1 of the paper; `F_n ≡ 0` (Lemma 11, Theorem 2);
+//! * [`Minority`] — Protocol 2, the fast dynamics of Becchetti et al.
+//!   (SODA 2024) when `ℓ = Ω(√(n log n))`;
+//! * [`Majority`] — the classical counterpart, insensitive to the source;
+//! * [`TwoChoices`] — keep own opinion unless the two samples agree;
+//! * [`PowerVoter`] — `g(k) = (k/ℓ)^α`, a tunable-bias family: `α < 1`
+//!   biases upward (Case 2 of Theorem 12), `α > 1` downward (Case 1);
+//! * [`LazyVoter`] — voter with laziness; another `F_n ≡ 0` protocol;
+//! * [`NoisyVoter`], [`AntiVoter`], [`Stay`] — counter-examples used to test
+//!   Proposition 3 and convergence detection.
+
+mod majority;
+mod minority;
+mod misc;
+mod power;
+mod threshold;
+mod two_choices;
+mod voter;
+
+pub use majority::Majority;
+pub use minority::Minority;
+pub use misc::{AntiVoter, NoisyVoter, Stay};
+pub use power::PowerVoter;
+pub use threshold::ThresholdRule;
+pub use two_choices::TwoChoices;
+pub use voter::{LazyVoter, Voter};
+
+use crate::error::ProtocolError;
+use crate::protocol::Protocol;
+
+/// A boxed, thread-safe protocol trait object.
+pub type BoxedProtocol = Box<dyn Protocol + Send + Sync>;
+
+/// The standard constant-sample-size suite used by the lower-bound
+/// experiments (E1): Voter `ℓ=1`, Minority `ℓ∈{3,5}`, 3-Majority and
+/// Two-Choices — all Proposition-3 compliant.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_core::dynamics::constant_sample_suite;
+/// let suite = constant_sample_suite();
+/// assert!(suite.iter().all(|p| p.sample_size() <= 5));
+/// ```
+#[must_use]
+pub fn constant_sample_suite() -> Vec<BoxedProtocol> {
+    vec![
+        Box::new(Voter::new(1).expect("valid")),
+        Box::new(Minority::new(3).expect("valid")),
+        Box::new(Minority::new(5).expect("valid")),
+        Box::new(Majority::new(3).expect("valid")),
+        Box::new(TwoChoices::new()),
+    ]
+}
+
+/// Builds a protocol by name, for CLI-style experiment selection.
+///
+/// Recognized names: `voter`, `minority`, `majority`, `two-choices`,
+/// `lazy-voter`, `power-voter` (with `alpha` fixed at 2.0), `anti-voter`,
+/// `stay`. The sample size applies where meaningful.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::ZeroSampleSize`] if `ell == 0`, or propagates the
+/// constructor error of the selected dynamics. Unknown names yield `None`.
+pub fn by_name(name: &str, ell: usize) -> Option<Result<BoxedProtocol, ProtocolError>> {
+    let build: Result<BoxedProtocol, ProtocolError> = match name {
+        "voter" => Voter::new(ell).map(|p| Box::new(p) as BoxedProtocol),
+        "minority" => Minority::new(ell).map(|p| Box::new(p) as BoxedProtocol),
+        "majority" => Majority::new(ell).map(|p| Box::new(p) as BoxedProtocol),
+        "two-choices" => Ok(Box::new(TwoChoices::new())),
+        "lazy-voter" => LazyVoter::new(ell, 0.5).map(|p| Box::new(p) as BoxedProtocol),
+        "power-voter" => PowerVoter::new(ell, 2.0).map(|p| Box::new(p) as BoxedProtocol),
+        "anti-voter" => AntiVoter::new(ell).map(|p| Box::new(p) as BoxedProtocol),
+        "stay" => Ok(Box::new(Stay::new(ell))),
+        _ => return None,
+    };
+    Some(build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProtocolExt;
+
+    #[test]
+    fn suite_is_prop3_compliant() {
+        for p in constant_sample_suite() {
+            assert!(p.check_proposition3(100).is_ok(), "{} violates Prop 3", p.name());
+        }
+    }
+
+    #[test]
+    fn by_name_builds_known_protocols() {
+        for name in
+            ["voter", "minority", "majority", "two-choices", "lazy-voter", "power-voter", "stay"]
+        {
+            let p = by_name(name, 3).expect("known name").expect("valid params");
+            assert!(!p.name().is_empty());
+        }
+        assert!(by_name("unknown", 3).is_none());
+        assert!(by_name("voter", 0).unwrap().is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for protocol construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or validating a protocol.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The sample size `ℓ` must be at least 1.
+    ZeroSampleSize,
+    /// A probability table has the wrong length (expected `ℓ + 1` entries).
+    TableLength {
+        /// Expected number of entries (`ℓ + 1`).
+        expected: usize,
+        /// Actual number of entries supplied.
+        actual: usize,
+    },
+    /// A table entry is not a probability in `[0, 1]`.
+    InvalidProbability {
+        /// Own-opinion branch of the offending entry (`0` or `1`).
+        own: u8,
+        /// Sample count `k` of the offending entry.
+        k: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The protocol violates Proposition 3 (`g⁰(0) = 0` and `g¹(ℓ) = 1` are
+    /// necessary for solving bit dissemination): consensus would not be
+    /// maintained.
+    ConsensusNotAbsorbing {
+        /// Value of `g⁰(0)` (must be 0).
+        g0_at_0: f64,
+        /// Value of `g¹(ℓ)` (must be 1).
+        g1_at_ell: f64,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::ZeroSampleSize => {
+                write!(f, "sample size must be at least 1")
+            }
+            ProtocolError::TableLength { expected, actual } => {
+                write!(f, "probability table has {actual} entries, expected {expected}")
+            }
+            ProtocolError::InvalidProbability { own, k, value } => {
+                write!(f, "g^[{own}]({k}) = {value} is not a probability in [0, 1]")
+            }
+            ProtocolError::ConsensusNotAbsorbing { g0_at_0, g1_at_ell } => {
+                write!(
+                    f,
+                    "protocol cannot maintain consensus (Proposition 3): \
+                     g^[0](0) = {g0_at_0} (must be 0), g^[1](l) = {g1_at_ell} (must be 1)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ProtocolError::TableLength { expected: 4, actual: 3 };
+        assert!(e.to_string().contains("3 entries"));
+        let e = ProtocolError::InvalidProbability { own: 1, k: 2, value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = ProtocolError::ConsensusNotAbsorbing { g0_at_0: 0.1, g1_at_ell: 1.0 };
+        assert!(e.to_string().contains("Proposition 3"));
+        assert!(ProtocolError::ZeroSampleSize.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ProtocolError>();
+    }
+}

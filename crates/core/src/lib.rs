@@ -1,0 +1,51 @@
+//! Model types and protocols for the **self-stabilizing bit-dissemination
+//! problem** of D'Archivio & Vacus (PODC 2024).
+//!
+//! A group of `n` anonymous agents holds binary opinions. A single *source*
+//! agent permanently holds the correct opinion. In each round, every
+//! non-source agent observes the opinions of `ℓ` agents drawn uniformly at
+//! random **with replacement** and re-decides its own opinion with a
+//! memory-less rule. A protocol is fully described by the pair of functions
+//!
+//! ```text
+//! g_n^[b] : {0, …, ℓ} → [0, 1],   b ∈ {0, 1}
+//! ```
+//!
+//! giving the probability of adopting opinion 1 when holding opinion `b` and
+//! observing `k` ones among the `ℓ` samples (Section 1.1 of the paper). That
+//! rule is the [`Protocol`] trait; [`GTable`] is its universal table-driven
+//! implementation, and [`dynamics`] hosts the named dynamics studied or
+//! referenced by the paper (Voter, Minority, Majority, …).
+//!
+//! # Example
+//!
+//! ```
+//! use bitdissem_core::{dynamics::Minority, Opinion, Protocol};
+//!
+//! let minority = Minority::new(3)?;
+//! // An agent seeing one `1` out of three samples adopts the minority: `1`.
+//! assert_eq!(minority.prob_one(Opinion::Zero, 1, 1000), 1.0);
+//! // An agent seeing a unanimous sample keeps the unanimous opinion.
+//! assert_eq!(minority.prob_one(Opinion::Zero, 0, 1000), 0.0);
+//! assert_eq!(minority.prob_one(Opinion::One, 3, 1000), 1.0);
+//! # Ok::<(), bitdissem_core::ProtocolError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod config;
+pub mod dynamics;
+pub mod error;
+pub mod multi;
+pub mod opinion;
+pub mod protocol;
+pub mod stateful;
+pub mod table;
+
+pub use config::Configuration;
+pub use error::ProtocolError;
+pub use opinion::Opinion;
+pub use protocol::{ActivationModel, Protocol, ProtocolExt};
+pub use table::GTable;

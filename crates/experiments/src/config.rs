@@ -1,0 +1,102 @@
+//! Run configuration shared by all experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment run should do.
+///
+/// * `Smoke` — seconds-scale, used by tests and CI: small `n`, few
+///   replications; verifies mechanics and directional expectations only.
+/// * `Standard` — the default for example binaries and Criterion benches.
+/// * `Full` — the scale used to produce the tables in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-scale smoke run.
+    Smoke,
+    /// Default scale for examples and benches.
+    Standard,
+    /// Publication scale (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks one of three values by scale.
+    #[must_use]
+    pub fn pick<T: Copy>(self, smoke: T, standard: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Standard => standard,
+            Scale::Full => full,
+        }
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Ok(Scale::Smoke),
+            "standard" => Ok(Scale::Standard),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (smoke|standard|full)")),
+        }
+    }
+}
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Work scale.
+    pub scale: Scale,
+    /// Base seed; all randomness is derived from it deterministically.
+    pub seed: u64,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl RunConfig {
+    /// A smoke-scale configuration.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        Self { scale: Scale::Smoke, seed, threads: None }
+    }
+
+    /// A standard-scale configuration.
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        Self { scale: Scale::Standard, seed, threads: None }
+    }
+
+    /// A full-scale configuration.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        Self { scale: Scale::Full, seed, threads: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Standard.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::from_str("smoke").unwrap(), Scale::Smoke);
+        assert_eq!(Scale::from_str("FULL").unwrap(), Scale::Full);
+        assert!(Scale::from_str("bogus").is_err());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(RunConfig::smoke(7).scale, Scale::Smoke);
+        assert_eq!(RunConfig::standard(7).scale, Scale::Standard);
+        assert_eq!(RunConfig::full(7).seed, 7);
+    }
+}

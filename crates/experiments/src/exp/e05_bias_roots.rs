@@ -1,0 +1,115 @@
+//! **E5 — Figures 2–3: bias polynomials, roots, and the Theorem 12 case
+//! split.**
+//!
+//! For each protocol this regenerates the data behind the paper's proof
+//! figures: the curve `F_n(p)` on a grid, its roots in `[0, 1]`, the
+//! maximal constant-sign intervals, and the witness construction (case,
+//! `(a₁, a₂, a₃)`, adversarial start). Cross-checked against Sturm-sequence
+//! root counting.
+
+use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
+use bitdissem_core::dynamics::{Majority, Minority, PowerVoter, TwoChoices, Voter};
+use bitdissem_core::Protocol;
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::Table;
+
+use crate::config::RunConfig;
+use crate::report::ExperimentReport;
+
+/// Runs experiment E5.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e5",
+        "bias-polynomial root structure and adversarial witness (Figures 2-3)",
+        "Theorem 12: F_n has at most l+1 roots in [0,1]; the rightmost \
+         constant-sign interval yields the adversarial configuration (Case 1 \
+         if F<0 there, Case 2 if F>0; Lemma 11 if F=0)",
+    );
+
+    let n = cfg.scale.pick(256, 4096, 65536);
+    let protocols: Vec<Box<dyn Protocol + Send + Sync>> = vec![
+        Box::new(Voter::new(1).expect("valid")),
+        Box::new(Voter::new(3).expect("valid")),
+        Box::new(Minority::new(3).expect("valid")),
+        Box::new(Minority::new(5).expect("valid")),
+        Box::new(Majority::new(3).expect("valid")),
+        Box::new(TwoChoices::new()),
+        Box::new(PowerVoter::new(3, 2.0).expect("valid")),
+        Box::new(PowerVoter::new(3, 0.5).expect("valid")),
+    ];
+
+    let mut structure = Table::new([
+        "protocol",
+        "degree",
+        "#roots",
+        "sturm",
+        "rightmost interval",
+        "case",
+        "X0/n",
+        "threshold/n",
+    ]);
+    let mut curves = Table::new(["p", "voter", "minority3", "majority3", "power2.0"]);
+
+    // Curve table on a fixed grid (the data behind Figures 2/3).
+    let fv = BiasPolynomial::build(&Voter::new(1).expect("valid"), n).expect("valid");
+    let fm = BiasPolynomial::build(&Minority::new(3).expect("valid"), n).expect("valid");
+    let fj = BiasPolynomial::build(&Majority::new(3).expect("valid"), n).expect("valid");
+    let fp = BiasPolynomial::build(&PowerVoter::new(3, 2.0).expect("valid"), n).expect("valid");
+    for i in 0..=16 {
+        let p = f64::from(i) / 16.0;
+        curves.row([
+            fmt_num(p),
+            fmt_num(fv.eval(p)),
+            fmt_num(fm.eval(p)),
+            fmt_num(fj.eval(p)),
+            fmt_num(fp.eval(p)),
+        ]);
+    }
+
+    for protocol in &protocols {
+        let f = BiasPolynomial::build(protocol, n).expect("valid");
+        let rs = RootStructure::analyze(&f);
+        let sturm = RootStructure::sturm_root_count(&f);
+        let witness = LowerBoundWitness::from_bias(&f);
+        let degree = f.as_polynomial().degree().map_or("0".to_string(), |d| d.to_string());
+        let interval = rs
+            .rightmost_interval()
+            .map_or("-".to_string(), |(lo, hi, s)| format!("({lo:.3}, {hi:.3}) sign {s:+}"));
+        structure.row([
+            protocol.name(),
+            degree,
+            rs.roots().len().to_string(),
+            sturm.to_string(),
+            interval,
+            witness.case().to_string(),
+            fmt_num(witness.start().ones() as f64 / n as f64),
+            fmt_num(witness.threshold() as f64 / n as f64),
+        ]);
+        // Degree bound of the core argument.
+        let deg_ok = f.as_polynomial().degree().is_none_or(|d| d <= protocol.sample_size() + 1);
+        report.check(deg_ok, format!("{}: deg F_n <= l+1", protocol.name()));
+        report.check(
+            rs.roots().len() == sturm,
+            format!("{}: Bernstein and Sturm root counts agree", protocol.name()),
+        );
+    }
+
+    report.add_table(format!("root structure and witness at n = {n}"), structure);
+    report.add_table("F_n(p) curves (Figure 2/3 series)", curves);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_structure_is_consistent() {
+        let report = run(&RunConfig::smoke(19));
+        assert!(report.pass, "{}", report.render());
+        assert_eq!(report.tables.len(), 2);
+        // 17 grid rows in the curve table.
+        assert_eq!(report.tables[1].1.len(), 17);
+    }
+}

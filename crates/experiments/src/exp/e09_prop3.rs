@@ -1,0 +1,133 @@
+//! **E9 — Proposition 3: consensus maintenance is necessary.**
+//!
+//! A protocol can only solve bit dissemination if `g⁰(0) = 0` and
+//! `g¹(ℓ) = 1`. We check the static condition for a suite of protocols and
+//! confirm the *dynamic* consequence empirically: compliant protocols stay
+//! at the correct consensus forever once they reach it, while violators
+//! provably leak out (consensus-exit detection), and `Stay` shows the
+//! condition is not sufficient.
+
+use bitdissem_core::dynamics::{AntiVoter, Minority, NoisyVoter, Stay, Voter};
+use bitdissem_core::{Configuration, Opinion, Protocol, ProtocolExt};
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::{run_with_exit_detection, StabilityOutcome};
+use bitdissem_stats::Table;
+
+use crate::config::RunConfig;
+use crate::report::ExperimentReport;
+
+/// Runs experiment E9.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e9",
+        "Proposition 3: necessity of absorbing consensus",
+        "Prop 3: any solving protocol has g0(0)=0 and g1(l)=1; violators \
+         cannot keep a reached consensus (and Stay shows the condition is \
+         not sufficient)",
+    );
+
+    let n: u64 = cfg.scale.pick(16, 32, 64);
+    let dwell = cfg.scale.pick(2_000u64, 20_000, 100_000);
+    let budget = cfg.scale.pick(50_000u64, 500_000, 2_000_000);
+
+    struct Case {
+        protocol: Box<dyn Protocol + Send + Sync>,
+        expect_compliant: bool,
+        expect_stable_if_reached: bool,
+    }
+    let cases = vec![
+        Case {
+            protocol: Box::new(Voter::new(1).expect("valid")),
+            expect_compliant: true,
+            expect_stable_if_reached: true,
+        },
+        Case {
+            protocol: Box::new(Minority::new(3).expect("valid")),
+            expect_compliant: true,
+            expect_stable_if_reached: true,
+        },
+        Case {
+            protocol: Box::new(NoisyVoter::new(1, 0.02).expect("valid")),
+            expect_compliant: false,
+            expect_stable_if_reached: false,
+        },
+        Case {
+            protocol: Box::new(AntiVoter::new(3).expect("valid")),
+            expect_compliant: false,
+            expect_stable_if_reached: false,
+        },
+        Case {
+            protocol: Box::new(Stay::new(1)),
+            expect_compliant: true,
+            // Stay never reaches consensus from a non-consensus start.
+            expect_stable_if_reached: true,
+        },
+    ];
+
+    let mut table = Table::new(["protocol", "prop3 static", "empirical outcome"]);
+    for case in &cases {
+        let compliant = case.protocol.check_proposition3(n).is_ok();
+        report.check(
+            compliant == case.expect_compliant,
+            format!(
+                "{}: static Prop-3 check = {}",
+                case.protocol.name(),
+                if compliant { "compliant" } else { "violated" }
+            ),
+        );
+
+        // Start AT the correct consensus: the dynamic content of Prop 3 is
+        // that compliant protocols keep it forever, violators leak out.
+        let start = Configuration::correct_consensus(n, Opinion::One);
+        let mut sim = AggregateSim::new(&case.protocol, start).expect("valid");
+        let mut rng = rng_from(cfg.seed ^ 0x9999);
+        let outcome = run_with_exit_detection(&mut sim, &mut rng, budget, dwell);
+        let desc = match outcome {
+            StabilityOutcome::Stable { entered } => format!("stable (entered at {entered})"),
+            StabilityOutcome::Exited { entered, exited } => {
+                format!("exited (entered {entered}, exited {exited})")
+            }
+            StabilityOutcome::NeverReached { .. } => "never reached".to_string(),
+        };
+        let dynamic_ok = match outcome {
+            StabilityOutcome::Stable { .. } => case.expect_stable_if_reached,
+            StabilityOutcome::Exited { .. } => !case.expect_stable_if_reached,
+            // Impossible when starting at consensus.
+            StabilityOutcome::NeverReached { .. } => false,
+        };
+        report.check(dynamic_ok, format!("{}: {desc}", case.protocol.name()));
+        table.row([
+            case.protocol.name(),
+            if compliant { "ok".to_string() } else { "violated".to_string() },
+            desc,
+        ]);
+    }
+    report.add_table(format!("n = {n}, dwell = {dwell} rounds"), table);
+
+    // Stay: Prop 3 compliant yet never converges — the condition is
+    // necessary, not sufficient.
+    let stay = Stay::new(1);
+    let start = Configuration::new(n, Opinion::One, n / 2).expect("consistent");
+    let mut sim = AggregateSim::new(&stay, start).expect("valid");
+    let mut rng = rng_from(cfg.seed ^ 0xAAAA);
+    let outcome = run_with_exit_detection(&mut sim, &mut rng, 1_000, 10);
+    report.check(
+        matches!(outcome, StabilityOutcome::NeverReached { .. }),
+        "Stay is compliant but never converges from a mixed start: Prop 3 is \
+         necessary, not sufficient",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_validates_prop3_both_ways() {
+        let report = run(&RunConfig::smoke(37));
+        assert!(report.pass, "{}", report.render());
+    }
+}

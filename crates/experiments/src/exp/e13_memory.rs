@@ -1,0 +1,164 @@
+//! **E13 — does one bit of memory escape the lower bound?**
+//!
+//! The paper's discussion asks whether Theorem 1 extends "to protocols
+//! using a constant amount of memory". This experiment probes the question
+//! empirically with the undecided-state dynamics under passive
+//! communication (one private "am I sure?" bit on top of the displayed
+//! opinion): from the adversarial all-decided-wrong configuration it
+//! behaves *majority-like* — the extra bit makes the dynamics drift toward
+//! the wrong display consensus, and it fails to converge within a `50n`
+//! budget, consistent with (indeed stronger than) the conjectured
+//! constant-memory lower bound. Memory-less baselines run in the same
+//! stateful engine as a control.
+
+use bitdissem_core::dynamics::{Minority, Voter};
+use bitdissem_core::stateful::{usd_states, Memoryless, StatefulProtocol, UndecidedState};
+use bitdissem_core::Opinion;
+use bitdissem_sim::runner::replicate;
+use bitdissem_sim::stateful::StatefulSim;
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::{Summary, Table};
+
+use crate::config::RunConfig;
+use crate::report::ExperimentReport;
+use crate::workload::pow2_sweep;
+
+fn measure_usd(
+    ell: usize,
+    n: u64,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> (f64, f64) {
+    let times = replicate(reps, seed, threads, |mut rng, _| {
+        // Adversarial memory: every non-source agent is *decided* on the
+        // wrong opinion (z = 1, all display 0).
+        let usd = UndecidedState::new(ell).expect("valid");
+        let mut counts = vec![0u64; 4];
+        counts[usd_states::DECIDED_ZERO] = n - 1;
+        let mut sim = StatefulSim::with_state_counts(usd, n, Opinion::One, counts);
+        sim.run_to_display_consensus(&mut rng, budget).map_or(budget as f64, |t| t as f64)
+    });
+    let s = Summary::from_samples(&times).expect("non-empty");
+    let frac = times.iter().filter(|&&t| t < budget as f64).count() as f64 / reps as f64;
+    (s.median(), frac)
+}
+
+fn measure_memoryless<P>(
+    protocol: P,
+    n: u64,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> (f64, f64)
+where
+    P: bitdissem_core::Protocol + Copy + Sync,
+{
+    let times = replicate(reps, seed, threads, |mut rng, _| {
+        let mut sim = StatefulSim::new(Memoryless::new(protocol), n, Opinion::One, 1);
+        sim.run_to_display_consensus(&mut rng, budget).map_or(budget as f64, |t| t as f64)
+    });
+    let s = Summary::from_samples(&times).expect("non-empty");
+    let frac = times.iter().filter(|&&t| t < budget as f64).count() as f64 / reps as f64;
+    (s.median(), frac)
+}
+
+/// Runs experiment E13.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e13",
+        "constant memory under passive communication (future-work probe)",
+        "Discussion: does the Omega(n^{1-eps}) bound extend to constant \
+         memory? The undecided-state dynamics (1 extra private bit) turns \
+         majority-like and stays slow from the adversarial start",
+    );
+
+    let ns = match cfg.scale.pick(0, 1, 2) {
+        0 => pow2_sweep(64, 2),
+        1 => pow2_sweep(256, 3),
+        _ => pow2_sweep(512, 4),
+    };
+    let reps = cfg.scale.pick(8, 16, 32);
+
+    let mut table = Table::new(["protocol", "n", "median T", "frac converged"]);
+    let mut usd_converged_at_largest = 1.0f64;
+    let mut voter_always_converges = true;
+    for &n in &ns {
+        let budget = 50 * n;
+        for ell in [1usize, 3] {
+            let (median, frac) =
+                measure_usd(ell, n, reps, budget, cfg.seed ^ n ^ (ell as u64), cfg.threads);
+            if n == *ns.last().expect("non-empty") {
+                usd_converged_at_largest = usd_converged_at_largest.min(frac);
+            }
+            table.row([
+                UndecidedState::new(ell).expect("valid").name(),
+                n.to_string(),
+                fmt_num(median),
+                fmt_num(frac),
+            ]);
+        }
+        let (vm, vf) = measure_memoryless(
+            Voter::new(1).expect("valid"),
+            n,
+            reps,
+            budget,
+            cfg.seed ^ n ^ 0x11,
+            cfg.threads,
+        );
+        voter_always_converges &= vf > 0.9;
+        table.row(["memoryless(voter(l=1))".to_string(), n.to_string(), fmt_num(vm), fmt_num(vf)]);
+        let (mm, mf) = measure_memoryless(
+            Minority::new(3).expect("valid"),
+            n,
+            reps,
+            budget,
+            cfg.seed ^ n ^ 0x12,
+            cfg.threads,
+        );
+        table.row([
+            "memoryless(minority(l=3))".to_string(),
+            n.to_string(),
+            fmt_num(mm),
+            fmt_num(mf),
+        ]);
+    }
+    report.add_table(
+        "convergence from the adversarial start (all non-source decided wrong), budget 50n",
+        table,
+    );
+
+    report.check(
+        usd_converged_at_largest <= 0.25,
+        format!(
+            "undecided-state stays slow at the largest n (converged fraction \
+             {usd_converged_at_largest:.2} within 50n rounds) — one private bit does \
+             not escape the bound here"
+        ),
+    );
+    report.check(
+        voter_always_converges,
+        "the memory-less Voter baseline converges in the same stateful engine \
+         (engine control)",
+    );
+    report.finding(
+        "the undecided bit makes the dynamics majority-like: the drift points \
+         toward the wrong display consensus from the adversarial start"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_memory_does_not_help() {
+        let report = run(&RunConfig::smoke(67));
+        assert!(report.pass, "{}", report.render());
+    }
+}

@@ -1,0 +1,144 @@
+//! **E15 — the sequential `Ω(n)` lower bound, exactly, for arbitrary
+//! protocols.**
+//!
+//! Reference \[14\] proves that in the sequential setting *no* memory-less
+//! protocol converges in fewer than `Ω(n)` parallel rounds in expectation,
+//! regardless of the sample size — because the process is a birth–death
+//! chain. Our exact tridiagonal solver makes this checkable without any
+//! sampling: for named dynamics *and* randomly generated protocol tables,
+//! the worst-start expected convergence time (in parallel rounds) never
+//! drops below a constant multiple of `n`, and the minimum over protocols
+//! scales linearly.
+
+use bitdissem_core::dynamics::{Majority, Minority, ThresholdRule, Voter};
+use bitdissem_core::{GTable, Opinion, Protocol};
+use bitdissem_markov::SequentialChain;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_stats::regression::fit_power_law;
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::Table;
+use rand::Rng;
+
+use crate::config::RunConfig;
+use crate::report::ExperimentReport;
+
+/// Worst-start expected convergence time in parallel rounds, or `None` if
+/// the consensus is unreachable (then the time is `+∞`, which only
+/// strengthens the bound).
+fn worst_expected_rounds<P: Protocol + ?Sized>(protocol: &P, n: u64) -> Option<f64> {
+    let mut worst: f64 = 0.0;
+    for correct in Opinion::ALL {
+        let chain = SequentialChain::build(protocol, n, correct).ok()?;
+        match chain.expected_activations() {
+            Some(t) => {
+                let w = t.iter().cloned().fold(0.0, f64::max) / n as f64;
+                worst = worst.max(w);
+            }
+            None => return None, // unreachable consensus: infinite time
+        }
+    }
+    Some(worst)
+}
+
+/// Runs experiment E15.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e15",
+        "exact sequential lower bound across all protocols",
+        "[14]: in the sequential setting every protocol needs Omega(n) \
+         parallel rounds in expectation, for any sample size — verified here \
+         by exact birth-death solves, with no sampling error",
+    );
+
+    let ns: Vec<u64> = match cfg.scale.pick(0, 1, 2) {
+        0 => vec![32, 64, 128],
+        1 => vec![32, 64, 128, 256],
+        _ => vec![64, 128, 256, 512, 1024],
+    };
+    let random_tables = cfg.scale.pick(20usize, 60, 150);
+
+    let named: Vec<Box<dyn Protocol + Send + Sync>> = vec![
+        Box::new(Voter::new(1).expect("valid")),
+        Box::new(Minority::new(3).expect("valid")),
+        Box::new(Majority::new(3).expect("valid")),
+        Box::new(ThresholdRule::new(4, 1).expect("valid")),
+        // A large sample does not help in the sequential setting — the
+        // point of the [14]/[15] contrast.
+        Box::new(Minority::new(64).expect("valid")),
+    ];
+
+    let mut table = Table::new(["n", "protocol", "worst E[T]/n (exact)"]);
+    let mut min_ratio_per_n: Vec<(u64, f64)> = Vec::new();
+    for &n in &ns {
+        let mut min_ratio = f64::INFINITY;
+        for protocol in &named {
+            let rounds = worst_expected_rounds(protocol, n);
+            let ratio = rounds.map_or(f64::INFINITY, |r| r / n as f64);
+            min_ratio = min_ratio.min(ratio);
+            table.row([
+                n.to_string(),
+                protocol.name(),
+                if ratio.is_finite() { fmt_num(ratio) } else { "inf".to_string() },
+            ]);
+        }
+        // Random protocol tables with Prop-3 endpoints.
+        let mut rng = rng_from(cfg.seed ^ n);
+        for trial in 0..random_tables {
+            let ell = rng.random_range(1..=5usize);
+            let mut g0: Vec<f64> = (0..=ell).map(|_| rng.random()).collect();
+            let mut g1: Vec<f64> = (0..=ell).map(|_| rng.random()).collect();
+            g0[0] = 0.0;
+            g1[ell] = 1.0;
+            let t = GTable::new(g0, g1).expect("valid");
+            let rounds = worst_expected_rounds(&t, n);
+            let ratio = rounds.map_or(f64::INFINITY, |r| r / n as f64);
+            min_ratio = min_ratio.min(ratio);
+            if trial < 2 {
+                table.row([
+                    n.to_string(),
+                    format!("random-{trial}(l={ell})"),
+                    if ratio.is_finite() { fmt_num(ratio) } else { "inf".to_string() },
+                ]);
+            }
+        }
+        min_ratio_per_n.push((n, min_ratio));
+    }
+    report.add_table(
+        format!(
+            "exact worst-start expected sequential time / n \
+             (named + {random_tables} random tables per n; first 2 shown)"
+        ),
+        table,
+    );
+
+    let all_linear = min_ratio_per_n.iter().all(|&(_, r)| r >= 0.2);
+    report.check(
+        all_linear,
+        format!(
+            "min over protocols of worst E[T]/n stays >= 0.2 at every n: {:?}",
+            min_ratio_per_n.iter().map(|&(n, r)| format!("n={n}: {r:.2}")).collect::<Vec<_>>()
+        ),
+    );
+    // The minimum itself scales (at least) linearly.
+    let xs: Vec<f64> = min_ratio_per_n.iter().map(|&(n, _)| n as f64).collect();
+    let ys: Vec<f64> = min_ratio_per_n.iter().map(|&(n, r)| (r * n as f64).max(1.0)).collect();
+    if let Some((b, _c, r2)) = fit_power_law(&xs, &ys) {
+        report.check(
+            b >= 0.85,
+            format!("min worst E[T] scales like n^{b:.2} (R2 = {r2:.3}) — the Omega(n) bound"),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_sequential_bound_is_exact() {
+        let report = run(&RunConfig::smoke(73));
+        assert!(report.pass, "{}", report.render());
+    }
+}

@@ -1,0 +1,142 @@
+//! **E16 — self-stabilization: the witness start is near-worst among all
+//! initial configurations.**
+//!
+//! The problem is *self-stabilizing*: a protocol must converge from every
+//! initial configuration, so its convergence time is the worst case over
+//! starts. This experiment computes, exactly, the expected convergence time
+//! from **every** state for both correct opinions (small `n`), and checks
+//! that the Theorem-12 witness configuration captures that worst case up to
+//! a modest constant — i.e. the analytical adversary is essentially as bad
+//! as the exhaustive one.
+
+use bitdissem_analysis::LowerBoundWitness;
+use bitdissem_core::dynamics::{Majority, Minority, TwoChoices, Voter};
+use bitdissem_core::{Opinion, Protocol};
+use bitdissem_markov::absorbing::expected_hitting_times;
+use bitdissem_markov::AggregateChain;
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::Table;
+
+use crate::config::RunConfig;
+use crate::report::ExperimentReport;
+
+/// Exact worst-case expected convergence time over *all* starts and both
+/// correct opinions, plus the time from the witness start.
+fn exact_worst_and_witness<P: Protocol + ?Sized>(
+    protocol: &P,
+    n: u64,
+) -> Option<(f64, f64, u64, Opinion)> {
+    let witness = LowerBoundWitness::construct(protocol, n).ok()?;
+    let wz = witness.start().correct();
+    let mut worst = 0.0f64;
+    let mut worst_state = 0;
+    let mut worst_z = Opinion::Zero;
+    let mut witness_time = 0.0;
+    for z in Opinion::ALL {
+        let chain = AggregateChain::build(protocol, n, z).ok()?;
+        let times = expected_hitting_times(&chain)?;
+        let (state, w) = times.worst();
+        if w > worst {
+            worst = w;
+            worst_state = state;
+            worst_z = z;
+        }
+        if z == wz {
+            witness_time = times.from_state(witness.start().ones());
+        }
+    }
+    let _ = worst_z;
+    Some((worst, witness_time, worst_state, wz))
+}
+
+/// Runs experiment E16.
+#[must_use]
+pub fn run(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e16",
+        "self-stabilization: exhaustive worst-case start vs the analytic witness",
+        "the problem quantifies over every initial configuration; the \
+         Theorem-12 witness must be (near-)worst-case, which exact hitting \
+         times over all starts can verify at small n",
+    );
+
+    let ns: Vec<u64> = match cfg.scale.pick(0, 1, 2) {
+        0 => vec![16, 32],
+        1 => vec![16, 32, 64],
+        _ => vec![32, 64, 128],
+    };
+
+    let protocols: Vec<Box<dyn Protocol + Send + Sync>> = vec![
+        Box::new(Voter::new(1).expect("valid")),
+        Box::new(Minority::new(3).expect("valid")),
+        Box::new(Majority::new(3).expect("valid")),
+        Box::new(TwoChoices::new()),
+    ];
+
+    let mut table = Table::new([
+        "protocol",
+        "n",
+        "exact worst E[T]",
+        "worst state",
+        "witness E[T]",
+        "witness/worst",
+    ]);
+    let mut all_captured = true;
+    for protocol in &protocols {
+        for &n in &ns {
+            match exact_worst_and_witness(protocol, n) {
+                Some((worst, wit, worst_state, _)) => {
+                    let ratio = wit / worst.max(1e-300);
+                    // The witness sits inside the slow region: for drift
+                    // protocols (QSD-dominated) the ratio is ~1; for
+                    // voter-like diffusion it is a constant fraction.
+                    let captured = ratio >= 0.1;
+                    all_captured &= captured;
+                    table.row([
+                        protocol.name(),
+                        n.to_string(),
+                        fmt_num(worst),
+                        worst_state.to_string(),
+                        fmt_num(wit),
+                        fmt_num(ratio),
+                    ]);
+                }
+                None => {
+                    all_captured = false;
+                    table.row([
+                        protocol.name(),
+                        n.to_string(),
+                        "unsolvable".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    report.add_table("exact expected convergence over every start (dense LU)", table);
+    report.check(
+        all_captured,
+        "the witness start captures >= 10% of the exhaustive worst case for \
+         every protocol and n (ratio ~1 for drift cases)",
+    );
+    report.finding(
+        "drift-case worst times grow super-polynomially (Minority(3): see the \
+         exact E[T] column double exponents as n doubles) while voter-like \
+         worst times grow like n log n — the two regimes of the paper"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_witness_is_near_worst() {
+        let report = run(&RunConfig::smoke(79));
+        assert!(report.pass, "{}", report.render());
+    }
+}

@@ -1,0 +1,24 @@
+//! Individual experiment implementations. See `DESIGN.md` §3 for the index
+//! mapping each module to the paper claim it reproduces.
+
+pub mod a1_agg_vs_agent;
+pub mod a2_binomial;
+pub mod a3_roots;
+pub mod e01_lower_bound;
+pub mod e02_voter_upper;
+pub mod e03_minority_fast;
+pub mod e04_sample_sweep;
+pub mod e05_bias_roots;
+pub mod e06_doob;
+pub mod e07_dual;
+pub mod e08_jump;
+pub mod e09_prop3;
+pub mod e10_exact;
+pub mod e11_seq_par;
+pub mod e12_minority_consensus;
+pub mod e13_memory;
+pub mod e14_noise;
+pub mod e15_sequential_lb;
+pub mod e16_selfstab;
+pub mod e17_synthesis;
+pub mod e18_synchronicity;

@@ -1,0 +1,171 @@
+//! Experiment registry: look up and run experiments by id.
+
+use crate::config::RunConfig;
+use crate::exp;
+use crate::report::ExperimentReport;
+
+/// One registry entry.
+#[derive(Clone, Copy)]
+pub struct Entry {
+    /// Experiment id (`e1`…`e12`, `a1`…`a3`).
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Runner function.
+    pub run: fn(&RunConfig) -> ExperimentReport,
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("id", &self.id)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// All registered experiments, in index order.
+#[must_use]
+pub fn all() -> Vec<Entry> {
+    vec![
+        Entry {
+            id: "e1",
+            description: "Theorem 1/12: almost-linear lower bound for constant sample size",
+            run: exp::e01_lower_bound::run,
+        },
+        Entry {
+            id: "e2",
+            description: "Theorem 2: Voter O(n log n) upper bound",
+            run: exp::e02_voter_upper::run,
+        },
+        Entry {
+            id: "e3",
+            description: "[15]: Minority with l = sqrt(n ln n) is poly-log fast",
+            run: exp::e03_minority_fast::run,
+        },
+        Entry {
+            id: "e4",
+            description: "open question: minimal sample size for a fast Minority",
+            run: exp::e04_sample_sweep::run,
+        },
+        Entry {
+            id: "e5",
+            description: "Figures 2-3: bias-polynomial roots and witness case split",
+            run: exp::e05_bias_roots::run,
+        },
+        Entry {
+            id: "e6",
+            description: "Figure 1: Doob decomposition mechanics of Theorem 6",
+            run: exp::e06_doob::run,
+        },
+        Entry {
+            id: "e7",
+            description: "Figure 4: Voter dual coalescing random walks",
+            run: exp::e07_dual::run,
+        },
+        Entry {
+            id: "e8",
+            description: "Proposition 4: one-step jump bound",
+            run: exp::e08_jump::run,
+        },
+        Entry {
+            id: "e9",
+            description: "Proposition 3: consensus maintenance necessity",
+            run: exp::e09_prop3::run,
+        },
+        Entry {
+            id: "e10",
+            description: "engine validation vs exact Markov chains",
+            run: exp::e10_exact::run,
+        },
+        Entry {
+            id: "e11",
+            description: "[14]: sequential vs parallel exponential gap",
+            run: exp::e11_seq_par::run,
+        },
+        Entry {
+            id: "e12",
+            description: "Minority without a source: speed and oscillation",
+            run: exp::e12_minority_consensus::run,
+        },
+        Entry {
+            id: "e13",
+            description: "future work: constant memory under passive communication",
+            run: exp::e13_memory::run,
+        },
+        Entry {
+            id: "e14",
+            description: "robustness: observation noise destroys dissemination",
+            run: exp::e14_noise::run,
+        },
+        Entry {
+            id: "e15",
+            description: "[14]: exact sequential Omega(n) bound for arbitrary protocols",
+            run: exp::e15_sequential_lb::run,
+        },
+        Entry {
+            id: "e16",
+            description: "self-stabilization: exhaustive worst start vs the witness",
+            run: exp::e16_selfstab::run,
+        },
+        Entry {
+            id: "e17",
+            description: "protocol synthesis: tuning the table cannot escape Theorem 1",
+            run: exp::e17_synthesis::run,
+        },
+        Entry {
+            id: "e18",
+            description: "partial synchrony: where the [15] fast regime collapses",
+            run: exp::e18_synchronicity::run,
+        },
+        Entry {
+            id: "a1",
+            description: "ablation: aggregate vs agent-level simulator",
+            run: exp::a1_agg_vs_agent::run,
+        },
+        Entry {
+            id: "a2",
+            description: "ablation: binomial sampler algorithms",
+            run: exp::a2_binomial::run,
+        },
+        Entry {
+            id: "a3",
+            description: "ablation: Bernstein vs Sturm root isolation",
+            run: exp::a3_roots::run,
+        },
+    ]
+}
+
+/// Runs the experiment with the given id, or returns `None` for an unknown
+/// id.
+#[must_use]
+pub fn run(id: &str, cfg: &RunConfig) -> Option<ExperimentReport> {
+    let id = id.to_ascii_lowercase();
+    all().into_iter().find(|e| e.id == id).map(|e| (e.run)(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_entries_are_unique() {
+        let entries = all();
+        assert_eq!(entries.len(), 21);
+        let mut ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("zzz", &crate::RunConfig::smoke(1)).is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let cfg = crate::RunConfig::smoke(1);
+        assert!(run("E5", &cfg).is_some());
+    }
+}

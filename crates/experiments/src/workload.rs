@@ -1,0 +1,223 @@
+//! Shared measurement helpers: replicated convergence and crossing times.
+
+use bitdissem_analysis::LowerBoundWitness;
+use bitdissem_core::{Configuration, Protocol};
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::run::{run_to_consensus, Outcome, Simulator};
+use bitdissem_sim::runner::replicate;
+use bitdissem_sim::sequential::SequentialSim;
+use bitdissem_stats::Summary;
+
+/// A batch of replicated convergence outcomes.
+#[derive(Debug, Clone)]
+pub struct OutcomeBatch {
+    outcomes: Vec<Outcome>,
+    budget: u64,
+}
+
+impl OutcomeBatch {
+    /// Wraps raw outcomes measured under the given round budget.
+    #[must_use]
+    pub fn new(outcomes: Vec<Outcome>, budget: u64) -> Self {
+        Self { outcomes, budget }
+    }
+
+    /// Number of replications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// The round budget the runs were censored at.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The raw outcomes, in replication order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[Outcome] {
+        &self.outcomes
+    }
+
+    /// Fraction of replications that converged within `bound` rounds.
+    #[must_use]
+    pub fn fraction_within(&self, bound: f64) -> f64 {
+        let c = self
+            .outcomes
+            .iter()
+            .filter(|o| o.rounds().is_some_and(|r| (r as f64) <= bound))
+            .count();
+        c as f64 / self.outcomes.len().max(1) as f64
+    }
+
+    /// Fraction of replications that converged within the budget.
+    #[must_use]
+    pub fn converged_fraction(&self) -> f64 {
+        let c = self.outcomes.iter().filter(|o| o.is_converged()).count();
+        c as f64 / self.outcomes.len().max(1) as f64
+    }
+
+    /// Right-censored summary (timeouts counted at the budget). The median
+    /// is exact as long as fewer than half of the runs timed out.
+    #[must_use]
+    pub fn censored_summary(&self) -> Option<Summary> {
+        let xs: Vec<f64> = self.outcomes.iter().map(|o| o.rounds_censored() as f64).collect();
+        Summary::from_samples(&xs)
+    }
+
+    /// Summary over converged runs only, or `None` if none converged.
+    #[must_use]
+    pub fn converged_summary(&self) -> Option<Summary> {
+        let xs: Vec<f64> =
+            self.outcomes.iter().filter_map(|o| o.rounds().map(|r| r as f64)).collect();
+        Summary::from_samples(&xs)
+    }
+}
+
+/// Measures convergence times of `protocol` from `start` over `reps`
+/// replications with a per-run budget of `budget` rounds, using the
+/// aggregate exact-chain simulator.
+#[must_use]
+pub fn measure_convergence<P>(
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    let outcomes = replicate(reps, seed, threads, |mut rng, _| {
+        let mut sim = AggregateSim::new(protocol, start).expect("valid protocol");
+        run_to_consensus(&mut sim, &mut rng, budget)
+    });
+    OutcomeBatch::new(outcomes, budget)
+}
+
+/// Measures convergence in the **sequential** setting (times in parallel
+/// rounds: one round = `n` activations).
+#[must_use]
+pub fn measure_convergence_sequential<P>(
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget_rounds: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    let outcomes = replicate(reps, seed, threads, |mut rng, _| {
+        let mut sim = SequentialSim::new(protocol, start).expect("valid protocol");
+        run_to_consensus(&mut sim, &mut rng, budget_rounds)
+    });
+    OutcomeBatch::new(outcomes, budget_rounds)
+}
+
+/// Measures the first time the process crosses the witness threshold (the
+/// quantity Theorem 6 bounds from below), right-censored at `budget`.
+/// Returns one censored crossing time per replication plus the converged
+/// flag batch for reference.
+#[must_use]
+pub fn measure_crossing<P>(
+    protocol: &P,
+    witness: &LowerBoundWitness,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<Outcome>
+where
+    P: Protocol + Sync + ?Sized,
+{
+    replicate(reps, seed, threads, |mut rng, _| {
+        let mut sim = AggregateSim::new(protocol, witness.start()).expect("valid protocol");
+        for t in 0..=budget {
+            if witness.crossed(sim.configuration().ones()) {
+                return Outcome::Converged { rounds: t };
+            }
+            if t == budget {
+                break;
+            }
+            sim.step_round(&mut rng);
+        }
+        Outcome::TimedOut { rounds: budget }
+    })
+}
+
+/// Geometric sweep of population sizes `start·2^k`, `k = 0..count`.
+#[must_use]
+pub fn pow2_sweep(start: u64, count: usize) -> Vec<u64> {
+    (0..count).map(|k| start << k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::dynamics::{Stay, Voter};
+    use bitdissem_core::Opinion;
+
+    #[test]
+    fn batch_statistics() {
+        let b = OutcomeBatch::new(
+            vec![
+                Outcome::Converged { rounds: 10 },
+                Outcome::Converged { rounds: 20 },
+                Outcome::TimedOut { rounds: 100 },
+                Outcome::Converged { rounds: 30 },
+            ],
+            100,
+        );
+        assert_eq!(b.len(), 4);
+        assert!((b.converged_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(b.budget(), 100);
+        let cens = b.censored_summary().unwrap();
+        assert_eq!(cens.median(), 25.0);
+        let conv = b.converged_summary().unwrap();
+        assert_eq!(conv.mean(), 20.0);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn measure_convergence_voter_smoke() {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(32, Opinion::One);
+        let b = measure_convergence(&voter, start, 6, 100_000, 1, Some(2));
+        assert_eq!(b.len(), 6);
+        assert!((b.converged_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_convergence_is_deterministic() {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let a = measure_convergence(&voter, start, 5, 100_000, 9, Some(1));
+        let b = measure_convergence(&voter, start, 5, 100_000, 9, Some(4));
+        let av: Vec<_> = a.outcomes.iter().map(Outcome::rounds_censored).collect();
+        let bv: Vec<_> = b.outcomes.iter().map(Outcome::rounds_censored).collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn stay_never_crosses() {
+        let stay = Stay::new(1);
+        let w = LowerBoundWitness::construct(&stay, 64).unwrap();
+        let xs = measure_crossing(&stay, &w, 3, 50, 2, Some(1));
+        assert!(xs.iter().all(|o| !o.is_converged()));
+    }
+
+    #[test]
+    fn sweep_is_geometric() {
+        assert_eq!(pow2_sweep(128, 3), vec![128, 256, 512]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Anchor crate for the workspace-level integration tests.
+//!
+//! The test sources live in the repository-level `/tests` directory and are
+//! wired in through `[[test]]` targets in this crate's manifest, so that
+//! `cargo test --workspace` runs them while keeping the conventional
+//! repository layout (integration tests spanning crates at the top level).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,0 +1,453 @@
+//! The exact aggregate chains of the bit-dissemination process.
+
+use bitdissem_core::{Configuration, Opinion, Protocol, ProtocolError, ProtocolExt};
+use bitdissem_poly::binomial::binomial_pmf_vec;
+
+/// The parallel-setting aggregate chain on `X_t` (number of ones), for a
+/// fixed correct opinion `z`.
+///
+/// Conditioned on `X_t = x`, every non-source 1-holder independently keeps
+/// opinion 1 with probability `P₁(x/n)` and every non-source 0-holder flips
+/// to 1 with probability `P₀(x/n)` (Eq. 4 of the paper), so
+///
+/// ```text
+/// X_{t+1} = z + Bin(x − z, P₁) + Bin(n − x − (1 − z), P₀)
+/// ```
+///
+/// — the exact law of the process, computable row by row as a convolution of
+/// two binomial PMFs. Valid states are `x ∈ {z, …, n − 1 + z}` (the source
+/// always holds `z`).
+#[derive(Debug, Clone)]
+pub struct AggregateChain {
+    n: u64,
+    correct: Opinion,
+    /// `P₀(x/n)` and `P₁(x/n)` indexed by `x ∈ 0..=n` (entries outside the
+    /// valid state range are filled but unused).
+    p0: Vec<f64>,
+    p1: Vec<f64>,
+    protocol_name: String,
+}
+
+impl AggregateChain {
+    /// Builds the chain for `protocol` at population size `n` with correct
+    /// opinion `correct`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table materialization errors
+    /// ([`ProtocolError::InvalidProbability`]) from the protocol, and
+    /// rejects `n < 2` with [`ProtocolError::ZeroSampleSize`] is never used
+    /// here — population-size validation uses the configuration type, so
+    /// this constructor only fails on invalid protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn build<P: Protocol + ?Sized>(
+        protocol: &P,
+        n: u64,
+        correct: Opinion,
+    ) -> Result<Self, ProtocolError> {
+        assert!(n >= 2, "need at least 2 agents");
+        let table = protocol.to_table(n)?;
+        let ell = table.sample_size();
+        let mut p0 = Vec::with_capacity(n as usize + 1);
+        let mut p1 = Vec::with_capacity(n as usize + 1);
+        for x in 0..=n {
+            let p = x as f64 / n as f64;
+            let weights = binomial_pmf_vec(ell as u64, p);
+            let mut a0 = 0.0;
+            let mut a1 = 0.0;
+            for (k, &w) in weights.iter().enumerate() {
+                a0 += w * table.g(Opinion::Zero, k);
+                a1 += w * table.g(Opinion::One, k);
+            }
+            p0.push(a0.clamp(0.0, 1.0));
+            p1.push(a1.clamp(0.0, 1.0));
+        }
+        Ok(Self { n, correct, p0, p1, protocol_name: protocol.name() })
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The correct opinion.
+    #[must_use]
+    pub fn correct(&self) -> Opinion {
+        self.correct
+    }
+
+    /// Name of the underlying protocol.
+    #[must_use]
+    pub fn protocol_name(&self) -> &str {
+        &self.protocol_name
+    }
+
+    /// Smallest valid state (`z`: the source always holds `z`).
+    #[must_use]
+    pub fn state_lo(&self) -> u64 {
+        u64::from(self.correct.as_bit())
+    }
+
+    /// Largest valid state (`n − 1 + z`).
+    #[must_use]
+    pub fn state_hi(&self) -> u64 {
+        self.n - 1 + u64::from(self.correct.as_bit())
+    }
+
+    /// The absorbing target state `n·z` (correct consensus).
+    #[must_use]
+    pub fn target(&self) -> u64 {
+        match self.correct {
+            Opinion::One => self.n,
+            Opinion::Zero => 0,
+        }
+    }
+
+    /// `P₀(x/n)`: probability a 0-holder adopts 1 next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x > n`.
+    #[must_use]
+    pub fn p0(&self, x: u64) -> f64 {
+        self.p0[usize::try_from(x).expect("x fits usize")]
+    }
+
+    /// `P₁(x/n)`: probability a 1-holder keeps 1 next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x > n`.
+    #[must_use]
+    pub fn p1(&self, x: u64) -> f64 {
+        self.p1[usize::try_from(x).expect("x fits usize")]
+    }
+
+    /// Exact conditional expectation `E[X_{t+1} | X_t = x]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the valid state range.
+    #[must_use]
+    pub fn expected_next(&self, x: u64) -> f64 {
+        self.assert_valid_state(x);
+        let z = u64::from(self.correct.as_bit());
+        let ones = (x - z) as f64;
+        let zeros = (self.n - x - (1 - z)) as f64;
+        z as f64 + ones * self.p1(x) + zeros * self.p0(x)
+    }
+
+    /// One full row of the transition matrix: the distribution of `X_{t+1}`
+    /// given `X_t = x`, as a vector indexed by `y ∈ 0..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the valid state range.
+    #[must_use]
+    pub fn transition_row(&self, x: u64) -> Vec<f64> {
+        self.assert_valid_state(x);
+        let z = u64::from(self.correct.as_bit());
+        let ones = x - z;
+        let zeros = self.n - x - (1 - z);
+        let pmf_keep = binomial_pmf_vec(ones, self.p1(x));
+        let pmf_flip = binomial_pmf_vec(zeros, self.p0(x));
+        let mut row = vec![0.0; self.n as usize + 1];
+        for (a, &wa) in pmf_keep.iter().enumerate() {
+            if wa == 0.0 {
+                continue;
+            }
+            for (b, &wb) in pmf_flip.iter().enumerate() {
+                row[z as usize + a + b] += wa * wb;
+            }
+        }
+        row
+    }
+
+    /// Iterator over all valid states.
+    pub fn states(&self) -> impl Iterator<Item = u64> {
+        self.state_lo()..=self.state_hi()
+    }
+
+    /// The configuration corresponding to state `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the valid state range.
+    #[must_use]
+    pub fn configuration(&self, x: u64) -> Configuration {
+        self.assert_valid_state(x);
+        Configuration::new(self.n, self.correct, x).expect("state range is valid")
+    }
+
+    fn assert_valid_state(&self, x: u64) {
+        assert!(
+            (self.state_lo()..=self.state_hi()).contains(&x),
+            "state {x} outside valid range [{}, {}]",
+            self.state_lo(),
+            self.state_hi()
+        );
+    }
+}
+
+/// The sequential-setting birth–death chain: per step one uniformly random
+/// *non-source* agent activates and resamples.
+///
+/// From state `x` (total ones), the chain moves
+///
+/// * up with probability `u(x) = (#non-source zeros / (n−1)) · P₀(x/n)`,
+/// * down with probability `d(x) = (#non-source ones / (n−1)) · (1 − P₁(x/n))`,
+///
+/// and stays otherwise — exactly the birth–death structure that \[14\]
+/// exploits for its `Ω(n)` sequential lower bound. Times are in
+/// *activations*; divide by `n` for parallel rounds.
+#[derive(Debug, Clone)]
+pub struct SequentialChain {
+    inner: AggregateChain,
+}
+
+impl SequentialChain {
+    /// Builds the sequential chain for `protocol` at size `n` with correct
+    /// opinion `correct`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AggregateChain::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn build<P: Protocol + ?Sized>(
+        protocol: &P,
+        n: u64,
+        correct: Opinion,
+    ) -> Result<Self, ProtocolError> {
+        Ok(Self { inner: AggregateChain::build(protocol, n, correct)? })
+    }
+
+    /// The underlying per-state adoption probabilities.
+    #[must_use]
+    pub fn aggregate(&self) -> &AggregateChain {
+        &self.inner
+    }
+
+    /// Up-transition probability `P(X_{t+1} = x + 1 | X_t = x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the valid state range.
+    #[must_use]
+    pub fn up(&self, x: u64) -> f64 {
+        self.inner.assert_valid_state(x);
+        let n = self.inner.n;
+        let z = u64::from(self.inner.correct.as_bit());
+        let zeros = (n - x - (1 - z)) as f64;
+        zeros / (n - 1) as f64 * self.inner.p0(x)
+    }
+
+    /// Down-transition probability `P(X_{t+1} = x − 1 | X_t = x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the valid state range.
+    #[must_use]
+    pub fn down(&self, x: u64) -> f64 {
+        self.inner.assert_valid_state(x);
+        let n = self.inner.n;
+        let z = u64::from(self.inner.correct.as_bit());
+        let ones = (x - z) as f64;
+        ones / (n - 1) as f64 * (1.0 - self.inner.p1(x))
+    }
+
+    /// Exact expected number of **activations** to reach the correct
+    /// consensus from each state, via an `O(n)` tridiagonal solve of
+    /// `(I − Q)·t = 1`.
+    ///
+    /// Returns `None` if the system is singular — i.e. the consensus is not
+    /// reachable from some state (broken protocols like `Stay`).
+    ///
+    /// The result is indexed by state offset from
+    /// [`AggregateChain::state_lo`]; the target state has expected time 0.
+    #[must_use]
+    pub fn expected_activations(&self) -> Option<Vec<f64>> {
+        let lo = self.inner.state_lo();
+        let hi = self.inner.state_hi();
+        let target = self.inner.target();
+        let states: Vec<u64> = (lo..=hi).collect();
+        // Transient states: all but the target (which is lo or hi).
+        let transient: Vec<u64> = states.iter().copied().filter(|&x| x != target).collect();
+        let m = transient.len();
+        if m == 0 {
+            return Some(vec![0.0]);
+        }
+        // Build the tridiagonal system over transient states: for state x,
+        // t(x) = 1 + u(x)·t(x+1) + d(x)·t(x−1) + s(x)·t(x), with t(target)=0.
+        let mut sub = vec![0.0; m];
+        let mut diag = vec![0.0; m];
+        let mut sup = vec![0.0; m];
+        let rhs = vec![1.0; m];
+        for (i, &x) in transient.iter().enumerate() {
+            let u = self.up(x);
+            let d = self.down(x);
+            diag[i] = u + d; // 1 − s(x)
+            if i > 0 && transient[i - 1] == x - 1 {
+                sub[i] = -d;
+            }
+            if i + 1 < m && transient[i + 1] == x + 1 {
+                sup[i] = -u;
+            }
+        }
+        let t = crate::linalg::tridiagonal_solve(&sub, &diag, &sup, &rhs)?;
+        if t.iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return None;
+        }
+        // Re-insert the target with time 0.
+        let mut out = Vec::with_capacity(m + 1);
+        let mut it = t.into_iter();
+        for &x in &states {
+            if x == target {
+                out.push(0.0);
+            } else {
+                out.push(it.next().expect("one entry per transient state"));
+            }
+        }
+        Some(out)
+    }
+
+    /// Expected **parallel rounds** to consensus from state `x0`.
+    ///
+    /// Returns `None` when the consensus is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is outside the valid state range.
+    #[must_use]
+    pub fn expected_rounds_from(&self, x0: u64) -> Option<f64> {
+        self.inner.assert_valid_state(x0);
+        let t = self.expected_activations()?;
+        let idx = (x0 - self.inner.state_lo()) as usize;
+        Some(t[idx] / self.inner.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::dynamics::{Minority, Stay, Voter};
+
+    #[test]
+    fn rows_are_distributions() {
+        let chain = AggregateChain::build(&Minority::new(3).unwrap(), 20, Opinion::One).unwrap();
+        for x in chain.states() {
+            let row = chain.transition_row(x);
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "x={x}: sum {s}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+            // No mass on invalid states (below z or above n−1+z).
+            assert_eq!(row[0], 0.0, "source holds 1, state 0 unreachable");
+        }
+    }
+
+    #[test]
+    fn expected_next_matches_row_mean() {
+        let chain = AggregateChain::build(&Voter::new(2).unwrap(), 15, Opinion::Zero).unwrap();
+        for x in chain.states() {
+            let row = chain.transition_row(x);
+            let mean: f64 = row.iter().enumerate().map(|(y, &p)| y as f64 * p).sum();
+            assert!(
+                (mean - chain.expected_next(x)).abs() < 1e-9,
+                "x={x}: {mean} vs {}",
+                chain.expected_next(x)
+            );
+        }
+    }
+
+    #[test]
+    fn voter_drift_matches_proposition5_with_f_zero() {
+        // Voter has F_n ≡ 0, so E[X'|x] must equal x within ±1 (Prop 5).
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), 50, Opinion::One).unwrap();
+        for x in chain.states() {
+            let e = chain.expected_next(x);
+            assert!((e - x as f64).abs() <= 1.0, "x={x}: E = {e}");
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing_for_prop3_protocols() {
+        for correct in Opinion::ALL {
+            let chain = AggregateChain::build(&Minority::new(3).unwrap(), 12, correct).unwrap();
+            let target = chain.target();
+            let row = chain.transition_row(target);
+            assert!((row[target as usize] - 1.0).abs() < 1e-12, "z={correct}");
+        }
+    }
+
+    #[test]
+    fn state_ranges_respect_source() {
+        let c1 = AggregateChain::build(&Voter::new(1).unwrap(), 10, Opinion::One).unwrap();
+        assert_eq!((c1.state_lo(), c1.state_hi(), c1.target()), (1, 10, 10));
+        let c0 = AggregateChain::build(&Voter::new(1).unwrap(), 10, Opinion::Zero).unwrap();
+        assert_eq!((c0.state_lo(), c0.state_hi(), c0.target()), (0, 9, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside valid range")]
+    fn invalid_state_panics() {
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), 10, Opinion::One).unwrap();
+        let _ = chain.transition_row(0); // state 0 invalid when z = 1
+    }
+
+    #[test]
+    fn sequential_transition_probabilities_are_consistent() {
+        let sc = SequentialChain::build(&Voter::new(1).unwrap(), 10, Opinion::One).unwrap();
+        for x in sc.aggregate().states() {
+            let u = sc.up(x);
+            let d = sc.down(x);
+            assert!((0.0..=1.0).contains(&u), "up({x}) = {u}");
+            assert!((0.0..=1.0).contains(&d), "down({x}) = {d}");
+            assert!(u + d <= 1.0 + 1e-12);
+        }
+        // At the target (consensus) nothing moves.
+        assert_eq!(sc.up(10), 0.0);
+        assert_eq!(sc.down(10), 0.0);
+    }
+
+    #[test]
+    fn sequential_voter_hitting_times_positive_and_monotone_away_from_target() {
+        let sc = SequentialChain::build(&Voter::new(1).unwrap(), 30, Opinion::One).unwrap();
+        let t = sc.expected_activations().expect("voter converges");
+        // t indexed from state_lo = 1; target = 30 is the last entry.
+        assert_eq!(t.len(), 30);
+        assert_eq!(*t.last().unwrap(), 0.0);
+        // Expected time from the all-wrong state is the largest.
+        let max = t.iter().cloned().fold(0.0, f64::max);
+        assert!((t[0] - max).abs() < 1e-6, "t[0]={}, max={max}", t[0]);
+        // And it is Θ(n² log n)-ish in activations — at least n².
+        assert!(t[0] > (30.0f64).powi(2), "t[0] = {}", t[0]);
+    }
+
+    #[test]
+    fn stay_protocol_has_unreachable_consensus() {
+        let sc = SequentialChain::build(&Stay::new(1), 10, Opinion::One).unwrap();
+        assert!(sc.expected_activations().is_none());
+    }
+
+    #[test]
+    fn expected_rounds_normalizes_by_n() {
+        let sc = SequentialChain::build(&Voter::new(1).unwrap(), 20, Opinion::Zero).unwrap();
+        let acts = sc.expected_activations().unwrap();
+        let rounds = sc.expected_rounds_from(10).unwrap();
+        assert!((rounds - acts[10] / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configuration_roundtrip() {
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), 10, Opinion::One).unwrap();
+        let c = chain.configuration(5);
+        assert_eq!(c.ones(), 5);
+        assert_eq!(c.correct(), Opinion::One);
+    }
+}

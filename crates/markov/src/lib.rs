@@ -1,0 +1,45 @@
+//! Exact Markov-chain analysis of the bit-dissemination process.
+//!
+//! Because agents are anonymous and memory-less, the global state of the
+//! system is the pair `(z, X_t)` (Section 1.1 of the paper), so for a fixed
+//! correct opinion the process is a Markov chain on `{0, …, n}`. For small
+//! `n` everything about it can be computed *exactly*, with no sampling
+//! error:
+//!
+//! * [`chain::AggregateChain`] — the parallel-setting chain: one row of the
+//!   transition matrix is the convolution of two binomials (the updated
+//!   1-holders that stay and the 0-holders that flip);
+//! * [`chain::SequentialChain`] — the sequential-setting birth–death chain
+//!   (one uniformly random non-source agent activates per step), whose
+//!   hitting times follow from an `O(n)` tridiagonal solve;
+//! * [`absorbing`] — expected and median hitting times of the correct
+//!   consensus, plus full survival curves, via a dense LU solve
+//!   ([`linalg`]) or distribution iteration.
+//!
+//! These exact values validate the simulation engine (experiment E10) and
+//! provide ground truth for the Voter's `Θ(n log n)` behaviour at small `n`.
+//!
+//! # Example
+//!
+//! ```
+//! use bitdissem_core::{dynamics::Voter, Opinion};
+//! use bitdissem_markov::chain::AggregateChain;
+//!
+//! let chain = AggregateChain::build(&Voter::new(1)?, 16, Opinion::One)?;
+//! let row = chain.transition_row(8);
+//! assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absorbing;
+pub mod chain;
+pub mod linalg;
+pub mod mixing;
+pub mod optimize;
+pub mod stationary;
+
+pub use absorbing::{expected_hitting_times, survival_curve, HittingTimes};
+pub use chain::{AggregateChain, SequentialChain};

@@ -1,0 +1,275 @@
+//! Dense and tridiagonal linear solvers, built from scratch.
+//!
+//! The absorbing-chain computations reduce to solving `(I − Q)·t = 1`. For
+//! the parallel chain `Q` is dense (any state can jump to any other), so we
+//! use LU with partial pivoting; for the sequential birth–death chain `Q` is
+//! tridiagonal and the Thomas algorithm solves it in `O(n)`.
+
+/// An LU decomposition with partial pivoting of a square matrix.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_markov::linalg::Lu;
+///
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+/// let lu = Lu::factor(a).expect("non-singular");
+/// let x = lu.solve(&[5.0, 10.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (L below the diagonal with implicit unit diagonal,
+    /// U on and above).
+    lu: Vec<Vec<f64>>,
+    /// Row permutation applied during pivoting.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factors `a` (consumed) into LU form with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is singular to working precision
+    /// (a pivot smaller than `1e-300` in absolute value), or empty/ragged.
+    #[must_use]
+    pub fn factor(mut a: Vec<Vec<f64>>) -> Option<Self> {
+        let n = a.len();
+        if n == 0 || a.iter().any(|row| row.len() != n) {
+            return None;
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivot: pick the largest |entry| in this column.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[r][col].abs()))
+                .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                .expect("non-empty range");
+            if pivot_val < 1e-300 || !pivot_val.is_finite() {
+                return None;
+            }
+            if pivot_row != col {
+                a.swap(pivot_row, col);
+                perm.swap(pivot_row, col);
+            }
+            let pivot = a[col][col];
+            for r in col + 1..n {
+                let factor = a[r][col] / pivot;
+                a[r][col] = factor;
+                if factor != 0.0 {
+                    // Manual split to satisfy the borrow checker.
+                    let (upper, lower) = a.split_at_mut(r);
+                    let src = &upper[col];
+                    let dst = &mut lower[0];
+                    for c in col + 1..n {
+                        dst[c] -= factor * src[c];
+                    }
+                }
+            }
+        }
+        Some(Self { lu: a, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.len()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "right-hand side dimension mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower-triangular).
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[i][j] * xj;
+            }
+            x[i] = s;
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[i][j] * xj;
+            }
+            x[i] = s / self.lu[i][i];
+        }
+        x
+    }
+}
+
+/// Solves a tridiagonal system with the Thomas algorithm.
+///
+/// The system is `sub[i]·x[i−1] + diag[i]·x[i] + sup[i]·x[i+1] = rhs[i]`
+/// with `sub[0]` and `sup[n−1]` ignored.
+///
+/// Returns `None` on dimension mismatch or a vanishing pivot (the algorithm
+/// is stable for the diagonally dominant systems produced by birth–death
+/// chains).
+#[must_use]
+pub fn tridiagonal_solve(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = diag.len();
+    if n == 0 || sub.len() != n || sup.len() != n || rhs.len() != n {
+        return None;
+    }
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    if diag[0].abs() < 1e-300 {
+        return None;
+    }
+    c[0] = sup[0] / diag[0];
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let denom = diag[i] - sub[i] * c[i - 1];
+        if denom.abs() < 1e-300 || !denom.is_finite() {
+            return None;
+        }
+        c[i] = sup[i] / denom;
+        d[i] = (rhs[i] - sub[i] * d[i - 1]) / denom;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d[i] - c[i] * x[i + 1];
+    }
+    Some(x)
+}
+
+/// Multiplies `A·x` for a dense square matrix (testing helper).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn mat_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    a.iter()
+        .map(|row| {
+            assert_eq!(row.len(), x.len(), "dimension mismatch");
+            row.iter().zip(x).map(|(&aij, &xj)| aij * xj).sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lu_solves_identity() {
+        let a = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let lu = Lu::factor(a).unwrap();
+        let x = lu.solve(&[3.0, -1.0, 2.5]);
+        assert_eq!(x, vec![3.0, -1.0, 2.5]);
+        assert_eq!(lu.dim(), 3);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let lu = Lu::factor(a).unwrap();
+        let x = lu.solve(&[7.0, 9.0]);
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(Lu::factor(a).is_none());
+        assert!(Lu::factor(Vec::new()).is_none());
+        // Ragged input.
+        assert!(Lu::factor(vec![vec![1.0, 2.0], vec![1.0]]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn lu_solve_dimension_mismatch_panics() {
+        let lu = Lu::factor(vec![vec![1.0]]).unwrap();
+        let _ = lu.solve(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn thomas_solves_small_system() {
+        // [2 1 0; 1 2 1; 0 1 2] x = [4, 8, 8] -> x = [1, 2, 3]
+        let x = tridiagonal_solve(
+            &[0.0, 1.0, 1.0],
+            &[2.0, 2.0, 2.0],
+            &[1.0, 1.0, 0.0],
+            &[4.0, 8.0, 8.0],
+        )
+        .unwrap();
+        for (xi, expect) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((xi - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thomas_rejects_mismatched_lengths() {
+        assert!(tridiagonal_solve(&[0.0], &[1.0, 1.0], &[0.0, 0.0], &[1.0, 1.0]).is_none());
+        assert!(tridiagonal_solve(&[], &[], &[], &[]).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_lu_roundtrip(
+            n in 1usize..8,
+            seed in proptest::collection::vec(-5.0f64..5.0, 64 + 8),
+        ) {
+            // Build a diagonally dominant (hence non-singular) matrix.
+            let mut a = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                let mut row_sum = 0.0;
+                for j in 0..n {
+                    a[i][j] = seed[i * 8 + j];
+                    row_sum += a[i][j].abs();
+                }
+                a[i][i] = row_sum + 1.0;
+            }
+            let x_true: Vec<f64> = seed[64..64 + n].to_vec();
+            let b = mat_vec(&a, &x_true);
+            let lu = Lu::factor(a).unwrap();
+            let x = lu.solve(&b);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-8, "{} vs {}", xi, ti);
+            }
+        }
+
+        #[test]
+        fn prop_thomas_matches_lu(
+            n in 2usize..10,
+            vals in proptest::collection::vec(0.1f64..2.0, 40),
+        ) {
+            // Diagonally dominant tridiagonal system.
+            let sub: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { vals[i % vals.len()] }).collect();
+            let sup: Vec<f64> = (0..n).map(|i| if i == n - 1 { 0.0 } else { vals[(i + 7) % vals.len()] }).collect();
+            let diag: Vec<f64> = (0..n).map(|i| sub[i] + sup[i] + 1.0 + vals[(i + 13) % vals.len()]).collect();
+            let rhs: Vec<f64> = (0..n).map(|i| vals[(i + 23) % vals.len()] - 1.0).collect();
+
+            let x_thomas = tridiagonal_solve(&sub, &diag, &sup, &rhs).unwrap();
+
+            let mut a = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                a[i][i] = diag[i];
+                if i > 0 { a[i][i - 1] = sub[i]; }
+                if i + 1 < n { a[i][i + 1] = sup[i]; }
+            }
+            let x_lu = Lu::factor(a).unwrap().solve(&rhs);
+            for (a, b) in x_thomas.iter().zip(&x_lu) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Mixing-time analysis for non-absorbing (broken-protocol) chains.
+//!
+//! Proposition-3 violators — e.g. any protocol behind a noisy observation
+//! channel (E14) — yield an *ergodic* aggregate chain. Its total-variation
+//! mixing time quantifies how fast the population forgets the source: once
+//! the chain has mixed, the initial configuration (and hence the correct
+//! opinion) is statistically unrecoverable.
+
+use crate::chain::AggregateChain;
+
+/// Total-variation distance between two distributions over the same state
+/// space.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distributions must share a state space");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0
+}
+
+/// Iterates the chain one round from a distribution over the *valid* states
+/// (`state_lo..=state_hi`, indexed from 0).
+fn step_distribution(chain: &AggregateChain, dist: &[f64]) -> Vec<f64> {
+    let lo = chain.state_lo() as usize;
+    let mut next = vec![0.0; dist.len()];
+    for (i, &w) in dist.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let row = chain.transition_row((lo + i) as u64);
+        for (y, &p) in row.iter().enumerate() {
+            if p > 0.0 {
+                next[y - lo] += w * p;
+            }
+        }
+    }
+    next
+}
+
+/// The ε-mixing time from the two extreme starts: the first round `t` at
+/// which the distributions started from the lowest and highest valid states
+/// are within total variation `epsilon` of each other. (For a monotone-ish
+/// chain this upper-bounds forgetting any pair of starts.)
+///
+/// Returns `None` if the chain has not coupled within `max_rounds` —
+/// in particular for absorbing chains whose two extremes absorb into
+/// different behaviours, or chains mixing slower than the budget.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1)`.
+#[must_use]
+pub fn mixing_time_extremes(
+    chain: &AggregateChain,
+    epsilon: f64,
+    max_rounds: usize,
+) -> Option<usize> {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    let lo = chain.state_lo() as usize;
+    let hi = chain.state_hi() as usize;
+    let m = hi - lo + 1;
+    let mut from_lo = vec![0.0; m];
+    from_lo[0] = 1.0;
+    let mut from_hi = vec![0.0; m];
+    from_hi[m - 1] = 1.0;
+    for t in 0..=max_rounds {
+        if total_variation(&from_lo, &from_hi) <= epsilon {
+            return Some(t);
+        }
+        if t == max_rounds {
+            break;
+        }
+        from_lo = step_distribution(chain, &from_lo);
+        from_hi = step_distribution(chain, &from_hi);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::channel::with_observation_noise;
+    use bitdissem_core::dynamics::Voter;
+    use bitdissem_core::Opinion;
+
+    #[test]
+    fn tv_basic_properties() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((total_variation(&[0.5, 0.5], &[0.25, 0.75]) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "state space")]
+    fn tv_rejects_mismatched_lengths() {
+        let _ = total_variation(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn noisy_voter_mixes_fast() {
+        // δ = 0.1 at n = 32: the chain forgets its start in O(1/δ · log n)
+        // rounds — far faster than the clean voter converges.
+        let n = 32;
+        let noisy = with_observation_noise(&Voter::new(1).unwrap(), 0.1, n).unwrap();
+        let chain = AggregateChain::build(&noisy, n, Opinion::One).unwrap();
+        let t = mixing_time_extremes(&chain, 0.25, 10_000).expect("ergodic chain mixes");
+        assert!(t > 0);
+        assert!(t < 500, "mixing time {t}");
+    }
+
+    #[test]
+    fn more_noise_mixes_faster() {
+        let n = 24;
+        let mix = |delta: f64| {
+            let noisy = with_observation_noise(&Voter::new(1).unwrap(), delta, n).unwrap();
+            let chain = AggregateChain::build(&noisy, n, Opinion::One).unwrap();
+            mixing_time_extremes(&chain, 0.25, 100_000).expect("mixes")
+        };
+        assert!(mix(0.25) <= mix(0.02), "{} vs {}", mix(0.25), mix(0.02));
+    }
+
+    #[test]
+    fn clean_voter_couples_at_absorption_speed() {
+        // The clean voter is absorbing: both extremes eventually absorb at
+        // the same correct consensus, so the extremes *do* couple — on the
+        // Θ(n log n) absorption timescale rather than a fast mixing one.
+        let n = 16;
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), n, Opinion::One).unwrap();
+        let t = mixing_time_extremes(&chain, 0.25, 100_000).expect("absorbs eventually");
+        let noisy = with_observation_noise(&Voter::new(1).unwrap(), 0.2, n).unwrap();
+        let noisy_chain = AggregateChain::build(&noisy, n, Opinion::One).unwrap();
+        let t_noisy = mixing_time_extremes(&noisy_chain, 0.25, 100_000).unwrap();
+        assert!(t_noisy < t, "noisy {t_noisy} should forget faster than clean absorbs {t}");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), 64, Opinion::One).unwrap();
+        assert_eq!(mixing_time_extremes(&chain, 0.01, 3), None);
+    }
+}

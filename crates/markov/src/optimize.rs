@@ -1,0 +1,227 @@
+//! Protocol synthesis: searching the protocol space with exact objectives.
+//!
+//! Theorem 1 quantifies over *every* memory-less protocol. The exact
+//! hitting-time solver lets us probe that universality constructively: at a
+//! small population size, search the space of decision tables for the
+//! protocol minimizing the worst-case (over both correct opinions and all
+//! starting states) expected convergence time, then check that even this
+//! *optimized* protocol scales almost-linearly (experiment E17).
+//!
+//! The search is a multi-start coordinate descent over own-independent
+//! tables with the Proposition 3 endpoints pinned — the exact objective
+//! has no sampling noise, so simple descent converges quickly at these
+//! dimensions (`ℓ − 1` free parameters).
+
+use bitdissem_core::{GTable, Opinion};
+use bitdissem_poly::binomial::binomial_pmf_vec;
+
+use crate::absorbing::expected_hitting_times;
+use crate::chain::AggregateChain;
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    /// The best table found (own-independent, Prop-3 endpoints).
+    pub table: GTable,
+    /// Its exact worst-case expected convergence time at the search size.
+    pub objective: f64,
+    /// Total number of exact objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Exact worst-case expected convergence time of a protocol at size `n`:
+/// the maximum over both correct opinions and all starting states.
+/// Unsolvable protocols evaluate to `+∞`.
+#[must_use]
+pub fn worst_case_objective(table: &GTable, n: u64) -> f64 {
+    let mut worst = 0.0f64;
+    for z in Opinion::ALL {
+        let Ok(chain) = AggregateChain::build(table, n, z) else {
+            return f64::INFINITY;
+        };
+        match expected_hitting_times(&chain) {
+            Some(times) => {
+                let (_, w) = times.worst();
+                worst = worst.max(w);
+            }
+            None => return f64::INFINITY,
+        }
+    }
+    worst
+}
+
+/// Synthesizes an own-independent protocol of sample size `ell` minimizing
+/// [`worst_case_objective`] at population size `n`, by multi-start
+/// coordinate descent on the interior table entries over a refining grid.
+///
+/// `restarts` deterministic starting points are used: the Voter table plus
+/// `restarts − 1` low-discrepancy perturbations.
+///
+/// # Panics
+///
+/// Panics if `ell == 0`, `n < 4` or `restarts == 0`.
+#[must_use]
+pub fn synthesize(ell: usize, n: u64, restarts: usize) -> Synthesized {
+    assert!(ell >= 1, "sample size must be at least 1");
+    assert!(n >= 4, "need a non-trivial population");
+    assert!(restarts >= 1, "need at least one start");
+
+    let mut evaluations = 0usize;
+    let mut eval = |g: &[f64]| -> (GTable, f64) {
+        let table = GTable::symmetric(g.to_vec()).expect("probabilities by construction");
+        evaluations += 1;
+        let obj = worst_case_objective(&table, n);
+        (table, obj)
+    };
+
+    let voter_start: Vec<f64> = (0..=ell).map(|k| k as f64 / ell as f64).collect();
+    let mut best: Option<(Vec<f64>, GTable, f64)> = None;
+
+    for r in 0..restarts {
+        // Deterministic perturbed starts via a Weyl sequence.
+        let mut g = voter_start.clone();
+        if r > 0 {
+            for (k, gk) in g.iter_mut().enumerate().take(ell).skip(1) {
+                let u = ((r as f64 * 0.754_877_666 + k as f64 * 0.569_840_29) % 1.0).abs();
+                *gk = (*gk + 0.6 * (u - 0.5)).clamp(0.0, 1.0);
+            }
+        }
+        let (_, mut cur_obj) = eval(&g);
+
+        // Coordinate descent with a refining grid.
+        for step in &[0.25f64, 0.1, 0.04, 0.015] {
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for k in 1..ell {
+                    let base = g[k];
+                    let mut local_best = (base, cur_obj);
+                    let mut cand = -2.0 * step;
+                    while cand <= 2.0 * step + 1e-12 {
+                        let v = (base + cand).clamp(0.0, 1.0);
+                        cand += step;
+                        if (v - base).abs() < 1e-12 {
+                            continue;
+                        }
+                        g[k] = v;
+                        let (_, obj) = eval(&g);
+                        if obj < local_best.1 {
+                            local_best = (v, obj);
+                        }
+                    }
+                    g[k] = local_best.0;
+                    if local_best.1 < cur_obj - 1e-9 {
+                        cur_obj = local_best.1;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        let (table, obj) = eval(&g);
+        if best.as_ref().is_none_or(|(_, _, b)| obj < *b) {
+            best = Some((g, table, obj));
+        }
+    }
+
+    let (_, table, objective) = best.expect("at least one restart");
+    Synthesized {
+        table: table.with_name(format!("synthesized(l={ell}, n={n})")),
+        objective,
+        evaluations,
+    }
+}
+
+/// The expected one-round adoption probability of a table at fraction `p`
+/// (Eq. 4 with own-independence) — exposed so callers can inspect the
+/// drift structure of a synthesized protocol.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn adoption_probability(table: &GTable, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let ell = table.sample_size();
+    binomial_pmf_vec(ell as u64, p)
+        .iter()
+        .enumerate()
+        .map(|(k, &w)| w * table.g(Opinion::Zero, k))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::dynamics::{Minority, Voter};
+    use bitdissem_core::{Protocol, ProtocolExt};
+
+    #[test]
+    fn objective_of_voter_matches_direct_computation() {
+        let n = 20;
+        let voter_table = Voter::new(1).unwrap().to_table(n).unwrap();
+        let obj = worst_case_objective(&voter_table, n);
+        // Worst case for the voter is the all-wrong start; both z are
+        // symmetric.
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), n, Opinion::One).unwrap();
+        let direct = expected_hitting_times(&chain).unwrap().worst().1;
+        assert!((obj - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsolvable_tables_score_infinity() {
+        // Stay-like table: g = [0, 0, 1] with ell=2? g(0)=0 ok, g(2)=1 ok —
+        // solvable. Use identity-violating: g(0)=0.5 is rejected by
+        // Prop 3... the objective treats unreachable consensus as infinite:
+        let stay_like = GTable::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(worst_case_objective(&stay_like, 12).is_infinite());
+    }
+
+    #[test]
+    fn synthesis_beats_or_matches_the_minority_at_small_n() {
+        let n = 16;
+        let ell = 3;
+        let synth = synthesize(ell, n, 2);
+        assert!(synth.objective.is_finite());
+        assert!(synth.evaluations > 10);
+        let minority_obj =
+            worst_case_objective(&Minority::new(ell).unwrap().to_table(n).unwrap(), n);
+        assert!(
+            synth.objective <= minority_obj + 1e-6,
+            "synthesized {} vs minority {minority_obj}",
+            synth.objective
+        );
+        assert!(synth.table.name().contains("synthesized"));
+    }
+
+    #[test]
+    fn synthesis_is_at_least_as_good_as_the_voter() {
+        let n = 16;
+        let ell = 2;
+        let synth = synthesize(ell, n, 3);
+        let voter_obj = worst_case_objective(&Voter::new(ell).unwrap().to_table(n).unwrap(), n);
+        assert!(
+            synth.objective <= voter_obj + 1e-6,
+            "synthesized {} vs voter {voter_obj}",
+            synth.objective
+        );
+    }
+
+    #[test]
+    fn adoption_probability_is_monotone_for_voter() {
+        let table = Voter::new(3).unwrap().to_table(10).unwrap();
+        let mut prev = -1.0;
+        for i in 0..=10 {
+            let p = f64::from(i) / 10.0;
+            let a = adoption_probability(&table, p);
+            assert!(a >= prev);
+            assert!((a - p).abs() < 1e-12, "voter adoption is the identity");
+            prev = a;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size")]
+    fn synthesize_rejects_zero_ell() {
+        let _ = synthesize(0, 16, 1);
+    }
+}

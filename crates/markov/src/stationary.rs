@@ -1,0 +1,223 @@
+//! Stationary and quasi-stationary analysis.
+//!
+//! Two uses in the reproduction:
+//!
+//! * broken protocols (Proposition 3 violators, noisy channels) have a
+//!   genuinely ergodic chain whose **stationary distribution** quantifies
+//!   where the population settles (experiment E14's `p ≈ 1/2` pinning);
+//! * compliant-but-slow protocols (Minority at constant `ℓ`) spend an
+//!   `Ω(n^{1−ε})`-long excursion in a **quasi-stationary distribution**
+//!   around the bias polynomial's stable interior root before the rare
+//!   absorption happens — the distribution the Theorem 6 martingale
+//!   argument confines.
+
+use crate::chain::AggregateChain;
+
+/// Computes the stationary distribution of the aggregate chain restricted
+/// to its valid states, by power iteration. Returns `None` if the chain
+/// fails to mix within the iteration budget (e.g. an absorbing chain whose
+/// absorbed mass keeps moving, a periodic chain, or `tol` too small).
+///
+/// For chains with an absorbing target state the result is the point mass
+/// at the target; for ergodic (broken-protocol) chains it is the genuine
+/// stationary law.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0`.
+#[must_use]
+pub fn stationary_distribution(
+    chain: &AggregateChain,
+    max_iters: usize,
+    tol: f64,
+) -> Option<Vec<f64>> {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let lo = chain.state_lo() as usize;
+    let hi = chain.state_hi() as usize;
+    let m = hi - lo + 1;
+    let rows: Vec<Vec<f64>> = (lo..=hi).map(|x| chain.transition_row(x as u64)).collect();
+    // Uniform start over valid states.
+    let mut dist = vec![1.0 / m as f64; m];
+    for _ in 0..max_iters {
+        let mut next = vec![0.0; m];
+        for (i, row) in rows.iter().enumerate() {
+            let w = dist[i];
+            if w == 0.0 {
+                continue;
+            }
+            for (y, &p) in row.iter().enumerate() {
+                if p > 0.0 {
+                    next[y - lo] += w * p;
+                }
+            }
+        }
+        let diff: f64 = next.iter().zip(&dist).map(|(a, b)| (a - b).abs()).sum();
+        dist = next;
+        if diff < tol {
+            return Some(dist);
+        }
+    }
+    None
+}
+
+/// Computes the quasi-stationary distribution of the chain conditioned on
+/// non-absorption: the normalized left principal eigenvector of the
+/// transient submatrix, by power iteration with renormalization.
+///
+/// Returns `(distribution over transient states, survival rate λ)` where
+/// `λ < 1` is the per-round probability of remaining unabsorbed at
+/// quasi-stationarity (so the absorption time from the QSD is geometric
+/// with mean `1/(1−λ)`).
+///
+/// Returns `None` if the iteration fails to converge.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0`.
+#[must_use]
+pub fn quasi_stationary_distribution(
+    chain: &AggregateChain,
+    max_iters: usize,
+    tol: f64,
+) -> Option<(Vec<f64>, f64)> {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let lo = chain.state_lo();
+    let hi = chain.state_hi();
+    let target = chain.target();
+    let transient: Vec<u64> = (lo..=hi).filter(|&x| x != target).collect();
+    let m = transient.len();
+    if m == 0 {
+        return None;
+    }
+    let index_of = |x: u64| -> Option<usize> { transient.binary_search(&x).ok() };
+    let rows: Vec<Vec<f64>> = transient.iter().map(|&x| chain.transition_row(x)).collect();
+
+    let mut dist = vec![1.0 / m as f64; m];
+    let mut lambda = 0.0;
+    for _ in 0..max_iters {
+        let mut next = vec![0.0; m];
+        for (i, row) in rows.iter().enumerate() {
+            let w = dist[i];
+            if w == 0.0 {
+                continue;
+            }
+            for (y, &p) in row.iter().enumerate() {
+                if p > 0.0 {
+                    if let Some(j) = index_of(y as u64) {
+                        next[j] += w * p;
+                    }
+                }
+            }
+        }
+        let mass: f64 = next.iter().sum();
+        if mass <= 0.0 {
+            return None;
+        }
+        for v in &mut next {
+            *v /= mass;
+        }
+        let diff: f64 = next.iter().zip(&dist).map(|(a, b)| (a - b).abs()).sum();
+        dist = next;
+        let converged = diff < tol && (mass - lambda).abs() < tol;
+        lambda = mass;
+        if converged {
+            return Some((dist, lambda));
+        }
+    }
+    None
+}
+
+/// The mean of a distribution over the chain's states (absolute state
+/// values, not offsets).
+#[must_use]
+pub fn distribution_mean(chain: &AggregateChain, dist_over_transient_or_all: &[f64]) -> f64 {
+    // Works for both full-state and transient-state distributions: the
+    // caller supplies a vector aligned with `chain.states()` minus possibly
+    // the target; we detect which by length.
+    let lo = chain.state_lo();
+    let hi = chain.state_hi();
+    let target = chain.target();
+    let full_len = (hi - lo + 1) as usize;
+    if dist_over_transient_or_all.len() == full_len {
+        dist_over_transient_or_all
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (lo + i as u64) as f64 * w)
+            .sum()
+    } else {
+        let states: Vec<u64> = (lo..=hi).filter(|&x| x != target).collect();
+        states.iter().zip(dist_over_transient_or_all).map(|(&x, &w)| x as f64 * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::channel::with_observation_noise;
+    use bitdissem_core::dynamics::{Minority, Voter};
+    use bitdissem_core::Opinion;
+
+    #[test]
+    fn absorbing_chain_stationary_is_point_mass_at_target() {
+        let n = 24;
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), n, Opinion::One).unwrap();
+        let dist = stationary_distribution(&chain, 500_000, 1e-12).expect("converges");
+        let target_idx = (chain.target() - chain.state_lo()) as usize;
+        assert!((dist[target_idx] - 1.0).abs() < 1e-6, "mass at target: {}", dist[target_idx]);
+    }
+
+    #[test]
+    fn noisy_voter_stationary_sits_near_half() {
+        let n = 40;
+        let noisy = with_observation_noise(&Voter::new(1).unwrap(), 0.1, n).unwrap();
+        let chain = AggregateChain::build(&noisy, n, Opinion::One).unwrap();
+        let dist = stationary_distribution(&chain, 200_000, 1e-12).expect("ergodic chain mixes");
+        let mean = distribution_mean(&chain, &dist);
+        // The bias root is at 1/2; the source pulls slightly above.
+        assert!(
+            (mean / n as f64 - 0.5).abs() < 0.1,
+            "stationary mean fraction {}",
+            mean / n as f64
+        );
+    }
+
+    #[test]
+    fn minority_qsd_concentrates_at_the_stable_root() {
+        // Minority(3) with z = 1: the interior root of F is 1/2 and it is
+        // stable; the QSD mean must sit near n/2.
+        let n = 60;
+        let chain = AggregateChain::build(&Minority::new(3).unwrap(), n, Opinion::One).unwrap();
+        let (qsd, lambda) =
+            quasi_stationary_distribution(&chain, 200_000, 1e-12).expect("converges");
+        let mean = distribution_mean(&chain, &qsd);
+        assert!((mean / n as f64 - 0.5).abs() < 0.05, "QSD mean fraction {}", mean / n as f64);
+        // Survival rate: absorption is rare, so λ ≈ 1 but < 1.
+        assert!(lambda < 1.0);
+        assert!(lambda > 0.999, "lambda = {lambda}");
+    }
+
+    #[test]
+    fn qsd_survival_rate_matches_hitting_time_scale() {
+        // Mean absorption time from the QSD is 1/(1−λ); it must be within
+        // an order of magnitude of the exact worst-state hitting time
+        // (they differ by the pre-QSD transient).
+        let n = 40;
+        let chain = AggregateChain::build(&Minority::new(3).unwrap(), n, Opinion::One).unwrap();
+        let (_, lambda) = quasi_stationary_distribution(&chain, 200_000, 1e-13).unwrap();
+        let qsd_mean_time = 1.0 / (1.0 - lambda);
+        let exact = crate::absorbing::expected_hitting_times(&chain).unwrap();
+        let (_, worst) = exact.worst();
+        let ratio = worst / qsd_mean_time;
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "worst {worst} vs QSD-based {qsd_mean_time} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn rejects_bad_tolerance() {
+        let chain = AggregateChain::build(&Voter::new(1).unwrap(), 10, Opinion::One).unwrap();
+        let _ = stationary_distribution(&chain, 10, 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Binomial coefficients and binomial distribution primitives.
+//!
+//! Everything downstream of this crate — the bias polynomial (Eq. 3 of the
+//! paper), the exact aggregate Markov chain, and the simulation engine's
+//! binomial sampler — needs binomial coefficients and PMFs. They are
+//! implemented once here, with exact integer versions used to validate the
+//! floating-point versions in tests.
+
+/// Exact binomial coefficient `C(n, k)` as a `u128`.
+///
+/// Uses the multiplicative formula with interleaved division, which is exact
+/// because every prefix product `C(n, i)` is an integer.
+///
+/// # Panics
+///
+/// Panics on internal overflow if the true value exceeds `u128::MAX`
+/// (n ≳ 130 around the central coefficient). Callers in this workspace only
+/// use small `n` (sample sizes); use [`ln_choose`] for large arguments.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_poly::binomial::choose;
+/// assert_eq!(choose(5, 2), 10);
+/// assert_eq!(choose(10, 0), 1);
+/// assert_eq!(choose(10, 11), 0);
+/// ```
+#[must_use]
+pub fn choose(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(u128::from(n - i)).expect("binomial coefficient overflows u128");
+        acc /= u128::from(i) + 1;
+    }
+    acc
+}
+
+/// Binomial coefficient `C(n, k)` as an `f64`.
+///
+/// Exact (via [`choose`]) whenever the result fits in a `u128` and is
+/// representable; falls back to [`ln_choose`] exponentiation otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_poly::binomial::choose_f64;
+/// assert_eq!(choose_f64(6, 3), 20.0);
+/// ```
+#[must_use]
+pub fn choose_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if n <= 120 {
+        let exact = choose(n, k);
+        // u128 -> f64 may round for huge values; acceptable (relative error
+        // is at most one ulp of the conversion).
+        return exact as f64;
+    }
+    ln_choose(n, k).exp()
+}
+
+/// Natural logarithm of the binomial coefficient, `ln C(n, k)`.
+///
+/// Computed with the log-gamma function ([`ln_gamma`]), accurate to ~1e-12
+/// relative error, suitable for very large `n`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Log-gamma function `ln Γ(x)` for `x > 0`, via the Lanczos approximation.
+///
+/// Accuracy is ~1e-13 relative over the domain used in this workspace.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients (g = 7, n = 9), standard double-precision set.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Probability mass function of `Binomial(n, p)` at `k`.
+///
+/// Uses a log-space computation for stability at large `n`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_poly::binomial::binomial_pmf;
+/// let p = binomial_pmf(4, 0.5, 2);
+/// assert!((p - 0.375).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_p = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln_p.exp()
+}
+
+/// Full PMF vector of `Binomial(n, p)`, indices `0..=n`.
+///
+/// Computed with the stable two-sided recurrence from the mode, which avoids
+/// both underflow accumulation and the cost of `n + 1` log-gamma calls.
+/// The returned vector sums to 1 within ~1e-12.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn binomial_pmf_vec(n: u64, p: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let len = usize::try_from(n).expect("n fits in usize") + 1;
+    let mut pmf = vec![0.0; len];
+    if p == 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p == 1.0 {
+        pmf[len - 1] = 1.0;
+        return pmf;
+    }
+    // Mode of the binomial.
+    let mode = (((n + 1) as f64) * p).floor().min(n as f64) as usize;
+    pmf[mode] = binomial_pmf(n, p, mode as u64);
+    let q = 1.0 - p;
+    // Downward recurrence: pmf[k-1] = pmf[k] * k * q / ((n-k+1) * p).
+    for k in (1..=mode).rev() {
+        pmf[k - 1] = pmf[k] * (k as f64) * q / (((n as usize - k + 1) as f64) * p);
+    }
+    // Upward recurrence: pmf[k+1] = pmf[k] * (n-k) * p / ((k+1) * q).
+    for k in mode..len - 1 {
+        pmf[k + 1] = pmf[k] * ((n as usize - k) as f64) * p / (((k + 1) as f64) * q);
+    }
+    pmf
+}
+
+/// Cumulative distribution function of `Binomial(n, p)`: `P(X <= k)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 1.0;
+    }
+    let pmf = binomial_pmf_vec(n, p);
+    pmf[..=k as usize].iter().sum::<f64>().min(1.0)
+}
+
+/// Mean of `Binomial(n, p)`.
+#[must_use]
+pub fn binomial_mean(n: u64, p: f64) -> f64 {
+    n as f64 * p
+}
+
+/// Variance of `Binomial(n, p)`.
+#[must_use]
+pub fn binomial_variance(n: u64, p: f64) -> f64 {
+    n as f64 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn choose_small_values() {
+        assert_eq!(choose(0, 0), 1);
+        assert_eq!(choose(1, 0), 1);
+        assert_eq!(choose(1, 1), 1);
+        assert_eq!(choose(5, 2), 10);
+        assert_eq!(choose(52, 5), 2_598_960);
+        assert_eq!(choose(7, 9), 0);
+    }
+
+    #[test]
+    fn choose_symmetry() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(choose(n, k), choose(n, n - k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn choose_pascal_identity() {
+        for n in 1..50u64 {
+            for k in 1..n {
+                assert_eq!(
+                    choose(n, k),
+                    choose(n - 1, k - 1) + choose(n - 1, k),
+                    "Pascal fails at n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choose_f64_matches_exact_small() {
+        for n in 0..60u64 {
+            for k in 0..=n {
+                let exact = choose(n, k) as f64;
+                let approx = choose_f64(n, k);
+                assert!(
+                    (approx - exact).abs() <= exact * 1e-12,
+                    "n={n} k={k}: {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_choose_large_n_accuracy() {
+        // C(1000, 500) computed from ln_choose should match Stirling-free
+        // iterated exact arithmetic in log space.
+        let v = ln_choose(1000, 500);
+        // Reference value: ln C(1000,500) ≈ 689.4672616 (lgamma).
+        assert!((v - 689.467_261_6).abs() < 1e-4, "got {v}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..20u32 {
+            fact *= f64::from(n);
+            let lg = ln_gamma(f64::from(n) + 1.0);
+            assert!((lg - fact.ln()).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.3), (10, 0.5), (100, 0.01), (1000, 0.999), (500, 0.2)] {
+            let pmf = binomial_pmf_vec(n, p);
+            let s: f64 = pmf.iter().sum();
+            assert!((s - 1.0).abs() < 1e-10, "n={n} p={p}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn pmf_vec_matches_pointwise_pmf() {
+        let n = 64;
+        let p = 0.37;
+        let pmf = binomial_pmf_vec(n, p);
+        for k in 0..=n {
+            let direct = binomial_pmf(n, p, k);
+            assert!(
+                (pmf[k as usize] - direct).abs() < 1e-12,
+                "k={k}: {} vs {direct}",
+                pmf[k as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        let pmf0 = binomial_pmf_vec(5, 0.0);
+        assert_eq!(pmf0[0], 1.0);
+        assert!(pmf0[1..].iter().all(|&x| x == 0.0));
+        let pmf1 = binomial_pmf_vec(5, 1.0);
+        assert_eq!(pmf1[5], 1.0);
+        assert!(pmf1[..5].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let n = 30;
+        let p = 0.42;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(n, p, k);
+            assert!(c >= prev - 1e-14, "CDF must be monotone");
+            assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+        }
+        assert!((binomial_cdf(n, p, n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_variance_match_pmf_moments() {
+        let n = 40;
+        let p = 0.3;
+        let pmf = binomial_pmf_vec(n, p);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, &w)| k as f64 * w).sum();
+        let var: f64 = pmf.iter().enumerate().map(|(k, &w)| (k as f64 - mean).powi(2) * w).sum();
+        assert!((mean - binomial_mean(n, p)).abs() < 1e-9);
+        assert!((var - binomial_variance(n, p)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pmf_nonnegative_and_normalized(n in 1u64..300, p in 0.0f64..=1.0) {
+            let pmf = binomial_pmf_vec(n, p);
+            prop_assert_eq!(pmf.len(), n as usize + 1);
+            for &x in &pmf {
+                prop_assert!(x >= 0.0);
+            }
+            let s: f64 = pmf.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_choose_row_sums_to_power_of_two(n in 0u64..60) {
+            let row_sum: u128 = (0..=n).map(|k| choose(n, k)).sum();
+            prop_assert_eq!(row_sum, 1u128 << n);
+        }
+
+        #[test]
+        fn prop_ln_choose_consistent_with_exact(n in 1u64..100, k in 0u64..100) {
+            prop_assume!(k <= n);
+            let exact = choose(n, k) as f64;
+            let viagamma = ln_choose(n, k).exp();
+            prop_assert!((viagamma - exact).abs() <= exact * 1e-9 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Polynomial GCD and square-free decomposition.
+//!
+//! Sturm's theorem counts *distinct* roots only when applied to a
+//! square-free polynomial; dividing by `gcd(p, p′)` removes repeated
+//! factors. The Euclidean remainder sequence over `f64` needs careful
+//! normalization to stay stable — each remainder is rescaled to unit
+//! leading coefficient and cleaned relative to the running scale.
+
+use crate::polynomial::Polynomial;
+
+/// Numerical GCD of two polynomials via the normalized Euclidean
+/// algorithm. The result is monic; `gcd(p, 0) = monic(p)` and
+/// `gcd(0, 0) = 0`.
+///
+/// `tol` controls when a remainder is considered zero, relative to the
+/// magnitude of the inputs (e.g. `1e-10`).
+///
+/// # Panics
+///
+/// Panics if `tol` is not strictly positive.
+#[must_use]
+pub fn gcd(p: &Polynomial, q: &Polynomial, tol: f64) -> Polynomial {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let scale = p.max_abs_coeff().max(q.max_abs_coeff());
+    if scale == 0.0 {
+        return Polynomial::zero();
+    }
+    let mut a = monic(&p.cleaned(scale * tol));
+    let mut b = monic(&q.cleaned(scale * tol));
+    if a.degree() < b.degree() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    while !b.is_zero() {
+        let (_, r) = a.div_rem(&b);
+        let r = r.cleaned(tol * r.max_abs_coeff().max(1.0));
+        a = b;
+        b = monic(&r);
+    }
+    a
+}
+
+/// The square-free part of `p`: `p / gcd(p, p′)`, monic. Roots of the
+/// result are exactly the distinct roots of `p`.
+///
+/// # Panics
+///
+/// Panics if `tol` is not strictly positive.
+#[must_use]
+pub fn square_free_part(p: &Polynomial, tol: f64) -> Polynomial {
+    if p.is_zero() {
+        return Polynomial::zero();
+    }
+    if p.degree() == Some(0) {
+        return Polynomial::constant(1.0);
+    }
+    let g = gcd(p, &p.derivative(), tol);
+    if g.degree().unwrap_or(0) == 0 {
+        return monic(p);
+    }
+    let (q, _r) = p.div_rem(&g);
+    monic(&q)
+}
+
+/// Rescales a polynomial to unit leading coefficient (the zero polynomial
+/// is returned unchanged).
+#[must_use]
+pub fn monic(p: &Polynomial) -> Polynomial {
+    match p.coeffs().last() {
+        None => Polynomial::zero(),
+        Some(&lead) => p.scale(1.0 / lead),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn gcd_of_coprime_is_constant() {
+        let p = Polynomial::from_roots(&[0.2, 0.8]);
+        let q = Polynomial::from_roots(&[0.5]);
+        let g = gcd(&p, &q, TOL);
+        assert_eq!(g.degree(), Some(0));
+    }
+
+    #[test]
+    fn gcd_extracts_common_factor() {
+        let common = Polynomial::from_roots(&[0.3, 0.6]);
+        let p = &common * &Polynomial::from_roots(&[0.9]);
+        let q = &common * &Polynomial::from_roots(&[0.1, 0.2]);
+        let g = gcd(&p, &q, TOL);
+        assert_eq!(g.degree(), Some(2));
+        assert!(g.eval(0.3).abs() < 1e-7);
+        assert!(g.eval(0.6).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gcd_with_zero() {
+        let p = Polynomial::from_roots(&[0.4]);
+        let g = gcd(&p, &Polynomial::zero(), TOL);
+        assert_eq!(g.degree(), Some(1));
+        assert!(gcd(&Polynomial::zero(), &Polynomial::zero(), TOL).is_zero());
+    }
+
+    #[test]
+    fn square_free_removes_multiplicities() {
+        // (x − 0.5)³ (x − 0.2) → square-free part (x − 0.5)(x − 0.2).
+        let p = Polynomial::from_roots(&[0.5, 0.5, 0.5, 0.2]);
+        let sf = square_free_part(&p, TOL);
+        assert_eq!(sf.degree(), Some(2));
+        assert!(sf.eval(0.5).abs() < 1e-6);
+        assert!(sf.eval(0.2).abs() < 1e-6);
+        // Derivative no longer vanishes at 0.5.
+        assert!(sf.derivative().eval(0.5).abs() > 1e-3);
+    }
+
+    #[test]
+    fn square_free_of_square_free_is_itself() {
+        let p = Polynomial::from_roots(&[0.1, 0.5, 0.9]);
+        let sf = square_free_part(&p, TOL);
+        assert_eq!(sf.degree(), p.degree());
+        assert!(sf.coeff_distance(&monic(&p)) < 1e-7);
+    }
+
+    #[test]
+    fn square_free_degenerate_inputs() {
+        assert!(square_free_part(&Polynomial::zero(), TOL).is_zero());
+        let c = square_free_part(&Polynomial::constant(7.0), TOL);
+        assert_eq!(c.degree(), Some(0));
+    }
+
+    #[test]
+    fn monic_normalizes_leading_coefficient() {
+        let p = Polynomial::new(vec![2.0, 4.0]);
+        let m = monic(&p);
+        assert_eq!(m.coeffs().last(), Some(&1.0));
+        assert!(monic(&Polynomial::zero()).is_zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_gcd_divides_both(
+            mut r1 in proptest::collection::vec(0.05f64..0.95, 1..3),
+            mut r2 in proptest::collection::vec(0.05f64..0.95, 1..3),
+            shared in 0.1f64..0.9,
+        ) {
+            // Keep roots separated from the shared one for stability.
+            r1.retain(|r| (r - shared).abs() > 0.05);
+            r2.retain(|r| (r - shared).abs() > 0.05);
+            let p = &Polynomial::from_roots(&r1) * &Polynomial::from_roots(&[shared]);
+            let q = &Polynomial::from_roots(&r2) * &Polynomial::from_roots(&[shared]);
+            let g = gcd(&p, &q, 1e-9);
+            prop_assert!(g.degree().unwrap_or(0) >= 1, "shared root must be found");
+            prop_assert!(g.eval(shared).abs() < 1e-5, "g({}) = {}", shared, g.eval(shared));
+        }
+
+        #[test]
+        fn prop_square_free_has_distinct_roots_of_original(
+            mut roots in proptest::collection::vec(0.1f64..0.9, 1..4),
+            dup in 0usize..3,
+        ) {
+            roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assume!(roots.windows(2).all(|w| w[1] - w[0] > 0.08));
+            let mut with_dups = roots.clone();
+            if let Some(&r) = roots.get(dup.min(roots.len() - 1)) {
+                with_dups.push(r); // one duplicated root
+            }
+            let p = Polynomial::from_roots(&with_dups);
+            let sf = square_free_part(&p, 1e-9);
+            prop_assert_eq!(sf.degree(), Some(roots.len()));
+            for &r in &roots {
+                prop_assert!(sf.eval(r).abs() < 1e-4, "sf({}) = {}", r, sf.eval(r));
+            }
+        }
+    }
+}

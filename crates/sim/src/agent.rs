@@ -1,0 +1,172 @@
+//! The literal agent-level simulator (ground truth).
+
+use rand::Rng;
+
+use bitdissem_core::{Configuration, GTable, Opinion, Protocol, ProtocolError, ProtocolExt};
+
+use crate::rng::SimRng;
+use crate::run::Simulator;
+
+/// Simulates the parallel-setting process one agent at a time, exactly as
+/// written in Section 1.1: each round, every non-source agent draws `ℓ`
+/// agents uniformly at random **with replacement**, counts the ones, and
+/// re-decides via `g^[own](k)`.
+///
+/// Cost is `O(n·ℓ)` per round; this simulator is the ground truth against
+/// which [`AggregateSim`](crate::aggregate::AggregateSim) is validated
+/// (ablation A1). Agent 0 is the source and never updates.
+#[derive(Debug, Clone)]
+pub struct AgentSim {
+    table: GTable,
+    correct: Opinion,
+    opinions: Vec<Opinion>,
+    scratch: Vec<Opinion>,
+    ones: u64,
+}
+
+impl AgentSim {
+    /// Creates a simulator for `protocol` starting from `start`.
+    ///
+    /// The source is agent 0; the remaining ones are assigned to the
+    /// lowest-index non-source agents (identities are immaterial because
+    /// sampling is uniform).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table materialization errors from the protocol.
+    pub fn new<P: Protocol + ?Sized>(
+        protocol: &P,
+        start: Configuration,
+    ) -> Result<Self, ProtocolError> {
+        let n = start.n();
+        let table = protocol.to_table(n)?;
+        let correct = start.correct();
+        let z = u64::from(correct.as_bit());
+        let mut opinions = vec![Opinion::Zero; usize::try_from(n).expect("n fits usize")];
+        opinions[0] = correct;
+        let mut remaining_ones = start.ones() - z;
+        for slot in opinions.iter_mut().skip(1) {
+            if remaining_ones == 0 {
+                break;
+            }
+            *slot = Opinion::One;
+            remaining_ones -= 1;
+        }
+        let scratch = opinions.clone();
+        Ok(Self { table, correct, opinions, scratch, ones: start.ones() })
+    }
+
+    /// Current opinion of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn opinion(&self, i: usize) -> Opinion {
+        self.opinions[i]
+    }
+
+    /// The opinions of all agents (agent 0 is the source).
+    #[must_use]
+    pub fn opinions(&self) -> &[Opinion] {
+        &self.opinions
+    }
+}
+
+impl Simulator for AgentSim {
+    fn configuration(&self) -> Configuration {
+        Configuration::new(self.opinions.len() as u64, self.correct, self.ones)
+            .expect("internal state is always consistent")
+    }
+
+    fn step_round(&mut self, rng: &mut SimRng) {
+        let n = self.opinions.len();
+        let ell = self.table.sample_size();
+        let mut ones: u64 = u64::from(self.correct.as_bit());
+        self.scratch[0] = self.correct;
+        for i in 1..n {
+            let mut k = 0usize;
+            for _ in 0..ell {
+                let j = rng.random_range(0..n);
+                if self.opinions[j].is_one() {
+                    k += 1;
+                }
+            }
+            let g = self.table.g(self.opinions[i], k);
+            let next = if g == 1.0 {
+                Opinion::One
+            } else if g == 0.0 {
+                Opinion::Zero
+            } else {
+                Opinion::from_bool(rng.random::<f64>() < g)
+            };
+            self.scratch[i] = next;
+            ones += u64::from(next.as_bit());
+        }
+        std::mem::swap(&mut self.opinions, &mut self.scratch);
+        self.ones = ones;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+    use crate::run::{run_to_consensus, Outcome};
+    use bitdissem_core::dynamics::{Minority, Voter};
+
+    #[test]
+    fn initial_state_matches_configuration() {
+        let start = Configuration::new(10, Opinion::One, 4).unwrap();
+        let sim = AgentSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        assert_eq!(sim.configuration(), start);
+        assert_eq!(sim.opinion(0), Opinion::One);
+        let count = sim.opinions().iter().filter(|o| o.is_one()).count();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn source_never_flips() {
+        let start = Configuration::all_wrong(30, Opinion::Zero);
+        let mut sim = AgentSim::new(&Voter::new(2).unwrap(), start).unwrap();
+        let mut rng = rng_from(5);
+        for _ in 0..100 {
+            sim.step_round(&mut rng);
+            assert_eq!(sim.opinion(0), Opinion::Zero);
+        }
+    }
+
+    #[test]
+    fn ones_counter_stays_consistent() {
+        let start = Configuration::new(25, Opinion::One, 13).unwrap();
+        let mut sim = AgentSim::new(&Minority::new(3).unwrap(), start).unwrap();
+        let mut rng = rng_from(6);
+        for _ in 0..50 {
+            sim.step_round(&mut rng);
+            let direct = sim.opinions().iter().filter(|o| o.is_one()).count() as u64;
+            assert_eq!(direct, sim.configuration().ones());
+        }
+    }
+
+    #[test]
+    fn voter_converges_at_small_n() {
+        let start = Configuration::all_wrong(16, Opinion::One);
+        let mut sim = AgentSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        let mut rng = rng_from(7);
+        match run_to_consensus(&mut sim, &mut rng, 100_000) {
+            Outcome::Converged { .. } => {}
+            other => panic!("voter must converge: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing() {
+        let start = Configuration::correct_consensus(20, Opinion::One);
+        let mut sim = AgentSim::new(&Minority::new(3).unwrap(), start).unwrap();
+        let mut rng = rng_from(8);
+        for _ in 0..50 {
+            sim.step_round(&mut rng);
+            assert!(sim.configuration().is_correct_consensus());
+        }
+    }
+}

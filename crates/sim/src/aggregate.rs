@@ -1,0 +1,192 @@
+//! The aggregate exact-chain simulator.
+
+use bitdissem_core::{Configuration, GTable, Opinion, Protocol, ProtocolError, ProtocolExt};
+use bitdissem_poly::binomial::binomial_pmf_vec;
+
+use crate::binomial::sample_binomial;
+use crate::rng::SimRng;
+use crate::run::Simulator;
+
+/// Computes the one-round adoption probabilities of Eq. 4 at fraction `p`:
+/// `(P₀(p), P₁(p))` — the probability that a 0-holder (resp. 1-holder)
+/// adopts opinion 1 next round.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn adoption_probs(table: &GTable, p: f64) -> (f64, f64) {
+    let ell = table.sample_size();
+    let weights = binomial_pmf_vec(ell as u64, p);
+    let mut p0 = 0.0;
+    let mut p1 = 0.0;
+    for (k, &w) in weights.iter().enumerate() {
+        p0 += w * table.g(Opinion::Zero, k);
+        p1 += w * table.g(Opinion::One, k);
+    }
+    (p0.clamp(0.0, 1.0), p1.clamp(0.0, 1.0))
+}
+
+/// Simulates the parallel-setting process on its aggregate state `(z, X_t)`.
+///
+/// Exactness: conditioned on `X_t = x`, the non-source 1-holders keep
+/// opinion 1 independently with probability `P₁(x/n)` and the 0-holders flip
+/// with probability `P₀(x/n)`, so
+/// `X_{t+1} = z + Bin(x−z, P₁) + Bin(n−x−(1−z), P₀)` — the same law as the
+/// agent-level simulator (ablation A1 checks this), at two binomial draws
+/// per round instead of `n·ℓ` uniform draws.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_core::{dynamics::Minority, Configuration, Opinion};
+/// use bitdissem_sim::{aggregate::AggregateSim, rng::rng_from, run::Simulator};
+///
+/// let start = Configuration::new(1000, Opinion::One, 300)?;
+/// let mut sim = AggregateSim::new(&Minority::new(3)?, start)?;
+/// let mut rng = rng_from(7);
+/// sim.step_round(&mut rng);
+/// assert!(sim.configuration().ones() >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregateSim {
+    table: GTable,
+    config: Configuration,
+}
+
+impl AggregateSim {
+    /// Creates a simulator for `protocol` starting from `start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table materialization errors from the protocol.
+    pub fn new<P: Protocol + ?Sized>(
+        protocol: &P,
+        start: Configuration,
+    ) -> Result<Self, ProtocolError> {
+        let table = protocol.to_table(start.n())?;
+        Ok(Self { table, config: start })
+    }
+
+    /// The materialized decision table.
+    #[must_use]
+    pub fn table(&self) -> &GTable {
+        &self.table
+    }
+
+    /// Resets the state to a new configuration (same protocol and `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new configuration has a different population size.
+    pub fn reset(&mut self, start: Configuration) {
+        assert_eq!(start.n(), self.config.n(), "population size is fixed at construction");
+        self.config = start;
+    }
+}
+
+impl Simulator for AggregateSim {
+    fn configuration(&self) -> Configuration {
+        self.config
+    }
+
+    fn step_round(&mut self, rng: &mut SimRng) {
+        let n = self.config.n();
+        let x = self.config.ones();
+        let z = u64::from(self.config.correct().as_bit());
+        let (p0, p1) = adoption_probs(&self.table, x as f64 / n as f64);
+        let ones_nonsource = x - z;
+        let zeros_nonsource = n - x - (1 - z);
+        let keep = sample_binomial(rng, ones_nonsource, p1);
+        let flip = sample_binomial(rng, zeros_nonsource, p0);
+        let next = z + keep + flip;
+        self.config = self.config.with_ones(next).expect("next state is always consistent");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+    use bitdissem_core::dynamics::{Minority, Voter};
+
+    #[test]
+    fn adoption_probs_match_hand_computation_for_voter() {
+        // For the Voter, P_b(p) = p exactly, for any ℓ.
+        let table = Voter::new(3).unwrap().to_table(100).unwrap();
+        for &p in &[0.0, 0.25, 0.5, 0.9, 1.0] {
+            let (p0, p1) = adoption_probs(&table, p);
+            assert!((p0 - p).abs() < 1e-12, "p={p}: P0={p0}");
+            assert!((p1 - p).abs() < 1e-12, "p={p}: P1={p1}");
+        }
+    }
+
+    #[test]
+    fn adoption_probs_match_hand_computation_for_minority3() {
+        // Minority ℓ=3: P(p) = 3p(1−p)² + p³·... :
+        // g = [0, 1, 0, 1] -> P(p) = 3p(1−p)² + p³.
+        let table = Minority::new(3).unwrap().to_table(100).unwrap();
+        for &p in &[0.1, 0.3, 0.5, 0.8] {
+            let expect = 3.0 * p * (1.0 - p) * (1.0 - p) + p * p * p;
+            let (p0, p1) = adoption_probs(&table, p);
+            assert!((p0 - expect).abs() < 1e-12, "p={p}");
+            assert_eq!(p0, p1);
+        }
+    }
+
+    #[test]
+    fn source_is_never_lost() {
+        let start = Configuration::all_wrong(100, Opinion::One);
+        let mut sim = AggregateSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        let mut rng = rng_from(3);
+        for _ in 0..500 {
+            sim.step_round(&mut rng);
+            assert!(sim.configuration().ones() >= 1, "source must keep opinion 1");
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing_for_prop3_protocols() {
+        let start = Configuration::correct_consensus(50, Opinion::Zero);
+        let mut sim = AggregateSim::new(&Minority::new(3).unwrap(), start).unwrap();
+        let mut rng = rng_from(4);
+        for _ in 0..100 {
+            sim.step_round(&mut rng);
+            assert!(sim.configuration().is_correct_consensus());
+        }
+    }
+
+    #[test]
+    fn reset_keeps_protocol() {
+        let start = Configuration::all_wrong(10, Opinion::One);
+        let mut sim = AggregateSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        sim.reset(Configuration::correct_consensus(10, Opinion::One));
+        assert!(sim.configuration().is_correct_consensus());
+    }
+
+    #[test]
+    #[should_panic(expected = "population size")]
+    fn reset_rejects_size_change() {
+        let start = Configuration::all_wrong(10, Opinion::One);
+        let mut sim = AggregateSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        sim.reset(Configuration::all_wrong(20, Opinion::One));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let start = Configuration::new(200, Opinion::One, 77).unwrap();
+        let run = |seed| {
+            let mut sim = AggregateSim::new(&Minority::new(5).unwrap(), start).unwrap();
+            let mut rng = rng_from(seed);
+            (0..50)
+                .map(|_| {
+                    sim.step_round(&mut rng);
+                    sim.configuration().ones()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,283 @@
+//! Binomial sampling built from uniform deviates only.
+//!
+//! The aggregate simulator draws two `Binomial(n, p)` variates per round, so
+//! sampling must be `O(1)`-ish even for `n` in the millions. Per the
+//! offline-crate constraint (`rand` only provides uniforms) the samplers are
+//! implemented here from scratch:
+//!
+//! * **Naive** — sum of `n` Bernoulli trials; `O(n)`, used as ground truth
+//!   in tests and ablation A2;
+//! * **BINV** — sequential inversion (Kachitvichyanukul & Schmeiser 1988);
+//!   expected `O(np)` — used when `min(p, 1−p)·n < 10`;
+//! * **BTRS** — the transformed-rejection algorithm of Hörmann (1993) with
+//!   a squeeze step; `O(1)` expected time for `min(p, 1−p)·n ≥ 10`.
+//!
+//! [`sample_binomial`] dispatches automatically and handles the `p > 1/2`
+//! reflection and the degenerate endpoints.
+
+use rand::Rng;
+
+use bitdissem_poly::binomial::ln_gamma;
+
+use crate::rng::SimRng;
+
+/// Draws one `Binomial(n, p)` variate, auto-selecting BINV or BTRS.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_sim::{binomial::sample_binomial, rng::rng_from};
+/// let mut rng = rng_from(1);
+/// let k = sample_binomial(&mut rng, 1000, 0.25);
+/// assert!(k <= 1000);
+/// ```
+#[must_use]
+pub fn sample_binomial(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Reflect to q = min(p, 1−p).
+    let (q, flipped) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+    let k = if (n as f64) * q < 10.0 { binv(rng, n, q) } else { btrs(rng, n, q) };
+    if flipped {
+        n - k
+    } else {
+        k
+    }
+}
+
+/// Naive `O(n)` Bernoulli-sum sampler (ground truth for tests/ablations).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn sample_binomial_naive(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut k = 0;
+    for _ in 0..n {
+        if rng.random::<f64>() < p {
+            k += 1;
+        }
+    }
+    k
+}
+
+/// BINV: sequential inversion from `k = 0`. Efficient for small `n·p`.
+///
+/// Expects `p ≤ 1/2` (callers reflect). Exposed for the A2 ablation.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1)`.
+#[must_use]
+pub fn binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    assert!(p > 0.0 && p < 1.0, "binv requires p in (0,1), got {p}");
+    let q = 1.0 - p;
+    let s = p / q;
+    // f = P(X = 0) = q^n, computed in log space to survive large n.
+    let mut f = ((n as f64) * q.ln()).exp();
+    let mut u: f64 = rng.random();
+    let mut k: u64 = 0;
+    // In the (astronomically unlikely) event of accumulated rounding pushing
+    // u past the total mass, clamp at n.
+    while u > f && k < n {
+        u -= f;
+        k += 1;
+        f *= s * ((n - k + 1) as f64) / (k as f64);
+    }
+    k
+}
+
+/// BTRS: the transformed-rejection sampler of Hörmann (1993). `O(1)`
+/// expected time; requires `p ≤ 1/2` and `n·p ≥ 10` (callers dispatch).
+///
+/// Exposed for the A2 ablation.
+///
+/// # Panics
+///
+/// Panics if the preconditions are violated.
+#[must_use]
+pub fn btrs(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 0.5, "btrs requires p in (0, 1/2], got {p}");
+    assert!((n as f64) * p >= 10.0, "btrs requires n*p >= 10");
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let spq = (nf * p * q).sqrt();
+
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = (p / q).ln();
+    let m = ((nf + 1.0) * p).floor(); // mode
+    let h = ln_gamma(m + 1.0) + ln_gamma(nf - m + 1.0);
+
+    loop {
+        let u: f64 = rng.random::<f64>() - 0.5;
+        let v: f64 = rng.random();
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > nf {
+            continue;
+        }
+        // Squeeze step: cheap unconditional acceptance region.
+        if us >= 0.07 && v <= v_r {
+            return kf as u64;
+        }
+        // Full acceptance test against the transformed density.
+        let v2 = v * alpha / (a / (us * us) + b);
+        if v2.ln() <= h - ln_gamma(kf + 1.0) - ln_gamma(nf - kf + 1.0) + (kf - m) * lpq {
+            return kf as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+    use bitdissem_poly::binomial::{binomial_mean, binomial_pmf_vec, binomial_variance};
+
+    fn empirical_moments(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&k| k as f64).sum::<f64>() / n;
+        let var = samples.iter().map(|&k| (k as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    fn check_moments(n: u64, p: f64, reps: usize, seed: u64) {
+        let mut rng = rng_from(seed);
+        let samples: Vec<u64> = (0..reps).map(|_| sample_binomial(&mut rng, n, p)).collect();
+        assert!(samples.iter().all(|&k| k <= n));
+        let (mean, var) = empirical_moments(&samples);
+        let true_mean = binomial_mean(n, p);
+        let true_var = binomial_variance(n, p);
+        let se_mean = (true_var / reps as f64).sqrt();
+        assert!(
+            (mean - true_mean).abs() < 5.0 * se_mean + 1e-9,
+            "n={n} p={p}: mean {mean} vs {true_mean} (se {se_mean})"
+        );
+        assert!(
+            (var - true_var).abs() < 0.2 * true_var + 1.0,
+            "n={n} p={p}: var {var} vs {true_var}"
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = rng_from(0);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn binv_regime_moments() {
+        check_moments(50, 0.05, 20_000, 1); // np = 2.5 -> BINV
+        check_moments(8, 0.3, 20_000, 2);
+        check_moments(1000, 0.001, 20_000, 3);
+    }
+
+    #[test]
+    fn btrs_regime_moments() {
+        check_moments(1000, 0.3, 20_000, 4); // np = 300 -> BTRS
+        check_moments(100, 0.5, 20_000, 5);
+        check_moments(1_000_000, 0.25, 5_000, 6);
+    }
+
+    #[test]
+    fn reflection_regime_moments() {
+        check_moments(1000, 0.9, 20_000, 7);
+        check_moments(64, 0.99, 20_000, 8);
+    }
+
+    #[test]
+    fn distribution_matches_exact_pmf_in_total_variation() {
+        // Compare empirical frequencies against the exact PMF for a case
+        // that exercises BTRS.
+        let n = 200u64;
+        let p = 0.4;
+        let reps = 200_000usize;
+        let mut rng = rng_from(99);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..reps {
+            counts[sample_binomial(&mut rng, n, p) as usize] += 1;
+        }
+        let pmf = binomial_pmf_vec(n, p);
+        let tv: f64 =
+            counts.iter().zip(&pmf).map(|(&c, &q)| (c as f64 / reps as f64 - q).abs()).sum::<f64>()
+                / 2.0;
+        // With 2e5 samples over ~±4σ ≈ 55 effective bins, TV ≈ O(sqrt(bins/reps)) ≈ 0.01.
+        assert!(tv < 0.03, "total variation {tv}");
+    }
+
+    #[test]
+    fn binv_distribution_matches_exact_pmf() {
+        let n = 30u64;
+        let p = 0.1;
+        let reps = 200_000usize;
+        let mut rng = rng_from(100);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..reps {
+            counts[sample_binomial(&mut rng, n, p) as usize] += 1;
+        }
+        let pmf = binomial_pmf_vec(n, p);
+        let tv: f64 =
+            counts.iter().zip(&pmf).map(|(&c, &q)| (c as f64 / reps as f64 - q).abs()).sum::<f64>()
+                / 2.0;
+        assert!(tv < 0.02, "total variation {tv}");
+    }
+
+    #[test]
+    fn naive_and_fast_agree_in_distribution() {
+        let n = 40u64;
+        let p = 0.35;
+        let reps = 50_000;
+        let mut r1 = rng_from(11);
+        let mut r2 = rng_from(12);
+        let fast: Vec<u64> = (0..reps).map(|_| sample_binomial(&mut r1, n, p)).collect();
+        let naive: Vec<u64> = (0..reps).map(|_| sample_binomial_naive(&mut r2, n, p)).collect();
+        let (mf, vf) = empirical_moments(&fast);
+        let (mn, vn) = empirical_moments(&naive);
+        assert!((mf - mn).abs() < 0.15, "{mf} vs {mn}");
+        assert!((vf - vn).abs() < 1.0, "{vf} vs {vn}");
+    }
+
+    #[test]
+    fn samples_are_deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut rng = rng_from(5);
+            (0..50).map(|_| sample_binomial(&mut rng, 500, 0.3)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = rng_from(5);
+            (0..50).map(|_| sample_binomial(&mut rng, 500, 0.3)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn rejects_invalid_p() {
+        let mut rng = rng_from(0);
+        let _ = sample_binomial(&mut rng, 10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*p >= 10")]
+    fn btrs_guards_preconditions() {
+        let mut rng = rng_from(0);
+        let _ = btrs(&mut rng, 10, 0.1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Source-less consensus simulation (plain opinion dynamics).
+//!
+//! The paper points out that the Minority dynamics "is a suitable protocol
+//! for solving more traditional consensus problems (without a source)", and
+//! that its chaotic behaviour is interesting in its own right. This module
+//! simulates the same update rule with **no source agent**: all `n` agents
+//! update, and the process ends at *any* consensus (experiment E12).
+
+use bitdissem_core::{GTable, Opinion, Protocol, ProtocolError, ProtocolExt};
+
+use crate::aggregate::adoption_probs;
+use crate::binomial::sample_binomial;
+use crate::rng::SimRng;
+
+/// Aggregate simulator of the parallel dynamics without a source.
+///
+/// State is the number of ones `x ∈ {0, …, n}`; both consensuses (`x = 0`
+/// and `x = n`) are absorbing for Proposition-3-compliant rules.
+#[derive(Debug, Clone)]
+pub struct NoSourceSim {
+    table: GTable,
+    n: u64,
+    ones: u64,
+}
+
+impl NoSourceSim {
+    /// Creates the simulator with `ones` initial one-holders out of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table materialization errors from the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `ones > n`.
+    pub fn new<P: Protocol + ?Sized>(
+        protocol: &P,
+        n: u64,
+        ones: u64,
+    ) -> Result<Self, ProtocolError> {
+        assert!(n >= 2, "need at least 2 agents");
+        assert!(ones <= n, "ones must not exceed n");
+        let table = protocol.to_table(n)?;
+        Ok(Self { table, n, ones })
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Current number of one-holders.
+    #[must_use]
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Returns the consensus opinion if the system is at consensus.
+    #[must_use]
+    pub fn consensus(&self) -> Option<Opinion> {
+        if self.ones == 0 {
+            Some(Opinion::Zero)
+        } else if self.ones == self.n {
+            Some(Opinion::One)
+        } else {
+            None
+        }
+    }
+
+    /// Advances one parallel round (every agent updates).
+    pub fn step_round(&mut self, rng: &mut SimRng) {
+        let (p0, p1) = adoption_probs(&self.table, self.ones as f64 / self.n as f64);
+        let keep = sample_binomial(rng, self.ones, p1);
+        let flip = sample_binomial(rng, self.n - self.ones, p0);
+        self.ones = keep + flip;
+    }
+
+    /// Runs until any consensus or the round budget, returning
+    /// `(rounds, consensus)` on success.
+    pub fn run_to_any_consensus(
+        &mut self,
+        rng: &mut SimRng,
+        max_rounds: u64,
+    ) -> Option<(u64, Opinion)> {
+        for t in 0..=max_rounds {
+            if let Some(op) = self.consensus() {
+                return Some((t, op));
+            }
+            if t == max_rounds {
+                break;
+            }
+            self.step_round(rng);
+        }
+        None
+    }
+
+    /// Runs for up to `rounds` rounds, counting the fraction of consecutive
+    /// steps on which the majority side of the population flipped — the
+    /// period-2 "oscillation" signature of the Minority dynamics near the
+    /// balanced configuration. Stops early at consensus. Returns
+    /// `(steps_observed, flips)`.
+    pub fn measure_oscillation(&mut self, rng: &mut SimRng, rounds: u64) -> (u64, u64) {
+        let half = self.n as f64 / 2.0;
+        let mut steps = 0;
+        let mut flips = 0;
+        let mut prev_side = (self.ones as f64) > half;
+        for _ in 0..rounds {
+            if self.consensus().is_some() {
+                break;
+            }
+            self.step_round(rng);
+            let side = (self.ones as f64) > half;
+            steps += 1;
+            if side != prev_side {
+                flips += 1;
+            }
+            prev_side = side;
+        }
+        (steps, flips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+    use bitdissem_core::dynamics::{Majority, Minority, Voter};
+
+    #[test]
+    fn consensus_detection() {
+        let s = NoSourceSim::new(&Voter::new(1).unwrap(), 10, 0).unwrap();
+        assert_eq!(s.consensus(), Some(Opinion::Zero));
+        let s = NoSourceSim::new(&Voter::new(1).unwrap(), 10, 10).unwrap();
+        assert_eq!(s.consensus(), Some(Opinion::One));
+        let s = NoSourceSim::new(&Voter::new(1).unwrap(), 10, 5).unwrap();
+        assert_eq!(s.consensus(), None);
+    }
+
+    #[test]
+    fn both_consensuses_are_absorbing() {
+        let mut rng = rng_from(1);
+        for ones in [0u64, 20] {
+            let mut s = NoSourceSim::new(&Minority::new(3).unwrap(), 20, ones).unwrap();
+            for _ in 0..50 {
+                s.step_round(&mut rng);
+                assert_eq!(s.ones(), ones);
+            }
+        }
+    }
+
+    #[test]
+    fn voter_reaches_some_consensus() {
+        let mut s = NoSourceSim::new(&Voter::new(1).unwrap(), 32, 16).unwrap();
+        let mut rng = rng_from(2);
+        let (t, _op) = s.run_to_any_consensus(&mut rng, 1_000_000).expect("voter absorbs");
+        assert!(t > 0);
+        assert!(s.consensus().is_some());
+    }
+
+    #[test]
+    fn majority_converges_fast_from_imbalance() {
+        let mut s = NoSourceSim::new(&Majority::new(3).unwrap(), 1000, 700).unwrap();
+        let mut rng = rng_from(3);
+        let (t, op) = s.run_to_any_consensus(&mut rng, 10_000).expect("majority absorbs");
+        assert_eq!(op, Opinion::One, "majority should win");
+        assert!(t < 100, "took {t} rounds");
+    }
+
+    #[test]
+    fn minority_with_large_sample_oscillates_from_balance() {
+        // The signature phenomenon: with a large sample, the minority rule
+        // flips the majority side almost every round near balance.
+        let n = 1024u64;
+        let ell = Minority::fast_sample_size(n);
+        let mut s = NoSourceSim::new(&Minority::new(ell).unwrap(), n, n / 2 + 5).unwrap();
+        let mut rng = rng_from(4);
+        let (steps, flips) = s.measure_oscillation(&mut rng, 50);
+        assert!(steps > 0);
+        assert!(
+            flips as f64 >= 0.6 * steps as f64,
+            "expected strong oscillation, got {flips}/{steps}"
+        );
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let mut s = NoSourceSim::new(&Voter::new(1).unwrap(), 1000, 500).unwrap();
+        let mut rng = rng_from(5);
+        assert!(s.run_to_any_consensus(&mut rng, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ones must not exceed")]
+    fn rejects_bad_ones() {
+        let _ = NoSourceSim::new(&Voter::new(1).unwrap(), 5, 6);
+    }
+}

@@ -1,0 +1,169 @@
+//! The Voter dual process: coalescing backward random walks.
+//!
+//! Appendix B of the paper proves the `O(n log n)` Voter upper bound by
+//! running `n` random walks *backward in time*: walk `i` starts at agent `i`
+//! in round `T` and follows the sampling arrows backwards (`W_t = S_t^{(W_{t+1})}`).
+//! All walks that share a position move together (they read the same
+//! sample), so walks **coalesce**; the source acts as a sink. If every walk
+//! has reached the source within `T` rounds, the forward process is at the
+//! correct consensus in round `T` (Eq. 17).
+//!
+//! [`CoalescingDual`] simulates exactly that backward process; experiment E7
+//! compares its absorption time with the forward convergence time of the
+//! Voter — both `Θ(n log n)`.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::rng::SimRng;
+
+/// State of the backward coalescing-random-walk process for the Voter with
+/// `ℓ = 1` on `n` agents (agent 0 is the source/sink).
+#[derive(Debug, Clone)]
+pub struct CoalescingDual {
+    n: u64,
+    /// Occupied positions mapped to the number of walks there.
+    positions: HashMap<u64, u64>,
+    rounds: u64,
+}
+
+impl CoalescingDual {
+    /// Creates the dual process with one walk per agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "need at least 2 agents");
+        let mut positions = HashMap::with_capacity(usize::try_from(n).expect("n fits usize"));
+        for i in 0..n {
+            positions.insert(i, 1);
+        }
+        Self { n, positions, rounds: 0 }
+    }
+
+    /// Number of walks already absorbed at the source.
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.positions.get(&0).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct occupied positions (including the source).
+    #[must_use]
+    pub fn distinct_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Backward rounds simulated so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Returns `true` once every walk sits at the source.
+    #[must_use]
+    pub fn all_absorbed(&self) -> bool {
+        self.absorbed() == self.n
+    }
+
+    /// Advances one backward round: every occupied non-source position `j`
+    /// draws the sample `S^{(j)}` (one uniform agent) and all walks at `j`
+    /// move there together; walks at the source stay.
+    pub fn step(&mut self, rng: &mut SimRng) {
+        let mut next: HashMap<u64, u64> = HashMap::with_capacity(self.positions.len());
+        for (&pos, &count) in &self.positions {
+            let dest = if pos == 0 { 0 } else { rng.random_range(0..self.n) };
+            *next.entry(dest).or_insert(0) += count;
+        }
+        self.positions = next;
+        self.rounds += 1;
+    }
+
+    /// Runs until absorption or `max_rounds`, returning the absorption time
+    /// in backward rounds, or `None` on timeout.
+    pub fn run_to_absorption(&mut self, rng: &mut SimRng, max_rounds: u64) -> Option<u64> {
+        while !self.all_absorbed() {
+            if self.rounds >= max_rounds {
+                return None;
+            }
+            self.step(rng);
+        }
+        Some(self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+
+    #[test]
+    fn starts_with_one_walk_per_agent() {
+        let dual = CoalescingDual::new(10);
+        assert_eq!(dual.distinct_positions(), 10);
+        assert_eq!(dual.absorbed(), 1, "the walk starting at the source is absorbed");
+        assert!(!dual.all_absorbed());
+        assert_eq!(dual.rounds(), 0);
+    }
+
+    #[test]
+    fn walk_count_is_conserved() {
+        let mut dual = CoalescingDual::new(20);
+        let mut rng = rng_from(1);
+        for _ in 0..50 {
+            dual.step(&mut rng);
+            let total: u64 = (0..20).map(|i| dual.positions.get(&i).copied().unwrap_or(0)).sum();
+            assert_eq!(total, 20);
+        }
+    }
+
+    #[test]
+    fn absorbed_count_is_monotone() {
+        let mut dual = CoalescingDual::new(30);
+        let mut rng = rng_from(2);
+        let mut prev = dual.absorbed();
+        for _ in 0..500 {
+            dual.step(&mut rng);
+            let cur = dual.absorbed();
+            assert!(cur >= prev, "source is a sink");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn eventually_absorbs_everything() {
+        let mut dual = CoalescingDual::new(16);
+        let mut rng = rng_from(3);
+        let t = dual.run_to_absorption(&mut rng, 1_000_000).expect("absorbs");
+        assert!(t > 0);
+        assert!(dual.all_absorbed());
+    }
+
+    #[test]
+    fn absorption_time_is_order_n_log_n() {
+        // Mean over a few replications should be within a small constant of
+        // n·H_{n−1} ≈ n ln n (max of n−1 geometric(1/n) clocks, reduced by
+        // coalescence — coalescence only helps).
+        let n = 64u64;
+        let reps = 40;
+        let mut total = 0.0;
+        for rep in 0..reps {
+            let mut dual = CoalescingDual::new(n);
+            let mut rng = rng_from(100 + rep);
+            total += dual.run_to_absorption(&mut rng, 1_000_000).expect("absorbs") as f64;
+        }
+        let mean = total / reps as f64;
+        let nlogn = n as f64 * (n as f64).ln();
+        assert!(mean > nlogn / 10.0, "mean {mean} suspiciously small");
+        assert!(mean < 4.0 * nlogn, "mean {mean} suspiciously large vs {nlogn}");
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let mut dual = CoalescingDual::new(64);
+        let mut rng = rng_from(5);
+        assert_eq!(dual.run_to_absorption(&mut rng, 1), None);
+    }
+}

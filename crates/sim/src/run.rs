@@ -1,0 +1,201 @@
+//! Convergence detection and run control.
+
+use serde::{Deserialize, Serialize};
+
+use bitdissem_core::Configuration;
+
+use crate::rng::SimRng;
+
+/// A steppable simulation of the bit-dissemination process.
+///
+/// Implementations advance one **parallel round** per [`Simulator::step_round`]
+/// call (the sequential simulator performs `n` activations per call so that
+/// times stay comparable across settings, as in the paper).
+pub trait Simulator {
+    /// Current configuration `(n, z, X_t)`.
+    fn configuration(&self) -> Configuration;
+
+    /// Advances the process by one parallel round.
+    fn step_round(&mut self, rng: &mut SimRng);
+
+    /// Population size (convenience).
+    fn n(&self) -> u64 {
+        self.configuration().n()
+    }
+}
+
+/// Result of running a simulation until consensus or a round budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The correct consensus was reached after `rounds` parallel rounds.
+    Converged {
+        /// First round at which every agent held the correct opinion.
+        rounds: u64,
+    },
+    /// The round budget was exhausted without reaching consensus.
+    TimedOut {
+        /// The budget that was exhausted.
+        rounds: u64,
+    },
+}
+
+impl Outcome {
+    /// The convergence time, or `None` on timeout.
+    #[must_use]
+    pub fn rounds(&self) -> Option<u64> {
+        match *self {
+            Outcome::Converged { rounds } => Some(rounds),
+            Outcome::TimedOut { .. } => None,
+        }
+    }
+
+    /// The convergence time, with timeouts mapped to the budget itself —
+    /// a right-censored value, appropriate for medians when fewer than half
+    /// of the replications time out.
+    #[must_use]
+    pub fn rounds_censored(&self) -> u64 {
+        match *self {
+            Outcome::Converged { rounds } | Outcome::TimedOut { rounds } => rounds,
+        }
+    }
+
+    /// Returns `true` if the run converged.
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        matches!(self, Outcome::Converged { .. })
+    }
+}
+
+/// Runs `sim` until the **correct consensus** is first reached, or until
+/// `max_rounds` rounds have elapsed.
+///
+/// For Proposition-3-compliant protocols the correct consensus is absorbing,
+/// so the first hitting time *is* the convergence time `τ` of the paper. For
+/// non-compliant protocols use [`run_with_exit_detection`], which
+/// additionally verifies stability.
+pub fn run_to_consensus<S: Simulator + ?Sized>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    max_rounds: u64,
+) -> Outcome {
+    for t in 0..=max_rounds {
+        if sim.configuration().is_correct_consensus() {
+            return Outcome::Converged { rounds: t };
+        }
+        if t == max_rounds {
+            break;
+        }
+        sim.step_round(rng);
+    }
+    Outcome::TimedOut { rounds: max_rounds }
+}
+
+/// Result of a stability-checked run (experiment E9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StabilityOutcome {
+    /// Consensus was reached at `entered` and held for the whole dwell
+    /// window.
+    Stable {
+        /// Round at which the correct consensus was first reached.
+        entered: u64,
+    },
+    /// Consensus was reached at `entered` but lost again at `exited` —
+    /// the protocol cannot maintain it (violates Proposition 3).
+    Exited {
+        /// Round at which the correct consensus was first reached.
+        entered: u64,
+        /// First round after `entered` at which some agent deviated.
+        exited: u64,
+    },
+    /// Consensus was never reached within the budget.
+    NeverReached {
+        /// The exhausted round budget.
+        rounds: u64,
+    },
+}
+
+/// Runs until the correct consensus is reached, then keeps stepping for
+/// `dwell` further rounds to check that the consensus *persists* — the
+/// "remains with it forever" part of the problem definition, observable in
+/// finite time for protocols that leak mass out of the consensus.
+pub fn run_with_exit_detection<S: Simulator + ?Sized>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    max_rounds: u64,
+    dwell: u64,
+) -> StabilityOutcome {
+    let entered = match run_to_consensus(sim, rng, max_rounds) {
+        Outcome::Converged { rounds } => rounds,
+        Outcome::TimedOut { rounds } => return StabilityOutcome::NeverReached { rounds },
+    };
+    for d in 1..=dwell {
+        sim.step_round(rng);
+        if !sim.configuration().is_correct_consensus() {
+            return StabilityOutcome::Exited { entered, exited: entered + d };
+        }
+    }
+    StabilityOutcome::Stable { entered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateSim;
+    use crate::rng::rng_from;
+    use bitdissem_core::dynamics::{NoisyVoter, Stay, Voter};
+    use bitdissem_core::Opinion;
+
+    #[test]
+    fn outcome_accessors() {
+        let c = Outcome::Converged { rounds: 5 };
+        let t = Outcome::TimedOut { rounds: 9 };
+        assert_eq!(c.rounds(), Some(5));
+        assert_eq!(t.rounds(), None);
+        assert_eq!(c.rounds_censored(), 5);
+        assert_eq!(t.rounds_censored(), 9);
+        assert!(c.is_converged());
+        assert!(!t.is_converged());
+    }
+
+    #[test]
+    fn already_converged_returns_zero() {
+        let start = Configuration::correct_consensus(16, Opinion::One);
+        let mut sim = AggregateSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        let mut rng = rng_from(0);
+        assert_eq!(run_to_consensus(&mut sim, &mut rng, 10), Outcome::Converged { rounds: 0 });
+    }
+
+    #[test]
+    fn stay_always_times_out() {
+        let start = Configuration::all_wrong(16, Opinion::One);
+        let mut sim = AggregateSim::new(&Stay::new(1), start).unwrap();
+        let mut rng = rng_from(1);
+        assert_eq!(run_to_consensus(&mut sim, &mut rng, 100), Outcome::TimedOut { rounds: 100 });
+    }
+
+    #[test]
+    fn voter_converges_and_is_stable() {
+        let start = Configuration::all_wrong(32, Opinion::One);
+        let mut sim = AggregateSim::new(&Voter::new(1).unwrap(), start).unwrap();
+        let mut rng = rng_from(2);
+        match run_with_exit_detection(&mut sim, &mut rng, 1_000_000, 200) {
+            StabilityOutcome::Stable { entered } => assert!(entered > 0),
+            other => panic!("expected stable convergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noisy_voter_exits_consensus() {
+        // ε = 0.02 with n = 16: consensus is reached quickly (each agent is
+        // correct w.p. ≈ 0.98 near consensus) but exits at rate
+        // 1 − 0.98¹⁵ ≈ 0.26 per round, so an exit within the dwell window
+        // is essentially certain.
+        let start = Configuration::new(16, Opinion::One, 14).unwrap();
+        let mut sim = AggregateSim::new(&NoisyVoter::new(1, 0.02).unwrap(), start).unwrap();
+        let mut rng = rng_from(3);
+        match run_with_exit_detection(&mut sim, &mut rng, 1_000_000, 10_000) {
+            StabilityOutcome::Exited { entered, exited } => assert!(exited > entered),
+            other => panic!("expected consensus exit, got {other:?}"),
+        }
+    }
+}

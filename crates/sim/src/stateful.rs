@@ -1,0 +1,292 @@
+//! Aggregate simulation of constant-memory (stateful) protocols.
+//!
+//! Agents within the same internal state are exchangeable, so the
+//! population is described by one count per state. Conditioned on the
+//! displayed fraction `p`, every agent in state `s` independently moves to
+//! a next state drawn from the mixed distribution
+//! `π_s = Σ_k Bin(k; ℓ, p) · transition(s, k)`, so the per-round update is
+//! one multinomial draw per state class — exact, like the binary
+//! aggregate simulator.
+
+use bitdissem_core::stateful::StatefulProtocol;
+use bitdissem_core::Opinion;
+use bitdissem_poly::binomial::binomial_pmf_vec;
+
+use crate::binomial::sample_binomial;
+use crate::rng::SimRng;
+
+/// Draws a `Multinomial(n, weights)` sample via sequential conditional
+/// binomials.
+///
+/// # Panics
+///
+/// Panics if the weights are negative or do not sum to ~1.
+#[must_use]
+pub fn sample_multinomial(rng: &mut SimRng, n: u64, weights: &[f64]) -> Vec<u64> {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6 && weights.iter().all(|&w| w >= -1e-12),
+        "weights must be a probability vector (sum {total})"
+    );
+    let mut out = vec![0u64; weights.len()];
+    let mut remaining_n = n;
+    let mut remaining_w = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining_n == 0 {
+            break;
+        }
+        if i == weights.len() - 1 {
+            out[i] = remaining_n;
+            break;
+        }
+        let p = (w / remaining_w).clamp(0.0, 1.0);
+        let k = sample_binomial(rng, remaining_n, p);
+        out[i] = k;
+        remaining_n -= k;
+        remaining_w = (remaining_w - w).max(1e-300);
+    }
+    out
+}
+
+/// Aggregate simulator for a [`StatefulProtocol`] with a source agent.
+///
+/// The source permanently displays the correct opinion and never updates;
+/// non-source agents are tracked as one count per internal state.
+#[derive(Debug, Clone)]
+pub struct StatefulSim<P> {
+    protocol: P,
+    n: u64,
+    correct: Opinion,
+    /// Non-source agent counts per state (sums to `n − 1`).
+    counts: Vec<u64>,
+}
+
+impl<P: StatefulProtocol> StatefulSim<P> {
+    /// Creates a simulator with `ones` displayed ones (source included)
+    /// out of `n` agents; non-source agents start in the canonical state
+    /// for their opinion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, or the `(correct, ones)` pair is inconsistent
+    /// with the source displaying `correct`.
+    #[must_use]
+    pub fn new(protocol: P, n: u64, correct: Opinion, ones: u64) -> Self {
+        assert!(n >= 2, "need at least 2 agents");
+        let z = u64::from(correct.as_bit());
+        assert!(ones <= n && ones >= z && (n - ones) >= 1 - z, "inconsistent configuration");
+        let mut counts = vec![0u64; protocol.num_states()];
+        counts[protocol.state_for_opinion(Opinion::One)] += ones - z;
+        counts[protocol.state_for_opinion(Opinion::Zero)] += (n - ones) - (1 - z);
+        Self { protocol, n, correct, counts }
+    }
+
+    /// Creates a simulator with explicit (adversarial) initial state
+    /// counts for the non-source agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts do not sum to `n − 1` or have the wrong length.
+    #[must_use]
+    pub fn with_state_counts(protocol: P, n: u64, correct: Opinion, counts: Vec<u64>) -> Self {
+        assert!(n >= 2, "need at least 2 agents");
+        assert_eq!(counts.len(), protocol.num_states(), "one count per state");
+        assert_eq!(counts.iter().sum::<u64>(), n - 1, "counts must cover all non-source agents");
+        Self { protocol, n, correct, counts }
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The correct opinion (displayed by the source at all times).
+    #[must_use]
+    pub fn correct(&self) -> Opinion {
+        self.correct
+    }
+
+    /// Per-state counts of the non-source agents.
+    #[must_use]
+    pub fn state_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of agents displaying opinion 1 (source included).
+    #[must_use]
+    pub fn displayed_ones(&self) -> u64 {
+        let z = u64::from(self.correct.as_bit());
+        z + self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.protocol.display(s).is_one())
+            .map(|(_, &c)| c)
+            .sum::<u64>()
+    }
+
+    /// Returns `true` if every agent displays the correct opinion.
+    #[must_use]
+    pub fn is_display_consensus(&self) -> bool {
+        let correct_ones = match self.correct {
+            Opinion::One => self.n,
+            Opinion::Zero => 0,
+        };
+        self.displayed_ones() == correct_ones
+    }
+
+    /// Advances one parallel round.
+    pub fn step_round(&mut self, rng: &mut SimRng) {
+        let p = self.displayed_ones() as f64 / self.n as f64;
+        let ell = self.protocol.sample_size();
+        let sample_weights = binomial_pmf_vec(ell as u64, p);
+        let num_states = self.protocol.num_states();
+        let mut next = vec![0u64; num_states];
+        for (s, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // π_s = Σ_k Bin(k; ℓ, p) · transition(s, k).
+            let mut pi = vec![0.0; num_states];
+            for (k, &w) in sample_weights.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let t = self.protocol.transition(s, k, self.n);
+                debug_assert_eq!(t.len(), num_states);
+                for (j, &tj) in t.iter().enumerate() {
+                    pi[j] += w * tj;
+                }
+            }
+            let draws = sample_multinomial(rng, count, &pi);
+            for (j, &d) in draws.iter().enumerate() {
+                next[j] += d;
+            }
+        }
+        self.counts = next;
+    }
+
+    /// Runs until display consensus on the correct opinion or the round
+    /// budget; returns the convergence round on success.
+    pub fn run_to_display_consensus(&mut self, rng: &mut SimRng, max_rounds: u64) -> Option<u64> {
+        for t in 0..=max_rounds {
+            if self.is_display_consensus() {
+                return Some(t);
+            }
+            if t == max_rounds {
+                break;
+            }
+            self.step_round(rng);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+    use bitdissem_core::dynamics::Voter;
+    use bitdissem_core::stateful::{usd_states, Memoryless, UndecidedState};
+
+    #[test]
+    fn multinomial_conserves_total_and_matches_means() {
+        let mut rng = rng_from(1);
+        let w = [0.2, 0.5, 0.3];
+        let reps = 20_000;
+        let n = 30u64;
+        let mut sums = [0u64; 3];
+        for _ in 0..reps {
+            let draw = sample_multinomial(&mut rng, n, &w);
+            assert_eq!(draw.iter().sum::<u64>(), n);
+            for (s, d) in sums.iter_mut().zip(&draw) {
+                *s += d;
+            }
+        }
+        for (i, &s) in sums.iter().enumerate() {
+            let mean = s as f64 / reps as f64;
+            let expect = n as f64 * w[i];
+            assert!((mean - expect).abs() < 0.1, "component {i}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability vector")]
+    fn multinomial_rejects_bad_weights() {
+        let mut rng = rng_from(0);
+        let _ = sample_multinomial(&mut rng, 5, &[0.5, 0.2]);
+    }
+
+    #[test]
+    fn memoryless_adapter_matches_binary_engine_mean() {
+        // One round of the stateful engine wrapping the Voter must have the
+        // same conditional mean as the binary aggregate engine: E[X'] = x ± 1.
+        let n = 200u64;
+        let x0 = 80u64;
+        let reps = 20_000;
+        let mut total = 0.0;
+        for rep in 0..reps {
+            let mut rng = rng_from(crate::rng::replication_seed(5, rep));
+            let mut sim =
+                StatefulSim::new(Memoryless::new(Voter::new(1).unwrap()), n, Opinion::One, x0);
+            sim.step_round(&mut rng);
+            total += sim.displayed_ones() as f64;
+        }
+        let mean = total / reps as f64;
+        assert!((mean - x0 as f64).abs() < 1.5, "mean {mean} vs x0 {x0}");
+    }
+
+    #[test]
+    fn usd_display_consensus_is_absorbing() {
+        let n = 50;
+        let mut sim = StatefulSim::new(UndecidedState::new(3).unwrap(), n, Opinion::One, n);
+        assert!(sim.is_display_consensus());
+        let mut rng = rng_from(7);
+        for _ in 0..50 {
+            sim.step_round(&mut rng);
+            assert!(sim.is_display_consensus());
+        }
+    }
+
+    #[test]
+    fn usd_converges_from_near_consensus() {
+        let n = 64;
+        let mut sim = StatefulSim::new(UndecidedState::new(1).unwrap(), n, Opinion::One, n - 4);
+        let mut rng = rng_from(8);
+        let t = sim.run_to_display_consensus(&mut rng, 1_000_000).expect("converges");
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn adversarial_state_initialization() {
+        let usd = UndecidedState::new(2).unwrap();
+        let n = 10;
+        // All 9 non-source agents undecided, displaying 0 (z = 1).
+        let mut counts = vec![0; 4];
+        counts[usd_states::UNDECIDED_ZERO] = 9;
+        let sim = StatefulSim::with_state_counts(usd, n, Opinion::One, counts);
+        assert_eq!(sim.displayed_ones(), 1);
+        assert!(!sim.is_display_consensus());
+        assert_eq!(sim.state_counts()[usd_states::UNDECIDED_ZERO], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must cover")]
+    fn state_counts_must_sum() {
+        let usd = UndecidedState::new(1).unwrap();
+        let _ = StatefulSim::with_state_counts(usd, 10, Opinion::One, vec![1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn source_is_always_counted_in_display() {
+        let sim = StatefulSim::new(
+            Memoryless::new(Voter::new(1).unwrap()),
+            10,
+            Opinion::One,
+            1, // only the source displays 1
+        );
+        assert_eq!(sim.displayed_ones(), 1);
+        assert_eq!(sim.state_counts().iter().sum::<u64>(), 9);
+    }
+}

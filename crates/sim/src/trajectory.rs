@@ -1,0 +1,150 @@
+//! Trajectory recording with bounded memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Records the value of `X_t` along a run, automatically thinning itself to
+/// stay within a sample budget: when full, every other sample is dropped and
+/// the recording stride doubles, so arbitrarily long runs keep an evenly
+/// spaced summary.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_sim::trajectory::Trajectory;
+///
+/// let mut t = Trajectory::new(4);
+/// for x in 0..100u64 {
+///     t.record(x);
+/// }
+/// let pts: Vec<(u64, u64)> = t.iter().collect();
+/// assert!(pts.len() <= 4);
+/// assert_eq!(pts[0], (0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trajectory {
+    cap: usize,
+    stride: u64,
+    tick: u64,
+    samples: Vec<u64>,
+}
+
+impl Trajectory {
+    /// Creates a recorder holding at most `cap` samples (`cap ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2`.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "need capacity for at least two samples");
+        Self { cap, stride: 1, tick: 0, samples: Vec::with_capacity(cap) }
+    }
+
+    /// Records the value of the process at the next round. Call exactly once
+    /// per round, starting with round 0.
+    pub fn record(&mut self, x: u64) {
+        if self.tick.is_multiple_of(self.stride) {
+            if self.samples.len() == self.cap {
+                // Thin: keep every other sample, double the stride.
+                let mut kept = Vec::with_capacity(self.cap);
+                for (i, &s) in self.samples.iter().enumerate() {
+                    if i % 2 == 0 {
+                        kept.push(s);
+                    }
+                }
+                self.samples = kept;
+                self.stride *= 2;
+                if self.tick.is_multiple_of(self.stride) {
+                    self.samples.push(x);
+                }
+            } else {
+                self.samples.push(x);
+            }
+        }
+        self.tick += 1;
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of rounds between retained samples.
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total number of rounds observed (including thinned-away ones).
+    #[must_use]
+    pub fn rounds_observed(&self) -> u64 {
+        self.tick
+    }
+
+    /// Iterates over `(round, x)` pairs of the retained samples.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let stride = self.stride;
+        self.samples.iter().enumerate().map(move |(i, &x)| (i as u64 * stride, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_everything_under_capacity() {
+        let mut t = Trajectory::new(10);
+        for x in 0..5u64 {
+            t.record(x * 2);
+        }
+        let pts: Vec<(u64, u64)> = t.iter().collect();
+        assert_eq!(pts, vec![(0, 0), (1, 2), (2, 4), (3, 6), (4, 8)]);
+        assert_eq!(t.stride(), 1);
+        assert_eq!(t.rounds_observed(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn thinning_keeps_even_spacing_and_first_sample() {
+        let mut t = Trajectory::new(8);
+        for x in 0..1000u64 {
+            t.record(x);
+        }
+        let pts: Vec<(u64, u64)> = t.iter().collect();
+        assert!(pts.len() <= 8);
+        // Round index equals recorded value for this input, so spacing is
+        // verifiable directly.
+        for &(round, x) in &pts {
+            assert_eq!(round, x);
+        }
+        assert_eq!(pts[0], (0, 0));
+        // Consecutive retained rounds differ by exactly the stride.
+        for w in pts.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, t.stride());
+        }
+    }
+
+    #[test]
+    fn stride_grows_geometrically() {
+        let mut t = Trajectory::new(4);
+        for x in 0..64u64 {
+            t.record(x);
+        }
+        assert!(t.stride() >= 16);
+        assert!(t.len() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn tiny_capacity_rejected() {
+        let _ = Trajectory::new(1);
+    }
+}

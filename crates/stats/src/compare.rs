@@ -1,0 +1,194 @@
+//! Two-sample distribution comparison.
+//!
+//! The simulator-equivalence ablation (A1) and the integration tests need a
+//! principled "are these two samples from the same distribution?" check:
+//! the two-sample Kolmogorov–Smirnov statistic with its asymptotic
+//! significance level.
+
+/// The two-sample Kolmogorov–Smirnov statistic
+/// `D = sup_x |F̂_a(x) − F̂_b(x)|`.
+///
+/// Returns `None` if either sample is empty or contains non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_stats::compare::ks_statistic;
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [1.0, 2.0, 3.0];
+/// assert_eq!(ks_statistic(&a, &b), Some(0.0));
+/// ```
+#[must_use]
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    if a.iter().chain(b).any(|x| !x.is_finite()) {
+        return None;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let xa = sa[i];
+        let xb = sb[j];
+        let x = xa.min(xb);
+        while i < na && sa[i] <= x {
+            i += 1;
+        }
+        while j < nb && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    Some(d)
+}
+
+/// The asymptotic Kolmogorov–Smirnov two-sample critical value at
+/// significance `alpha`: `c(α)·sqrt((n_a + n_b)/(n_a·n_b))` with
+/// `c(α) = sqrt(−ln(α/2)/2)`. A statistic above this rejects equality at
+/// level `α`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1)` or a sample size is 0.
+#[must_use]
+pub fn ks_critical_value(na: usize, nb: usize, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(na > 0 && nb > 0, "samples must be non-empty");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((na + nb) as f64) / ((na * nb) as f64)).sqrt()
+}
+
+/// Convenience: returns `true` if the two samples are *compatible* with a
+/// common distribution at significance `alpha` (i.e. KS does **not**
+/// reject).
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`ks_critical_value`]; returns `false`
+/// for degenerate inputs where the statistic is undefined.
+#[must_use]
+pub fn same_distribution(a: &[f64], b: &[f64], alpha: f64) -> bool {
+    match ks_statistic(a, b) {
+        Some(d) => d <= ks_critical_value(a.len(), b.len(), alpha),
+        None => false,
+    }
+}
+
+/// Lag-`k` sample autocorrelation of a series (used to sanity-check the
+/// oscillation analysis of E12: a period-2 oscillation has lag-1
+/// autocorrelation near −1).
+///
+/// Returns `None` if the series is shorter than `k + 2` or has zero
+/// variance.
+#[must_use]
+pub fn autocorrelation(series: &[f64], k: usize) -> Option<f64> {
+    if series.len() < k + 2 {
+        return None;
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|&x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return None;
+    }
+    let cov: f64 = (0..n - k).map(|i| (series[i] - mean) * (series[i + k] - mean)).sum();
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [3.0, 1.0, 2.0, 5.0];
+        assert_eq!(ks_statistic(&a, &a), Some(0.0));
+        assert!(same_distribution(&a, &a, 0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert_eq!(ks_statistic(&a, &b), Some(1.0));
+        // The asymptotic critical value exceeds 1 for such tiny samples, so
+        // rejection needs more data.
+        let big_a: Vec<f64> = (0..30).map(f64::from).collect();
+        let big_b: Vec<f64> = (100..130).map(f64::from).collect();
+        assert!(!same_distribution(&big_a, &big_b, 0.05));
+    }
+
+    #[test]
+    fn handles_empty_and_nonfinite() {
+        assert_eq!(ks_statistic(&[], &[1.0]), None);
+        assert_eq!(ks_statistic(&[f64::NAN], &[1.0]), None);
+        assert!(!same_distribution(&[], &[1.0], 0.05));
+    }
+
+    #[test]
+    fn known_small_case() {
+        // F̂_a steps at 1,2; F̂_b steps at 2,3. Max gap is 0.5 at x in [1,2).
+        let a = [1.0, 2.0];
+        let b = [2.0, 3.0];
+        let d = ks_statistic(&a, &b).unwrap();
+        assert!((d - 0.5).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        let small = ks_critical_value(20, 20, 0.05);
+        let large = ks_critical_value(2000, 2000, 0.05);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn shifted_distributions_are_rejected_with_enough_data() {
+        // Deterministic "samples" from U[0,1] vs U[0.3, 1.3].
+        let a: Vec<f64> = (0..500).map(|i| f64::from(i) / 500.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.3).collect();
+        assert!(!same_distribution(&a, &b, 0.01));
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_minus_one() {
+        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r1 = autocorrelation(&series, 1).unwrap();
+        assert!((r1 + 1.0).abs() < 0.05, "r1 = {r1}");
+        let r2 = autocorrelation(&series, 2).unwrap();
+        assert!((r2 - 1.0).abs() < 0.05, "r2 = {r2}");
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_cases() {
+        assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_none()); // zero variance
+        assert!(autocorrelation(&[1.0], 1).is_none()); // too short
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ks_statistic_is_in_unit_interval(
+            a in proptest::collection::vec(-100.0f64..100.0, 1..60),
+            b in proptest::collection::vec(-100.0f64..100.0, 1..60),
+        ) {
+            let d = ks_statistic(&a, &b).unwrap();
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn prop_ks_is_symmetric(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..40),
+            b in proptest::collection::vec(-10.0f64..10.0, 1..40),
+        ) {
+            prop_assert_eq!(ks_statistic(&a, &b), ks_statistic(&b, &a));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Fixed-width histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the first/last bin.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for v in [1.0, 1.5, 9.0, 4.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_counts()[0], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// Returns `None` if `lo >= hi`, either bound is non-finite, or
+    /// `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi || bins == 0 {
+            return None;
+        }
+        Some(Self { lo, hi, bins: vec![0; bins], count: 0 })
+    }
+
+    /// Adds a sample, clamping out-of-range values into the edge bins.
+    /// Non-finite samples are ignored.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let nbins = self.bins.len();
+        let idx = if v < self.lo {
+            0
+        } else if v >= self.hi {
+            nbins - 1
+        } else {
+            let frac = (v - self.lo) / (self.hi - self.lo);
+            ((frac * nbins as f64) as usize).min(nbins - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Adds every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+
+    /// Total number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `[lo, hi)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!("[{lo:>12.3}, {hi:>12.3}) {c:>8} {}\n", "#".repeat(bar_len)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(1.0, 0.0, 5).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_none());
+        assert!(Histogram::new(0.0, 1.0, 3).is_some());
+    }
+
+    #[test]
+    fn binning_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0); // first bin
+        h.add(9.999); // last bin
+        h.add(10.0); // clamped into last bin
+        h.add(-5.0); // clamped into first bin
+        assert_eq!(h.bin_counts()[0], 2);
+        assert_eq!(h.bin_counts()[9], 2);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn nonfinite_values_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn extend_and_bounds() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend([0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(h.bin_counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.bin_bounds(1), (1.0, 2.0));
+    }
+
+    #[test]
+    fn render_contains_all_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 1.5, 1.6]);
+        let s = h.render(10);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_bounds_out_of_range() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.bin_bounds(5);
+    }
+}

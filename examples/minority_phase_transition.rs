@@ -1,0 +1,61 @@
+//! Where does the Minority dynamics become fast?
+//!
+//! The paper's open question: the lower bound says constant `ℓ` is slow, the
+//! upper bound of [15] needs `ℓ = Ω(√(n log n))` — and "simulations suggest
+//! that its convergence might be fast even when the sample size is
+//! qualitatively small". This example reproduces those simulations: at a
+//! fixed `n` it sweeps `ℓ` and prints the empirical transition from the
+//! almost-linear regime to the poly-logarithmic one.
+//!
+//! ```sh
+//! cargo run --release --example minority_phase_transition [-- <n> <reps>]
+//! ```
+
+use bitdissem_analysis::LowerBoundWitness;
+use bitdissem_core::dynamics::Minority;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::run::{run_to_consensus, Outcome};
+use bitdissem_sim::runner::replicate;
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::{Summary, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4096);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(15);
+
+    let fast_ell = Minority::fast_sample_size(n);
+    let polylog = (n as f64).ln().powi(2);
+    println!("n = {n}, sqrt(n ln n) = {fast_ell}, ln^2 n = {polylog:.1}, reps = {reps}\n");
+
+    let mut ells: Vec<usize> = vec![1, 2, 3, 5, 9, 17, 33, 65, 129, 257, 513];
+    ells.retain(|&e| e < fast_ell);
+    ells.push(fast_ell);
+
+    let budget = 16 * n;
+    let mut table = Table::new(["l", "median T", "frac converged", "T / ln^2 n", "regime"]);
+    for ell in ells {
+        let minority = Minority::new(ell)?;
+        let witness = LowerBoundWitness::construct(&minority, n)?;
+        let outcomes = replicate(reps, 11 ^ (ell as u64), None, |mut rng, _| {
+            let mut sim = AggregateSim::new(&minority, witness.start()).expect("valid");
+            run_to_consensus(&mut sim, &mut rng, budget)
+        });
+        let censored: Vec<f64> = outcomes.iter().map(|o| o.rounds_censored() as f64).collect();
+        let median = Summary::from_samples(&censored).expect("non-empty").median();
+        let frac = outcomes.iter().filter(|o| matches!(o, Outcome::Converged { .. })).count()
+            as f64
+            / reps as f64;
+        let regime = if median <= 20.0 * polylog && frac > 0.5 { "fast" } else { "slow" };
+        table.row([
+            ell.to_string(),
+            fmt_num(median),
+            fmt_num(frac),
+            fmt_num(median / polylog),
+            regime.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(budget {budget} rounds; 'slow' medians are right-censored)");
+    Ok(())
+}

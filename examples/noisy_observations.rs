@@ -1,0 +1,69 @@
+//! How much observation noise can bit dissemination survive? (None.)
+//!
+//! Applies the per-observation flip channel to the Voter and Minority
+//! dynamics, prints the induced decision tables and bias-polynomial roots,
+//! and simulates the long-run fraction of correct opinions — demonstrating
+//! that any persistent misreading probability destroys the source's
+//! influence (experiment E14 at example scale).
+//!
+//! ```sh
+//! cargo run --release --example noisy_observations [-- <n>]
+//! ```
+
+use bitdissem_analysis::{BiasPolynomial, RootStructure};
+use bitdissem_core::channel::with_observation_noise;
+use bitdissem_core::dynamics::Voter;
+use bitdissem_core::{Configuration, Opinion, Protocol, ProtocolExt};
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::Simulator;
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4096);
+    let voter = Voter::new(3)?;
+
+    println!("per-observation flip channel applied to {} at n = {n}\n", voter.name());
+    let mut table =
+        Table::new(["delta", "g~(0)", "g~(3)", "prop3", "interior roots", "late correct frac"]);
+    for &delta in &[0.0, 0.005, 0.02, 0.1, 0.3] {
+        let noisy = with_observation_noise(&voter, delta, n)?;
+        let t = noisy.to_table(n)?;
+        let f = BiasPolynomial::from_table(&t, n, Protocol::name(&noisy));
+        let rs = RootStructure::analyze(&f);
+        let interior: Vec<String> = rs
+            .roots()
+            .iter()
+            .filter(|&&r| r > 0.001 && r < 0.999)
+            .map(|r| format!("{r:.3}"))
+            .collect();
+
+        // Simulate from the correct consensus and average late-time states.
+        let mut sim = AggregateSim::new(&noisy, Configuration::correct_consensus(n, Opinion::One))?;
+        let mut rng = rng_from(7);
+        let horizon = 2_000;
+        let mut acc = 0.0;
+        let mut count = 0u64;
+        for round in 0..horizon {
+            sim.step_round(&mut rng);
+            if round >= horizon / 2 {
+                acc += sim.configuration().fraction_ones();
+                count += 1;
+            }
+        }
+        table.row([
+            fmt_num(delta),
+            fmt_num(t.g(Opinion::Zero, 0)),
+            fmt_num(t.g(Opinion::One, 3)),
+            if noisy.check_proposition3(n).is_ok() { "ok".into() } else { "violated".to_string() },
+            if interior.is_empty() { "-".to_string() } else { interior.join(",") },
+            fmt_num(acc / count as f64),
+        ]);
+    }
+    println!("{table}");
+    println!("delta = 0 keeps the consensus absorbing (fraction stays 1.0);");
+    println!("any delta > 0 gives the bias polynomial an interior root at 1/2 and");
+    println!("the population forgets the source within a few hundred rounds.");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Quickstart: simulate the bit-dissemination problem end to end.
+//!
+//! Builds the Minority dynamics, constructs the paper's adversarial
+//! configuration for it, simulates until consensus, and prints the
+//! trajectory alongside the analytical picture (bias polynomial roots and
+//! the Theorem 12 witness).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
+use bitdissem_core::dynamics::Minority;
+use bitdissem_core::Protocol;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::{run_to_consensus, Outcome, Simulator};
+use bitdissem_sim::trajectory::Trajectory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096;
+    let protocol = Minority::new(3)?;
+    println!("protocol: {}", protocol.name());
+
+    // The analytical picture: the bias polynomial and its roots.
+    let bias = BiasPolynomial::build(&protocol, n)?;
+    let structure = RootStructure::analyze(&bias);
+    println!("bias polynomial F_n(p) = {}", bias.as_polynomial());
+    println!("roots in [0,1]: {:?}", structure.roots());
+    for &(lo, hi, sign) in structure.sign_intervals() {
+        println!(
+            "  F_n is {} on ({lo:.3}, {hi:.3})",
+            if sign > 0 { "positive" } else { "negative" }
+        );
+    }
+
+    // The adversarial instance of Theorem 12.
+    let witness = LowerBoundWitness::construct(&protocol, n)?;
+    println!(
+        "witness: {} | start {} | must cross X = {} to converge",
+        witness.case(),
+        witness.start(),
+        witness.threshold()
+    );
+    println!(
+        "Theorem 1 predicts >= n^0.9 = {:.0} rounds to cross",
+        witness.predicted_min_rounds(0.1)
+    );
+
+    // Simulate.
+    let mut sim = AggregateSim::new(&protocol, witness.start())?;
+    let mut rng = rng_from(2024);
+    let mut trajectory = Trajectory::new(32);
+    let budget = 200 * n;
+    let mut crossed_at = None;
+    let mut t = 0u64;
+    let outcome = loop {
+        let x = sim.configuration().ones();
+        trajectory.record(x);
+        if crossed_at.is_none() && witness.crossed(x) {
+            crossed_at = Some(t);
+        }
+        if sim.configuration().is_correct_consensus() {
+            break Outcome::Converged { rounds: t };
+        }
+        if t >= budget {
+            break Outcome::TimedOut { rounds: budget };
+        }
+        sim.step_round(&mut rng);
+        t += 1;
+    };
+
+    println!("\ntrajectory (round, X_t/n):");
+    for (round, x) in trajectory.iter() {
+        println!("  {round:>8}  {:.4}", x as f64 / n as f64);
+    }
+    match outcome {
+        Outcome::Converged { rounds } => {
+            println!("\nconverged after {rounds} rounds");
+        }
+        Outcome::TimedOut { rounds } => {
+            println!("\nstill not converged after {rounds} rounds (the lower bound at work)");
+        }
+    }
+    if let Some(c) = crossed_at {
+        println!("threshold crossed at round {c}");
+    } else {
+        println!("threshold never crossed within the budget");
+    }
+    match run_to_consensus(&mut sim, &mut rng, 0) {
+        Outcome::Converged { .. } => println!("final state is the correct consensus"),
+        Outcome::TimedOut { .. } => println!("final state: {}", sim.configuration()),
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! The aggregate exact-chain simulator and the literal agent-level
+//! simulator are distributionally identical (DESIGN.md decision §4.1).
+
+use bitdissem_core::dynamics::{Minority, TwoChoices, Voter};
+use bitdissem_core::{Configuration, Opinion, Protocol};
+use bitdissem_markov::AggregateChain;
+use bitdissem_sim::agent::AgentSim;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::Simulator;
+
+fn one_round_samples<S, F>(reps: u64, seed: u64, make: F) -> Vec<u64>
+where
+    S: Simulator,
+    F: Fn() -> S,
+{
+    (0..reps)
+        .map(|rep| {
+            let mut rng = rng_from(replication_seed(seed, rep));
+            let mut sim = make();
+            sim.step_round(&mut rng);
+            sim.configuration().ones()
+        })
+        .collect()
+}
+
+fn mean_var(xs: &[u64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+fn check_protocol<P: Protocol + Copy>(protocol: P, n: u64, x0: u64, seed: u64) {
+    let start = Configuration::new(n, Opinion::One, x0).unwrap();
+    let chain = AggregateChain::build(&protocol, n, Opinion::One).unwrap();
+    let exact_mean = chain.expected_next(x0);
+    let row = chain.transition_row(x0);
+    let exact_var: f64 =
+        row.iter().enumerate().map(|(y, &p)| (y as f64 - exact_mean).powi(2) * p).sum();
+
+    let reps = 30_000;
+    let agg = one_round_samples(reps, seed, || AggregateSim::new(&protocol, start).unwrap());
+    let agent = one_round_samples(reps, seed ^ 1, || AgentSim::new(&protocol, start).unwrap());
+
+    let (am, av) = mean_var(&agg);
+    let (gm, gv) = mean_var(&agent);
+    let se = (exact_var / reps as f64).sqrt();
+    assert!(
+        (am - exact_mean).abs() < 5.0 * se + 0.05,
+        "{}: aggregate mean {am} vs exact {exact_mean}",
+        protocol.name()
+    );
+    assert!(
+        (gm - exact_mean).abs() < 5.0 * se + 0.05,
+        "{}: agent mean {gm} vs exact {exact_mean}",
+        protocol.name()
+    );
+    assert!(
+        (av - exact_var).abs() < 0.15 * exact_var + 0.5,
+        "{}: aggregate var {av} vs exact {exact_var}",
+        protocol.name()
+    );
+    assert!(
+        (gv - exact_var).abs() < 0.15 * exact_var + 0.5,
+        "{}: agent var {gv} vs exact {exact_var}",
+        protocol.name()
+    );
+}
+
+#[test]
+fn minority_one_round_moments_match() {
+    check_protocol(Minority::new(3).unwrap(), 60, 40, 0x11);
+}
+
+#[test]
+fn voter_one_round_moments_match() {
+    check_protocol(Voter::new(2).unwrap(), 60, 25, 0x12);
+}
+
+#[test]
+fn own_dependent_protocol_one_round_moments_match() {
+    // TwoChoices exercises the g0 != g1 path in both simulators.
+    check_protocol(TwoChoices::new(), 60, 30, 0x13);
+}
+
+#[test]
+fn multi_round_trajectories_have_matching_distribution_summary() {
+    // After 10 rounds from the same start, the empirical mean of X_10 must
+    // agree between the simulators (law equality at horizon 10).
+    let protocol = Minority::new(3).unwrap();
+    let n = 48;
+    let start = Configuration::new(n, Opinion::One, 36).unwrap();
+    let reps = 8000u64;
+    let horizon = 10;
+    let run = |agent: bool, seed: u64| -> f64 {
+        let mut total = 0.0;
+        for rep in 0..reps {
+            let mut rng = rng_from(replication_seed(seed, rep));
+            let x = if agent {
+                let mut sim = AgentSim::new(&protocol, start).unwrap();
+                for _ in 0..horizon {
+                    sim.step_round(&mut rng);
+                }
+                sim.configuration().ones()
+            } else {
+                let mut sim = AggregateSim::new(&protocol, start).unwrap();
+                for _ in 0..horizon {
+                    sim.step_round(&mut rng);
+                }
+                sim.configuration().ones()
+            };
+            total += x as f64;
+        }
+        total / reps as f64
+    };
+    let agg = run(false, 0x21);
+    let agent = run(true, 0x22);
+    // X_10 has std ~ a few; means over 8000 reps have SE ~ 0.05.
+    assert!((agg - agent).abs() < 0.5, "aggregate {agg} vs agent {agent}");
+}

@@ -1,0 +1,45 @@
+//! Whole-harness determinism: experiment reports are bit-for-bit
+//! reproducible for a fixed seed, independent of thread scheduling —
+//! the property that makes EXPERIMENTS.md regenerable.
+
+use bitdissem_experiments::{registry, RunConfig, Scale};
+
+fn render(id: &str, threads: Option<usize>, seed: u64) -> String {
+    let cfg = RunConfig { scale: Scale::Smoke, seed, threads };
+    registry::run(id, &cfg).expect("known id").render()
+}
+
+#[test]
+fn cheap_experiments_are_bitwise_deterministic() {
+    // The cheapest experiments across the harness's different code paths:
+    // pure analysis (e5), exact solvers (e15, e16, e17), and sampling-based
+    // with the threaded runner (e8).
+    for id in ["e5", "e15", "e16", "e17", "e8"] {
+        let a = render(id, Some(1), 99);
+        let b = render(id, Some(1), 99);
+        assert_eq!(a, b, "{id}: same seed must reproduce the report exactly");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    for id in ["e8", "e5"] {
+        let single = render(id, Some(1), 7);
+        let multi = render(id, Some(8), 7);
+        assert_eq!(single, multi, "{id}: results must not depend on scheduling");
+    }
+}
+
+#[test]
+fn different_seeds_change_sampled_results_but_not_exact_ones() {
+    // Sampling-based experiment: tables differ across seeds.
+    let a = render("e8", Some(2), 1);
+    let b = render("e8", Some(2), 2);
+    assert_ne!(a, b, "e8 is sampling-based; different seeds must differ");
+    // Exact-solver experiment: the numbers are seed-independent (only the
+    // synthesized-search start perturbations use the seed in e16's case —
+    // e16 uses no randomness at all).
+    let a = render("e16", Some(2), 1);
+    let b = render("e16", Some(2), 2);
+    assert_eq!(a, b, "e16 is exact; seeds must not matter");
+}

@@ -1,0 +1,129 @@
+//! Cross-crate validation: the simulation engine reproduces the exact
+//! Markov-chain law computed independently by `bitdissem-markov`.
+
+use bitdissem_core::dynamics::{Majority, Minority, Voter};
+use bitdissem_core::{Configuration, Opinion, Protocol};
+use bitdissem_markov::absorbing::expected_hitting_times;
+use bitdissem_markov::{AggregateChain, SequentialChain};
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::{run_to_consensus, Outcome, Simulator};
+use bitdissem_sim::sequential::SequentialSim;
+
+fn simulated_mean_tau<P: Protocol>(
+    protocol: &P,
+    start: Configuration,
+    reps: u64,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(seed, rep));
+        let mut sim = AggregateSim::new(protocol, start).expect("valid");
+        match run_to_consensus(&mut sim, &mut rng, 10_000_000) {
+            Outcome::Converged { rounds } => total += rounds as f64,
+            Outcome::TimedOut { .. } => panic!("unexpected timeout"),
+        }
+    }
+    total / reps as f64
+}
+
+#[test]
+fn voter_mean_convergence_matches_exact_hitting_time() {
+    let n = 20;
+    let voter = Voter::new(1).unwrap();
+    let start = Configuration::all_wrong(n, Opinion::One);
+    let chain = AggregateChain::build(&voter, n, Opinion::One).unwrap();
+    let exact = expected_hitting_times(&chain).unwrap().from_state(start.ones());
+    let sim = simulated_mean_tau(&voter, start, 1500, 0xAB);
+    let rel = (sim - exact).abs() / exact;
+    assert!(rel < 0.1, "sim {sim} vs exact {exact} (rel {rel})");
+}
+
+#[test]
+fn majority_mean_from_favorable_start_matches_exact() {
+    let n = 24;
+    let majority = Majority::new(3).unwrap();
+    let x0 = 22; // close to the target so the heavy dip tail is negligible
+    let start = Configuration::new(n, Opinion::One, x0).unwrap();
+    let chain = AggregateChain::build(&majority, n, Opinion::One).unwrap();
+    let exact = expected_hitting_times(&chain).unwrap().from_state(x0);
+    let sim = simulated_mean_tau(&majority, start, 4000, 0xAC);
+    let rel = (sim - exact).abs() / exact;
+    assert!(rel < 0.1, "sim {sim} vs exact {exact} (rel {rel})");
+}
+
+#[test]
+fn one_round_distribution_matches_transition_row() {
+    // Empirical one-round distribution vs the exact convolution row, in
+    // total variation.
+    let n = 30u64;
+    let minority = Minority::new(3).unwrap();
+    let x0 = 20u64;
+    let chain = AggregateChain::build(&minority, n, Opinion::One).unwrap();
+    let row = chain.transition_row(x0);
+    let reps = 60_000;
+    let mut counts = vec![0u64; n as usize + 1];
+    let start = Configuration::new(n, Opinion::One, x0).unwrap();
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(0xAD, rep));
+        let mut sim = AggregateSim::new(&minority, start).unwrap();
+        sim.step_round(&mut rng);
+        counts[sim.configuration().ones() as usize] += 1;
+    }
+    let tv: f64 =
+        counts.iter().zip(&row).map(|(&c, &p)| (c as f64 / reps as f64 - p).abs()).sum::<f64>()
+            / 2.0;
+    assert!(tv < 0.02, "total variation {tv}");
+}
+
+#[test]
+fn sequential_simulator_matches_birth_death_chain() {
+    let n = 16;
+    let voter = Voter::new(1).unwrap();
+    let x0 = 8;
+    let sc = SequentialChain::build(&voter, n, Opinion::One).unwrap();
+    let exact = sc.expected_rounds_from(x0).unwrap();
+    let reps = 2500u64;
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(0xAE, rep));
+        let start = Configuration::new(n, Opinion::One, x0).unwrap();
+        let mut sim = SequentialSim::new(&voter, start).unwrap();
+        match run_to_consensus(&mut sim, &mut rng, 1_000_000) {
+            Outcome::Converged { rounds } => total += rounds as f64,
+            Outcome::TimedOut { .. } => panic!("unexpected timeout"),
+        }
+    }
+    let sim_mean = total / reps as f64;
+    // Whole-round measurement adds up to 1 round of discretization.
+    assert!((sim_mean - exact).abs() < 0.1 * exact + 1.0, "sim {sim_mean} vs exact {exact}");
+}
+
+#[test]
+fn drift_matches_bias_polynomial_through_both_routes() {
+    // The exact chain's E[X'|x] and the analysis crate's x + n·F(x/n)
+    // agree within the ±1 source term, for several protocols and both
+    // correct opinions.
+    use bitdissem_analysis::BiasPolynomial;
+    let n = 64;
+    for protocol in [
+        Box::new(Voter::new(2).unwrap()) as Box<dyn Protocol + Send + Sync>,
+        Box::new(Minority::new(4).unwrap()),
+        Box::new(Majority::new(5).unwrap()),
+    ] {
+        let f = BiasPolynomial::build(&protocol, n).unwrap();
+        for correct in Opinion::ALL {
+            let chain = AggregateChain::build(&protocol, n, correct).unwrap();
+            for x in chain.states() {
+                let exact = chain.expected_next(x);
+                let center = x as f64 + f.drift_at(x);
+                assert!(
+                    (exact - center).abs() <= 1.0 + 1e-9,
+                    "{} z={correct} x={x}: exact {exact} vs center {center}",
+                    protocol.name()
+                );
+            }
+        }
+    }
+}

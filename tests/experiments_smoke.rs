@@ -1,0 +1,33 @@
+//! Every registered experiment runs at smoke scale and passes its own
+//! directional checks — the end-to-end gate for the whole reproduction.
+
+use bitdissem_experiments::{registry, RunConfig};
+
+#[test]
+fn every_experiment_passes_its_directional_checks_at_smoke_scale() {
+    let cfg = RunConfig::smoke(20_240_613);
+    let mut failures = Vec::new();
+    for entry in registry::all() {
+        let report = (entry.run)(&cfg);
+        assert_eq!(report.id, entry.id);
+        assert!(!report.tables.is_empty(), "{}: no tables produced", entry.id);
+        assert!(report.tables.iter().all(|(_, t)| !t.is_empty()), "{}: empty table", entry.id);
+        if !report.pass {
+            failures.push(format!("{}\n{}", entry.id, report.render()));
+        }
+    }
+    assert!(failures.is_empty(), "failing experiments:\n{}", failures.join("\n---\n"));
+}
+
+#[test]
+fn reports_render_and_serialize() {
+    let cfg = RunConfig::smoke(7);
+    let report = registry::run("e5", &cfg).expect("known id");
+    let text = report.render();
+    assert!(text.contains("E5"));
+    assert!(text.contains("verdict"));
+    // Reports are serde-serializable for downstream tooling (compile-time
+    // check that the bound holds).
+    fn assert_serialize<T: serde::Serialize>(_: &T) {}
+    assert_serialize(&report);
+}

@@ -1,0 +1,140 @@
+//! Failure injection: invalid inputs and broken protocols must be rejected
+//! or detected at every layer, never silently mis-simulated.
+
+use bitdissem_analysis::BiasPolynomial;
+use bitdissem_core::dynamics::Stay;
+use bitdissem_core::{Configuration, GTable, Opinion, Protocol, ProtocolError};
+use bitdissem_markov::absorbing::expected_hitting_times;
+use bitdissem_markov::AggregateChain;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::Simulator;
+
+/// A deliberately broken protocol that returns an out-of-range
+/// "probability".
+#[derive(Clone, Copy)]
+struct Overconfident;
+
+impl Protocol for Overconfident {
+    fn sample_size(&self) -> usize {
+        2
+    }
+    fn prob_one(&self, _own: Opinion, k: usize, _n: u64) -> f64 {
+        k as f64 // 2.0 at k = 2 — not a probability
+    }
+    fn name(&self) -> String {
+        "overconfident".into()
+    }
+}
+
+/// A protocol that returns NaN.
+#[derive(Clone, Copy)]
+struct Nanny;
+
+impl Protocol for Nanny {
+    fn sample_size(&self) -> usize {
+        1
+    }
+    fn prob_one(&self, _own: Opinion, _k: usize, _n: u64) -> f64 {
+        f64::NAN
+    }
+    fn name(&self) -> String {
+        "nanny".into()
+    }
+}
+
+#[test]
+fn invalid_probabilities_are_rejected_at_every_entry_point() {
+    let start = Configuration::all_wrong(16, Opinion::One);
+    assert!(matches!(
+        AggregateSim::new(&Overconfident, start),
+        Err(ProtocolError::InvalidProbability { .. })
+    ));
+    assert!(AggregateChain::build(&Overconfident, 16, Opinion::One).is_err());
+    assert!(BiasPolynomial::build(&Overconfident, 16).is_err());
+
+    assert!(AggregateSim::new(&Nanny, start).is_err());
+    assert!(AggregateChain::build(&Nanny, 16, Opinion::Zero).is_err());
+}
+
+#[test]
+fn gtable_rejects_malformed_rows() {
+    assert!(GTable::new(vec![], vec![]).is_err());
+    assert!(GTable::new(vec![0.0], vec![0.0]).is_err());
+    assert!(GTable::new(vec![0.0, 2.0], vec![0.0, 1.0]).is_err());
+    assert!(GTable::new(vec![0.0, f64::INFINITY], vec![0.0, 1.0]).is_err());
+    assert!(GTable::new(vec![0.0, 1.0], vec![0.0, 1.0, 0.5]).is_err());
+}
+
+#[test]
+fn configuration_rejects_impossible_states() {
+    assert!(Configuration::new(0, Opinion::One, 0).is_err());
+    assert!(Configuration::new(1, Opinion::One, 1).is_err());
+    assert!(Configuration::new(4, Opinion::One, 5).is_err());
+    assert!(Configuration::new(4, Opinion::One, 0).is_err()); // source holds 1
+    assert!(Configuration::new(4, Opinion::Zero, 4).is_err()); // source holds 0
+}
+
+#[test]
+fn unsolvable_protocols_are_reported_not_mis_solved() {
+    // Stay: consensus unreachable — the exact solver must say so, and the
+    // simulator must simply never converge (no bogus result).
+    let stay = Stay::new(1);
+    let chain = AggregateChain::build(&stay, 12, Opinion::One).unwrap();
+    assert!(expected_hitting_times(&chain).is_none());
+
+    let start = Configuration::new(12, Opinion::One, 6).unwrap();
+    let mut sim = AggregateSim::new(&stay, start).unwrap();
+    let mut rng = rng_from(1);
+    for _ in 0..100 {
+        sim.step_round(&mut rng);
+        assert_eq!(sim.configuration().ones(), 6, "Stay must never move");
+    }
+}
+
+#[test]
+fn minimum_population_works_end_to_end() {
+    // n = 2: one source, one agent. Everything should still function.
+    use bitdissem_core::dynamics::Voter;
+    use bitdissem_sim::run::{run_to_consensus, Outcome};
+    let voter = Voter::new(1).unwrap();
+    let start = Configuration::all_wrong(2, Opinion::One);
+    let mut sim = AggregateSim::new(&voter, start).unwrap();
+    let mut rng = rng_from(2);
+    match run_to_consensus(&mut sim, &mut rng, 10_000) {
+        Outcome::Converged { rounds } => assert!(rounds <= 10_000),
+        Outcome::TimedOut { .. } => panic!("n = 2 voter must converge quickly"),
+    }
+
+    let chain = AggregateChain::build(&voter, 2, Opinion::One).unwrap();
+    let times = expected_hitting_times(&chain).unwrap();
+    // From the all-wrong state (x = 1), the single non-source agent samples
+    // the source w.p. 1/2 each round: E[T] = 2.
+    assert!((times.from_state(1) - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn witness_construction_handles_every_named_protocol() {
+    use bitdissem_analysis::LowerBoundWitness;
+    use bitdissem_core::dynamics::{constant_sample_suite, AntiVoter, NoisyVoter};
+    for protocol in constant_sample_suite() {
+        let w = LowerBoundWitness::construct(&protocol, 64).unwrap();
+        assert!(!w.crossed(w.start().ones()), "{}", protocol.name());
+    }
+    // Even Prop-3-violating protocols get a structurally valid witness
+    // (the analysis is defined for any table; solvability is separate).
+    let w = LowerBoundWitness::construct(&NoisyVoter::new(1, 0.1).unwrap(), 64).unwrap();
+    assert!(w.start().n() == 64);
+    let w = LowerBoundWitness::construct(&AntiVoter::new(2).unwrap(), 64).unwrap();
+    assert!(w.threshold() <= 64);
+}
+
+#[test]
+fn channel_rejects_bad_noise_levels_from_any_protocol() {
+    use bitdissem_core::channel::with_observation_noise;
+    use bitdissem_core::dynamics::Minority;
+    let m = Minority::new(3).unwrap();
+    for bad in [-0.01, 0.500_001, 1.0, f64::NAN, f64::INFINITY] {
+        assert!(with_observation_noise(&m, bad, 100).is_err(), "delta = {bad}");
+    }
+}

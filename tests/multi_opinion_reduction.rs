@@ -1,0 +1,92 @@
+//! Footnote 2 of the paper: with more than two opinions, under the
+//! "may not adopt an unseen opinion" restriction, a binary initial
+//! configuration reduces the problem to the binary case — so the lower
+//! bound carries over. This test exercises the reduction end to end.
+
+use bitdissem_core::dynamics::{Minority, Voter};
+use bitdissem_core::multi::{
+    binary_restriction, check_support_restriction, MultiMinority, MultiProtocol, MultiVoter,
+};
+use bitdissem_core::{Configuration, Opinion, Protocol};
+use bitdissem_markov::AggregateChain;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::Simulator;
+
+#[test]
+fn multi_protocols_satisfy_the_support_restriction() {
+    for m in 2..=4usize {
+        for ell in 1..=3usize {
+            let voter = MultiVoter::new(m, ell).unwrap();
+            assert!(check_support_restriction(&voter, 100).is_ok(), "voter m={m} l={ell}");
+            let minority = MultiMinority::new(m, ell).unwrap();
+            assert!(check_support_restriction(&minority, 100).is_ok(), "minority m={m} l={ell}");
+        }
+    }
+}
+
+#[test]
+fn binary_restrictions_reduce_to_the_named_binary_dynamics() {
+    let mv = MultiVoter::new(5, 2).unwrap();
+    let rv = binary_restriction(&mv, 100).unwrap();
+    let voter = Voter::new(2).unwrap();
+    for k in 0..=2 {
+        for own in Opinion::ALL {
+            assert_eq!(rv.prob_one(own, k, 100), voter.prob_one(own, k, 100));
+        }
+    }
+
+    let mm = MultiMinority::new(3, 4).unwrap();
+    let rm = binary_restriction(&mm, 100).unwrap();
+    let minority = Minority::new(4).unwrap();
+    for k in 0..=4 {
+        for own in Opinion::ALL {
+            assert_eq!(rm.prob_one(own, k, 100), minority.prob_one(own, k, 100));
+        }
+    }
+}
+
+#[test]
+fn reduced_protocol_runs_in_the_binary_engine_with_the_same_law() {
+    // The restriction of MultiMinority(m=4, l=3) must generate exactly the
+    // binary Minority(3) process: compare a one-round empirical mean to the
+    // exact binary chain.
+    let n = 40u64;
+    let x0 = 28u64;
+    let mm = MultiMinority::new(4, 3).unwrap();
+    let restricted = binary_restriction(&mm, n).unwrap();
+    let chain = AggregateChain::build(&Minority::new(3).unwrap(), n, Opinion::One).unwrap();
+    let exact = chain.expected_next(x0);
+
+    let reps = 20_000u64;
+    let start = Configuration::new(n, Opinion::One, x0).unwrap();
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(0xF2, rep));
+        let mut sim = AggregateSim::new(&restricted, start).unwrap();
+        sim.step_round(&mut rng);
+        total += sim.configuration().ones() as f64;
+    }
+    let mean = total / reps as f64;
+    assert!((mean - exact).abs() < 0.2, "restricted mean {mean} vs exact binary {exact}");
+}
+
+#[test]
+fn support_violating_protocol_is_rejected() {
+    struct Teleport;
+    impl MultiProtocol for Teleport {
+        fn num_opinions(&self) -> usize {
+            3
+        }
+        fn sample_size(&self) -> usize {
+            1
+        }
+        fn decide(&self, _own: usize, _counts: &[usize], _n: u64) -> Vec<f64> {
+            vec![0.0, 0.0, 1.0] // always jumps to opinion 2, even unseen
+        }
+        fn name(&self) -> String {
+            "teleport".into()
+        }
+    }
+    assert!(check_support_restriction(&Teleport, 10).is_err());
+}

@@ -1,0 +1,78 @@
+//! Structural invariants of the partial-synchrony scheduler: it must agree
+//! with the parallel setting at `m = n−1`, with the sequential one at
+//! `m = 1`, and preserve martingale structure for `F ≡ 0` protocols at
+//! every batch size in between.
+
+use bitdissem_core::dynamics::{LazyVoter, Voter};
+use bitdissem_core::{Configuration, Opinion};
+use bitdissem_sim::partial::PartialSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::Simulator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For the Voter (and any F ≡ 0 protocol) the count of ones is a
+    /// near-martingale at EVERY batch size: the one-step mean shift is
+    /// bounded by the source term alone (≤ m/(n−1) ≤ 1 per step).
+    #[test]
+    fn voter_is_a_martingale_at_every_batch_size(
+        batch_pow in 0u32..6,
+        x0_frac in 0.2f64..0.8,
+    ) {
+        let n = 128u64;
+        let batch = (1u64 << batch_pow).min(n - 1);
+        let x0 = ((x0_frac * n as f64) as u64).clamp(1, n - 1);
+        let start = Configuration::new(n, Opinion::One, x0).unwrap();
+        let reps = 4_000u64;
+        let mut total = 0.0;
+        for rep in 0..reps {
+            let mut rng = rng_from(replication_seed(0x91 ^ batch, rep));
+            let mut sim = PartialSim::new(&Voter::new(1).unwrap(), start, batch).unwrap();
+            sim.step_batch(&mut rng);
+            total += sim.configuration().ones() as f64;
+        }
+        let mean = total / reps as f64;
+        // Per-step drift is the source term only: |E[X'] − x| ≤ 1.
+        // Sampling error over 4000 reps of a ±batch-bounded step adds noise.
+        let se = (batch as f64).sqrt() / (reps as f64).sqrt() * 3.0;
+        prop_assert!(
+            (mean - x0 as f64).abs() <= 1.0 + 5.0 * se + 0.1,
+            "batch={} x0={}: mean {}", batch, x0, mean
+        );
+    }
+
+    /// The per-step change is bounded by the batch size.
+    #[test]
+    fn step_changes_are_bounded_by_batch(batch in 1u64..40, seed in 0u64..500) {
+        let n = 64u64;
+        prop_assume!(batch < n);
+        let start = Configuration::new(n, Opinion::One, 30).unwrap();
+        let mut sim = PartialSim::new(&LazyVoter::new(2, 0.3).unwrap(), start, batch).unwrap();
+        let mut rng = rng_from(seed);
+        let mut prev = sim.configuration().ones();
+        for _ in 0..50 {
+            sim.step_batch(&mut rng);
+            let cur = sim.configuration().ones();
+            prop_assert!(cur.abs_diff(prev) <= batch);
+            prev = cur;
+        }
+    }
+}
+
+#[test]
+fn round_activation_budget_matches_parallel_normalization() {
+    // One step_round at any m performs ⌈(n−1)/m⌉ steps of m activations —
+    // i.e. at least n−1 and at most n−1+m activations per round.
+    let n = 101u64;
+    for batch in [1u64, 7, 25, 50, 100] {
+        let start = Configuration::new(n, Opinion::One, 40).unwrap();
+        let mut sim = PartialSim::new(&Voter::new(1).unwrap(), start, batch).unwrap();
+        let mut rng = rng_from(9);
+        sim.step_round(&mut rng);
+        let activations = sim.steps() * batch;
+        assert!(activations >= n - 1, "batch {batch}: {activations}");
+        assert!(activations < n - 1 + batch, "batch {batch}: {activations}");
+    }
+}

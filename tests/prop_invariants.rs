@@ -1,0 +1,151 @@
+//! Property-based cross-crate invariants: for *randomly generated*
+//! protocols (not just the named dynamics), the paper's structural results
+//! hold.
+
+use bitdissem_analysis::jump::y_constant;
+use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
+use bitdissem_core::{Configuration, GTable, Opinion};
+use bitdissem_markov::AggregateChain;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::rng_from;
+use bitdissem_sim::run::Simulator;
+use proptest::prelude::*;
+
+/// Strategy: a random own-independent protocol table with the Prop-3
+/// endpoints forced (the class the paper quantifies over, restricted to
+/// own-independence for brevity; own-dependent variants are covered below).
+fn arb_symmetric_table() -> impl Strategy<Value = GTable> {
+    (1usize..=6).prop_flat_map(|ell| proptest::collection::vec(0.0f64..=1.0, ell + 1)).prop_map(
+        |mut g| {
+            let last = g.len() - 1;
+            g[0] = 0.0;
+            g[last] = 1.0;
+            GTable::symmetric(g).expect("valid probabilities")
+        },
+    )
+}
+
+/// Strategy: a random own-dependent protocol with Prop-3 endpoints.
+fn arb_table() -> impl Strategy<Value = GTable> {
+    (1usize..=5)
+        .prop_flat_map(|ell| {
+            (
+                proptest::collection::vec(0.0f64..=1.0, ell + 1),
+                proptest::collection::vec(0.0f64..=1.0, ell + 1),
+            )
+        })
+        .prop_map(|(mut g0, mut g1)| {
+            g0[0] = 0.0;
+            let last = g1.len() - 1;
+            g1[last] = 1.0;
+            GTable::new(g0, g1).expect("valid probabilities")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Degree bound: `deg F_n <= l + 1`, the pivot of Theorem 12.
+    #[test]
+    fn bias_degree_is_at_most_ell_plus_one(table in arb_table()) {
+        let f = BiasPolynomial::from_table(&table, 256, "random".into());
+        if let Some(d) = f.as_polynomial().degree() {
+            prop_assert!(d <= table.sample_size() + 1, "degree {} > l+1", d);
+        }
+    }
+
+    /// Root-count bound: at most `l + 1` sign-crossing roots in [0, 1].
+    #[test]
+    fn root_count_is_bounded(table in arb_table()) {
+        let f = BiasPolynomial::from_table(&table, 256, "random".into());
+        let rs = RootStructure::analyze(&f);
+        prop_assert!(rs.roots().len() <= table.sample_size() + 1);
+    }
+
+    /// Proposition 3 forces F_n(0) = F_n(1) = 0.
+    #[test]
+    fn endpoints_are_roots(table in arb_symmetric_table()) {
+        let f = BiasPolynomial::from_table(&table, 256, "random".into());
+        prop_assert!(f.eval(0.0).abs() < 1e-9);
+        prop_assert!(f.eval(1.0).abs() < 1e-9);
+    }
+
+    /// Proposition 5: the exact drift sits within ±1 of x + n·F(x/n),
+    /// verified against the independently built Markov chain.
+    #[test]
+    fn proposition5_sandwich_for_random_protocols(table in arb_table()) {
+        let n = 48u64;
+        let f = BiasPolynomial::from_table(&table, n, "random".into());
+        for correct in Opinion::ALL {
+            let chain = AggregateChain::build(&table, n, correct).expect("valid");
+            for x in chain.states().step_by(5) {
+                let exact = chain.expected_next(x);
+                let center = x as f64 + f.drift_at(x);
+                prop_assert!(
+                    (exact - center).abs() <= 1.0 + 1e-9,
+                    "z={} x={}: {} vs {}", correct, x, exact, center
+                );
+            }
+        }
+    }
+
+    /// Proposition 4: one simulated round from X_t <= c·n never exceeds
+    /// y(c, l)·n (the failure probability is exp(-2·sqrt(n)) ~ 1e-20 here).
+    #[test]
+    fn proposition4_jump_bound_for_random_protocols(
+        table in arb_symmetric_table(),
+        c_mil in 100u64..900,
+        seed in 0u64..1_000,
+    ) {
+        let n = 512u64;
+        let c = c_mil as f64 / 1000.0;
+        let x0 = ((c * n as f64).floor() as u64).clamp(1, n - 1);
+        let start = Configuration::new(n, Opinion::One, x0).expect("consistent");
+        let mut sim = AggregateSim::new(&table, start).expect("valid");
+        let mut rng = rng_from(seed);
+        sim.step_round(&mut rng);
+        let x1 = sim.configuration().ones() as f64;
+        let y = y_constant(c, table.sample_size());
+        prop_assert!(x1 <= y * n as f64, "x0={} -> x1={} > y*n={}", x0, x1, y * n as f64);
+    }
+
+    /// The witness is always constructible and internally consistent: the
+    /// start configuration is valid, the threshold lies strictly between
+    /// the start and the adversarial consensus, and crossing is required
+    /// before convergence.
+    #[test]
+    fn witness_is_well_formed_for_random_protocols(table in arb_table()) {
+        let n = 1024u64;
+        let w = LowerBoundWitness::construct(&table, n).expect("valid");
+        let start = w.start();
+        prop_assert_eq!(start.n(), n);
+        // The start must not already be past the threshold.
+        prop_assert!(!w.crossed(start.ones()),
+            "start {} already crossed threshold {}", start.ones(), w.threshold());
+        // The correct consensus always counts as crossed.
+        let consensus = match start.correct() {
+            Opinion::One => n,
+            Opinion::Zero => 0,
+        };
+        prop_assert!(w.crossed(consensus));
+    }
+
+    /// Consensus absorption: for any Prop-3 protocol, one round from the
+    /// correct consensus stays there (both correct opinions).
+    #[test]
+    fn consensus_is_absorbing_for_random_protocols(
+        table in arb_table(),
+        seed in 0u64..1_000,
+    ) {
+        let n = 64;
+        for correct in Opinion::ALL {
+            let start = Configuration::correct_consensus(n, correct);
+            let mut sim = AggregateSim::new(&table, start).expect("valid");
+            let mut rng = rng_from(seed);
+            for _ in 0..5 {
+                sim.step_round(&mut rng);
+                prop_assert!(sim.configuration().is_correct_consensus());
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The stateful (constant-memory) engine agrees with the binary engine on
+//! the memory-less special case — full convergence-time distributions are
+//! compared with the Kolmogorov–Smirnov test.
+
+use bitdissem_core::dynamics::{Minority, Voter};
+use bitdissem_core::stateful::{check_stateful_absorption, Memoryless, UndecidedState};
+use bitdissem_core::{Configuration, Opinion};
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::{run_to_consensus, Outcome};
+use bitdissem_sim::stateful::StatefulSim;
+use bitdissem_stats::compare::{ks_statistic, same_distribution};
+
+fn binary_taus(n: u64, ones: u64, reps: u64, seed: u64) -> Vec<f64> {
+    let voter = Voter::new(1).unwrap();
+    (0..reps)
+        .map(|rep| {
+            let mut rng = rng_from(replication_seed(seed, rep));
+            let start = Configuration::new(n, Opinion::One, ones).unwrap();
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            match run_to_consensus(&mut sim, &mut rng, 10_000_000) {
+                Outcome::Converged { rounds } => rounds as f64,
+                Outcome::TimedOut { .. } => panic!("voter must converge"),
+            }
+        })
+        .collect()
+}
+
+fn stateful_taus(n: u64, ones: u64, reps: u64, seed: u64) -> Vec<f64> {
+    (0..reps)
+        .map(|rep| {
+            let mut rng = rng_from(replication_seed(seed, rep));
+            let mut sim =
+                StatefulSim::new(Memoryless::new(Voter::new(1).unwrap()), n, Opinion::One, ones);
+            sim.run_to_display_consensus(&mut rng, 10_000_000).expect("voter must converge") as f64
+        })
+        .collect()
+}
+
+#[test]
+fn memoryless_adapter_has_the_same_convergence_law() {
+    let n = 48;
+    let ones = 16;
+    let reps = 600;
+    let a = binary_taus(n, ones, reps, 0x51);
+    let b = stateful_taus(n, ones, reps, 0x52);
+    let d = ks_statistic(&a, &b).unwrap();
+    assert!(
+        same_distribution(&a, &b, 0.001),
+        "KS statistic {d} rejects equality of the two engines"
+    );
+}
+
+#[test]
+fn minority_adapter_one_round_mean_matches_exact_chain() {
+    use bitdissem_markov::AggregateChain;
+    let n = 64u64;
+    let x0 = 40u64;
+    let chain = AggregateChain::build(&Minority::new(3).unwrap(), n, Opinion::One).unwrap();
+    let exact = chain.expected_next(x0);
+    let reps = 20_000u64;
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(0x53, rep));
+        let mut sim =
+            StatefulSim::new(Memoryless::new(Minority::new(3).unwrap()), n, Opinion::One, x0);
+        sim.step_round(&mut rng);
+        total += sim.displayed_ones() as f64;
+    }
+    let mean = total / reps as f64;
+    assert!((mean - exact).abs() < 0.2, "stateful mean {mean} vs exact {exact}");
+}
+
+#[test]
+fn usd_absorption_check_and_behavior_are_consistent() {
+    // The static check and the dynamic behaviour must agree: USD keeps a
+    // display consensus forever.
+    for ell in [1usize, 2, 5] {
+        let usd = UndecidedState::new(ell).unwrap();
+        assert!(check_stateful_absorption(&usd, 100).is_ok());
+        let n = 40;
+        let mut sim = StatefulSim::new(usd, n, Opinion::Zero, 0);
+        let mut rng = rng_from(0x54 + ell as u64);
+        for _ in 0..100 {
+            sim.step_round(&mut rng);
+            assert!(sim.is_display_consensus(), "l={ell}");
+        }
+    }
+}
+
+#[test]
+fn usd_is_slower_than_voter_from_the_adversarial_start() {
+    // The E13 headline at integration-test scale: from all-decided-wrong,
+    // the undecided-state dynamics fails to converge within a budget the
+    // Voter meets easily.
+    use bitdissem_core::stateful::usd_states;
+    let n = 96u64;
+    let budget = 40 * n;
+    let reps = 6u64;
+
+    let mut usd_converged = 0;
+    let mut voter_converged = 0;
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(0x55, rep));
+        let usd = UndecidedState::new(1).unwrap();
+        let mut counts = vec![0u64; 4];
+        counts[usd_states::DECIDED_ZERO] = n - 1;
+        let mut sim = StatefulSim::with_state_counts(usd, n, Opinion::One, counts);
+        if sim.run_to_display_consensus(&mut rng, budget).is_some() {
+            usd_converged += 1;
+        }
+
+        let mut rng = rng_from(replication_seed(0x56, rep));
+        let mut vsim =
+            StatefulSim::new(Memoryless::new(Voter::new(1).unwrap()), n, Opinion::One, 1);
+        if vsim.run_to_display_consensus(&mut rng, budget).is_some() {
+            voter_converged += 1;
+        }
+    }
+    assert_eq!(voter_converged, reps, "voter control must converge");
+    assert!(
+        usd_converged <= reps / 2,
+        "USD converged in {usd_converged}/{reps} runs — expected the majority-like stall"
+    );
+}

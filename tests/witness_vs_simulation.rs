@@ -1,0 +1,132 @@
+//! End-to-end: the Theorem 12 witness construction actually produces slow
+//! instances for every constant-sample-size dynamics, and the predicted
+//! structure (case, drift direction, thresholds) matches what the simulator
+//! observes.
+
+use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, WitnessCase};
+use bitdissem_core::dynamics::{Minority, PowerVoter, TwoChoices, Voter};
+use bitdissem_core::Protocol;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::Simulator;
+
+fn crossing_times<P: Protocol + Sync>(
+    protocol: &P,
+    n: u64,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+) -> (LowerBoundWitness, Vec<Option<u64>>) {
+    let witness = LowerBoundWitness::construct(protocol, n).expect("valid");
+    let times = (0..reps)
+        .map(|rep| {
+            let mut rng = rng_from(replication_seed(seed, rep as u64));
+            let mut sim = AggregateSim::new(protocol, witness.start()).expect("valid");
+            for t in 0..budget {
+                if witness.crossed(sim.configuration().ones()) {
+                    return Some(t);
+                }
+                sim.step_round(&mut rng);
+            }
+            None
+        })
+        .collect();
+    (witness, times)
+}
+
+#[test]
+fn drift_protocols_never_cross_within_many_n_rounds() {
+    let n = 512;
+    let budget = 30 * n;
+    let reps = 8;
+    let protocols: Vec<Box<dyn Protocol + Send + Sync>> = vec![
+        Box::new(Minority::new(3).unwrap()),
+        Box::new(Minority::new(5).unwrap()),
+        Box::new(TwoChoices::new()),
+        Box::new(PowerVoter::new(3, 2.0).unwrap()),
+        Box::new(PowerVoter::new(3, 0.5).unwrap()),
+    ];
+    for protocol in &protocols {
+        let (witness, times) = crossing_times(protocol, n, reps, budget, 0xE1);
+        assert_ne!(witness.case(), WitnessCase::VoterLike, "{}", protocol.name());
+        let crossed = times.iter().filter(|t| t.is_some()).count();
+        assert!(
+            crossed == 0,
+            "{}: {crossed}/{reps} runs crossed the threshold within {budget} rounds",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn voter_crossing_grows_with_n() {
+    // Voter-like witnesses cross by diffusion in Θ(n) rounds: medians at
+    // 4x the population size should be clearly larger.
+    let reps = 31;
+    let budget = |n: u64| 100 * n;
+    let median = |mut ts: Vec<u64>| -> u64 {
+        ts.sort_unstable();
+        ts[ts.len() / 2]
+    };
+    let voter = Voter::new(1).unwrap();
+    let (w_small, t_small) = crossing_times(&voter, 128, reps, budget(128), 0xE2);
+    let (w_big, t_big) = crossing_times(&voter, 2048, reps, budget(2048), 0xE3);
+    assert_eq!(w_small.case(), WitnessCase::VoterLike);
+    assert_eq!(w_big.case(), WitnessCase::VoterLike);
+    let m_small = median(t_small.into_iter().map(|t| t.unwrap_or(budget(128))).collect());
+    let m_big = median(t_big.into_iter().map(|t| t.unwrap_or(budget(2048))).collect());
+    assert!(m_big >= 4 * m_small.max(1), "crossing medians: n=128 -> {m_small}, n=2048 -> {m_big}");
+}
+
+#[test]
+fn witness_drift_direction_matches_observed_motion() {
+    // In Case 1 the chain must drift down from the start; in Case 2 up.
+    let n = 2048;
+    let cases = [
+        (
+            Box::new(Minority::new(3).unwrap()) as Box<dyn Protocol + Send + Sync>,
+            WitnessCase::NegativeDrift,
+        ),
+        (Box::new(PowerVoter::new(3, 0.5).unwrap()), WitnessCase::PositiveDrift),
+    ];
+    for (protocol, expect_case) in cases {
+        let witness = LowerBoundWitness::construct(&protocol, n).unwrap();
+        assert_eq!(witness.case(), expect_case, "{}", protocol.name());
+        let mut sim = AggregateSim::new(&protocol, witness.start()).unwrap();
+        let mut rng = rng_from(0xD21F7);
+        let x0 = sim.configuration().ones();
+        for _ in 0..20 {
+            sim.step_round(&mut rng);
+        }
+        let x20 = sim.configuration().ones();
+        match expect_case {
+            WitnessCase::NegativeDrift => {
+                assert!(x20 < x0, "{}: expected downward motion ({x0} -> {x20})", protocol.name());
+            }
+            WitnessCase::PositiveDrift => {
+                assert!(x20 > x0, "{}: expected upward motion ({x0} -> {x20})", protocol.name());
+            }
+            WitnessCase::VoterLike => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn witness_interval_sign_matches_bias_polynomial() {
+    for protocol in [
+        Box::new(Minority::new(3).unwrap()) as Box<dyn Protocol + Send + Sync>,
+        Box::new(Minority::new(7).unwrap()),
+        Box::new(TwoChoices::new()),
+    ] {
+        let n = 1024;
+        let f = BiasPolynomial::build(&protocol, n).unwrap();
+        let witness = LowerBoundWitness::from_bias(&f);
+        let (lo, hi) = witness.interval();
+        let mid = 0.5 * (lo + hi);
+        match witness.case() {
+            WitnessCase::NegativeDrift => assert!(f.eval(mid) < 0.0, "{}", protocol.name()),
+            WitnessCase::PositiveDrift => assert!(f.eval(mid) > 0.0, "{}", protocol.name()),
+            WitnessCase::VoterLike => assert!(f.is_identically_zero()),
+        }
+    }
+}
