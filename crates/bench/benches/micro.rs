@@ -1,5 +1,6 @@
 //! Engine micro-benchmarks: binomial samplers, simulator round costs,
-//! bias-polynomial construction, root isolation and the dense LU solve.
+//! bias-polynomial construction, root isolation, the dense LU solve, and
+//! the observability layer's disabled-path overhead.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -8,11 +9,12 @@ use bitdissem_core::dynamics::{Minority, Voter};
 use bitdissem_core::{Configuration, Opinion};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
+use bitdissem_obs::Obs;
 use bitdissem_sim::agent::AgentSim;
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::binomial::{sample_binomial, sample_binomial_naive};
 use bitdissem_sim::rng::rng_from;
-use bitdissem_sim::run::Simulator;
+use bitdissem_sim::run::{run_to_consensus, run_to_consensus_observed, Simulator};
 
 fn bench_binomial_samplers(c: &mut Criterion) {
     let mut group = c.benchmark_group("binomial_sampler");
@@ -85,11 +87,38 @@ fn bench_markov_solvers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The observability contract: a `NullSink` handle (the `Obs::none()`
+    // default) must cost nothing measurable on the hot consensus loop.
+    // Both benches run the same full convergence from the same seed.
+    let mut group = c.benchmark_group("obs_overhead");
+    let voter = Voter::new(1).unwrap();
+    let n = 1_024u64;
+    let start = Configuration::new(n, Opinion::One, n / 2).unwrap();
+    group.bench_function("run_to_consensus_plain", |b| {
+        let mut rng = rng_from(5);
+        b.iter(|| {
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            std::hint::black_box(run_to_consensus(&mut sim, &mut rng, 1 << 20))
+        });
+    });
+    group.bench_function("run_to_consensus_null_sink", |b| {
+        let obs = Obs::none();
+        let mut rng = rng_from(5);
+        b.iter(|| {
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            std::hint::black_box(run_to_consensus_observed(&mut sim, &mut rng, 1 << 20, &obs, 0))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     micro,
     bench_binomial_samplers,
     bench_simulator_rounds,
     bench_analysis_paths,
-    bench_markov_solvers
+    bench_markov_solvers,
+    bench_obs_overhead
 );
 criterion_main!(micro);

@@ -3,8 +3,10 @@
 //! Subcommands:
 //!
 //! * `list` — the experiment registry;
-//! * `run <id> [--scale smoke|standard|full] [--seed N] [--csv]` — run an
-//!   experiment and print its report;
+//! * `run <id> [--scale smoke|standard|full] [--seed N] [--threads T]
+//!   [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]`
+//!   — run an experiment and print its report, optionally writing a JSONL
+//!   trace and printing run metrics to stderr;
 //! * `analyze <protocol> [--ell L] [--n N]` — bias polynomial, roots, sign
 //!   intervals and the Theorem-12 witness of a protocol;
 //! * `simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B]
@@ -22,6 +24,7 @@ pub mod args;
 
 use std::fmt::Write as _;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
 use bitdissem_core::dynamics::{self, BoxedProtocol};
@@ -29,6 +32,7 @@ use bitdissem_core::Protocol;
 use bitdissem_experiments::{registry, RunConfig, Scale};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
+use bitdissem_obs::{JsonlSink, Obs, Progress};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::rng::rng_from;
 use bitdissem_sim::run::{Outcome, Simulator};
@@ -68,10 +72,17 @@ pub fn usage() -> String {
      \n\
      usage:\n\
      \x20 bitdissem list\n\
-     \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N] [--csv]\n\
+     \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N]\n\
+     \x20\x20\x20\x20 [--threads T] [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]\n\
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
+     \n\
+     observability (run):\n\
+     \x20 --trace-out PATH   write one JSON event per line (rounds, replications, manifest)\n\
+     \x20 --trace-every N    thin per-round events to every N-th round (default 1)\n\
+     \x20 --metrics          print counters and per-phase timings to stderr\n\
+     \x20 --progress         live replication meter on stderr\n\
      \n\
      protocols: voter, minority, majority, two-choices, lazy-voter, power-voter, anti-voter, stay\n"
         .to_string()
@@ -87,42 +98,105 @@ fn build_protocol(args: &Args) -> Result<BoxedProtocol, String> {
     }
 }
 
-/// Runs a parsed command and returns `(output, status)`.
+/// Full result of one command: report text for stdout, diagnostics
+/// (metrics, progress residue) for stderr, and the exit status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutput {
+    /// Report text, destined for stdout.
+    pub stdout: String,
+    /// Diagnostics (metrics summaries), destined for stderr.
+    pub stderr: String,
+    /// Exit status.
+    pub status: Status,
+}
+
+impl CommandOutput {
+    fn ok(stdout: String, status: Status) -> Self {
+        CommandOutput { stdout, stderr: String::new(), status }
+    }
+}
+
+/// Runs a parsed command and returns `(output, status)`, with any stderr
+/// diagnostics appended to the output text. Prefer [`dispatch_full`] when
+/// the two streams must stay separate (as the binary does).
 #[must_use]
 pub fn dispatch(args: &Args) -> (String, Status) {
+    let out = dispatch_full(args);
+    (out.stdout + &out.stderr, out.status)
+}
+
+/// Runs a parsed command keeping stdout and stderr separate.
+#[must_use]
+pub fn dispatch_full(args: &Args) -> CommandOutput {
     match args.command.as_deref() {
-        None | Some("help") => (usage(), Status::Ok),
+        None | Some("help") => CommandOutput::ok(usage(), Status::Ok),
         Some("list") => cmd_list(),
         Some("run") => cmd_run(args),
         Some("analyze") => cmd_analyze(args),
         Some("simulate") => cmd_simulate(args),
         Some("exact") => cmd_exact(args),
-        Some(other) => (format!("unknown command '{other}'\n\n{}", usage()), Status::UsageError),
+        Some(other) => CommandOutput::ok(
+            format!("unknown command '{other}'\n\n{}", usage()),
+            Status::UsageError,
+        ),
     }
 }
 
-fn cmd_list() -> (String, Status) {
+fn cmd_list() -> CommandOutput {
     let mut out = String::from("registered experiments:\n");
     for e in registry::all() {
         let _ = writeln!(out, "  {:<4} {}", e.id, e.description);
     }
-    (out, Status::Ok)
+    CommandOutput::ok(out, Status::Ok)
 }
 
-fn cmd_run(args: &Args) -> (String, Status) {
+fn usage_error(msg: impl Into<String>) -> CommandOutput {
+    CommandOutput::ok(msg.into(), Status::UsageError)
+}
+
+fn build_obs(args: &Args) -> Result<Obs, String> {
+    let mut obs = Obs::none();
+    if let Some(path) = args.get("trace-out") {
+        if path.is_empty() {
+            return Err("--trace-out needs a file path".to_string());
+        }
+        let sink = JsonlSink::create(path)
+            .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
+        obs = obs.with_sink(Arc::new(sink));
+    }
+    if args.flag("metrics") {
+        obs = obs.with_metrics();
+    }
+    if args.flag("progress") {
+        obs = obs.with_progress(Arc::new(Progress::new("replications", 0)));
+    }
+    let stride: u64 = args.get_parsed("trace-every", 1)?;
+    Ok(obs.with_round_stride(stride))
+}
+
+fn cmd_run(args: &Args) -> CommandOutput {
     let id = match args.positional.first() {
         Some(id) => id.clone(),
-        None => return ("missing experiment id\n".to_string(), Status::UsageError),
+        None => return usage_error("missing experiment id\n"),
     };
     let scale = match args.get("scale").map(Scale::from_str).transpose() {
         Ok(s) => s.unwrap_or(Scale::Standard),
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let seed = match args.get_parsed("seed", 2024u64) {
         Ok(s) => s,
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
-    let cfg = RunConfig { scale, seed, threads: None };
+    let threads = match args.get_parsed("threads", 0usize) {
+        Ok(0) => None,
+        Ok(t) => Some(t),
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let cfg = RunConfig { scale, seed, threads };
+    let obs = match build_obs(args) {
+        Ok(obs) => obs,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
 
     let ids: Vec<String> = if id == "all" {
         registry::all().iter().map(|e| e.id.to_string()).collect()
@@ -130,9 +204,10 @@ fn cmd_run(args: &Args) -> (String, Status) {
         vec![id]
     };
     let mut out = String::new();
+    let mut stderr = String::new();
     let mut all_pass = true;
     for id in ids {
-        match registry::run(&id, &cfg) {
+        match registry::run_observed(&id, &cfg, &obs) {
             Some(report) => {
                 if args.flag("csv") {
                     for (caption, table) in &report.tables {
@@ -143,31 +218,41 @@ fn cmd_run(args: &Args) -> (String, Status) {
                     out.push_str(&report.render());
                     out.push('\n');
                 }
+                if args.flag("metrics") {
+                    if let Some(manifest) = &report.manifest {
+                        let _ = writeln!(stderr, "manifest: {}", manifest.to_json());
+                    }
+                }
                 all_pass &= report.pass;
             }
-            None => {
-                return (format!("unknown experiment '{id}' (try 'list')\n"), Status::UsageError)
-            }
+            None => return usage_error(format!("unknown experiment '{id}' (try 'list')\n")),
         }
     }
-    (out, if all_pass { Status::Ok } else { Status::CheckFailed })
+    if let Some(progress) = obs.progress() {
+        progress.finish();
+    }
+    if args.flag("metrics") {
+        stderr.push_str(&obs.metrics().render());
+    }
+    let status = if all_pass { Status::Ok } else { Status::CheckFailed };
+    CommandOutput { stdout: out, stderr, status }
 }
 
-fn cmd_analyze(args: &Args) -> (String, Status) {
+fn cmd_analyze(args: &Args) -> CommandOutput {
     let protocol = match build_protocol(args) {
         Ok(p) => p,
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let n = match args.get_parsed("n", 4096u64) {
         Ok(n) if n >= 8 => n,
-        Ok(_) => return ("--n must be at least 8\n".to_string(), Status::UsageError),
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Ok(_) => return usage_error("--n must be at least 8\n".to_string()),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let mut out = String::new();
     let _ = writeln!(out, "protocol: {} at n = {n}", protocol.name());
     let f = match BiasPolynomial::build(&protocol, n) {
         Ok(f) => f,
-        Err(e) => return (format!("cannot build bias polynomial: {e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("cannot build bias polynomial: {e}\n")),
     };
     let _ = writeln!(out, "bias polynomial: F_n(p) = {}", f.as_polynomial());
     let rs = RootStructure::analyze(&f);
@@ -194,30 +279,30 @@ fn cmd_analyze(args: &Args) -> (String, Status) {
         "  Theorem 1 predicts >= n^0.9 = {:.0} rounds to cross",
         w.predicted_min_rounds(0.1)
     );
-    (out, Status::Ok)
+    CommandOutput::ok(out, Status::Ok)
 }
 
-fn cmd_simulate(args: &Args) -> (String, Status) {
+fn cmd_simulate(args: &Args) -> CommandOutput {
     let protocol = match build_protocol(args) {
         Ok(p) => p,
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let n = match args.get_parsed("n", 4096u64) {
         Ok(n) if n >= 8 => n,
-        Ok(_) => return ("--n must be at least 8\n".to_string(), Status::UsageError),
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Ok(_) => return usage_error("--n must be at least 8\n".to_string()),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let seed = match args.get_parsed("seed", 1u64) {
         Ok(s) => s,
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let budget = match args.get_parsed("budget", 100 * n) {
         Ok(b) => b,
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let witness = match LowerBoundWitness::construct(&protocol, n) {
         Ok(w) => w,
-        Err(e) => return (format!("cannot build witness: {e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("cannot build witness: {e}\n")),
     };
     let mut rng = rng_from(seed);
     let mut trajectory = Trajectory::new(24);
@@ -250,7 +335,7 @@ fn cmd_simulate(args: &Args) -> (String, Status) {
             let _ = writeln!(out, "not converged within {rounds} rounds (lower bound at work)");
         }
     }
-    (out, Status::Ok)
+    CommandOutput::ok(out, Status::Ok)
 }
 
 fn run_with_recorder<S: Simulator>(
@@ -272,26 +357,23 @@ fn run_with_recorder<S: Simulator>(
     Outcome::TimedOut { rounds: budget }
 }
 
-fn cmd_exact(args: &Args) -> (String, Status) {
+fn cmd_exact(args: &Args) -> CommandOutput {
     let protocol = match build_protocol(args) {
         Ok(p) => p,
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let n = match args.get_parsed("n", 64u64) {
         Ok(n) if (2..=512).contains(&n) => n,
         Ok(n) => {
-            return (
-                format!("--n must be in [2, 512] for the exact solver, got {n}\n"),
-                Status::UsageError,
-            )
+            return usage_error(format!("--n must be in [2, 512] for the exact solver, got {n}\n"))
         }
-        Err(e) => return (format!("{e}\n"), Status::UsageError),
+        Err(e) => return usage_error(format!("{e}\n")),
     };
     let mut out = String::new();
     for correct in bitdissem_core::Opinion::ALL {
         let chain = match AggregateChain::build(&protocol, n, correct) {
             Ok(c) => c,
-            Err(e) => return (format!("cannot build chain: {e}\n"), Status::UsageError),
+            Err(e) => return usage_error(format!("cannot build chain: {e}\n")),
         };
         match expected_hitting_times(&chain) {
             Some(times) => {
@@ -308,7 +390,7 @@ fn cmd_exact(args: &Args) -> (String, Status) {
             }
         }
     }
-    (out, Status::Ok)
+    CommandOutput::ok(out, Status::Ok)
 }
 
 #[cfg(test)]
@@ -435,5 +517,147 @@ mod tests {
         assert_eq!(Status::Ok.code(), 0);
         assert_eq!(Status::CheckFailed.code(), 1);
         assert_eq!(Status::UsageError.code(), 2);
+    }
+
+    #[test]
+    fn run_without_obs_flags_is_byte_identical_and_silent_on_stderr() {
+        let argv = ["run", "e5", "--scale", "smoke", "--seed", "8"];
+        let a = dispatch_full(&Args::parse(argv));
+        let b = dispatch_full(&Args::parse(argv));
+        assert_eq!(a.status, Status::Ok, "{}", a.stdout);
+        assert!(a.stderr.is_empty());
+        assert_eq!(a.stdout, b.stdout, "same seed, no flags: byte-identical output");
+    }
+
+    #[test]
+    fn run_metrics_go_to_stderr() {
+        let out = dispatch_full(&Args::parse(["run", "e2", "--scale", "smoke", "--metrics"]));
+        assert_eq!(out.status, Status::Ok, "{}", out.stdout);
+        assert!(out.stderr.contains("rounds_simulated"), "{}", out.stderr);
+        assert!(out.stderr.contains("\"experiment_id\":\"e2\""), "manifest line: {}", out.stderr);
+        assert!(out.stderr.contains("replicate"), "per-phase timings: {}", out.stderr);
+        // The counters must be live, not zero.
+        let rounds: u64 = out
+            .stderr
+            .lines()
+            .find(|l| l.contains("rounds_simulated"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(rounds > 0, "{}", out.stderr);
+    }
+
+    #[test]
+    fn run_trace_out_writes_parseable_jsonl_consistent_with_report() {
+        use bitdissem_obs::Event;
+
+        let path =
+            std::env::temp_dir().join(format!("bitdissem_cli_trace_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let out = dispatch_full(&Args::parse([
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--trace-out",
+            path_str,
+            "--seed",
+            "11",
+        ]));
+        assert_eq!(out.status, Status::Ok, "{}", out.stdout);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> = text.lines().map(|l| Event::from_json(l).expect(l)).collect();
+        assert!(!events.is_empty());
+        // Bracketing events and the manifest are all present.
+        assert!(matches!(&events[0], Event::ExperimentStarted { id, .. } if id == "e2"));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::ExperimentFinished { id, pass: true, .. } if id == "e2")));
+        let manifest = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Manifest(m) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("manifest in trace");
+        assert_eq!(manifest.seed, 11);
+        assert_eq!(manifest.scale, "smoke");
+        // E2 smoke: 4 population sizes x 30 replications, every one of
+        // which converges; the trace must agree with the report.
+        let finished: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ReplicationFinished { outcome, rounds, .. } => Some((*outcome, *rounds)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finished.len(), 120, "4 sweep points x 30 reps");
+        assert!(finished.iter().all(|(o, _)| *o == bitdissem_obs::ReplicationOutcome::Converged));
+        // Round events exist and stay consistent with their replication.
+        assert!(events.iter().any(|e| matches!(e, Event::RoundCompleted { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_every_thins_round_events() {
+        use bitdissem_obs::Event;
+
+        let tmp = std::env::temp_dir();
+        let dense_path = tmp.join(format!("bitdissem_dense_{}.jsonl", std::process::id()));
+        let sparse_path = tmp.join(format!("bitdissem_sparse_{}.jsonl", std::process::id()));
+        let count_rounds = |path: &std::path::Path| {
+            std::fs::read_to_string(path)
+                .unwrap()
+                .lines()
+                .filter(|l| matches!(Event::from_json(l).expect(l), Event::RoundCompleted { .. }))
+                .count()
+        };
+        let base = ["run", "e2", "--scale", "smoke", "--seed", "5", "--trace-out"];
+        let mut dense: Vec<&str> = base.to_vec();
+        let dense_s = dense_path.to_str().unwrap().to_string();
+        dense.push(&dense_s);
+        assert_eq!(dispatch_full(&Args::parse(dense)).status, Status::Ok);
+        let sparse_s = sparse_path.to_str().unwrap().to_string();
+        let sparse: Vec<&str> =
+            base.iter().copied().chain([sparse_s.as_str(), "--trace-every", "50"]).collect();
+        assert_eq!(dispatch_full(&Args::parse(sparse)).status, Status::Ok);
+        let (d, s) = (count_rounds(&dense_path), count_rounds(&sparse_path));
+        assert!(d > 0 && s > 0);
+        assert!(s * 10 < d, "stride 50 must thin the trace: dense={d} sparse={s}");
+        let _ = std::fs::remove_file(&dense_path);
+        let _ = std::fs::remove_file(&sparse_path);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports_with_and_without_tracing() {
+        let plain = dispatch_full(&Args::parse(["run", "e5", "--scale", "smoke", "--seed", "3"]));
+        let path = std::env::temp_dir().join(format!("bitdissem_det_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let traced = dispatch_full(&Args::parse([
+            "run",
+            "e5",
+            "--scale",
+            "smoke",
+            "--seed",
+            "3",
+            "--trace-out",
+            path_str,
+            "--metrics",
+        ]));
+        let _ = std::fs::remove_file(&path);
+        // The manifest line carries wall-clock timing, so compare the
+        // deterministic part: everything above the verdict.
+        let body = |s: &str| s.split("\nverdict:").next().unwrap().to_string();
+        assert_eq!(body(&plain.stdout), body(&traced.stdout));
+        assert_eq!(plain.status, traced.status);
+    }
+
+    #[test]
+    fn bad_trace_out_is_a_usage_error() {
+        let (out, status) =
+            run_cli(&["run", "e5", "--scale", "smoke", "--trace-out", "/nonexistent-dir/x.jsonl"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("cannot create trace file"), "{out}");
     }
 }

@@ -1,8 +1,9 @@
-//! The `bitdissem` binary: thin wrapper around [`bitdissem_cli::dispatch`].
+//! The `bitdissem` binary: thin wrapper around [`bitdissem_cli::dispatch_full`].
 
 fn main() {
     let args = bitdissem_cli::args::Args::parse(std::env::args().skip(1));
-    let (output, status) = bitdissem_cli::dispatch(&args);
-    print!("{output}");
-    std::process::exit(status.code());
+    let out = bitdissem_cli::dispatch_full(&args);
+    print!("{}", out.stdout);
+    eprint!("{}", out.stderr);
+    std::process::exit(out.status.code());
 }

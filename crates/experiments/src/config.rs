@@ -28,6 +28,23 @@ impl Scale {
             Scale::Full => full,
         }
     }
+
+    /// The lowercase scale name, as accepted by [`Scale::from_str`] and
+    /// recorded in run manifests.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Standard => "standard",
+            Scale::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl std::str::FromStr for Scale {
@@ -91,6 +108,14 @@ mod tests {
         assert_eq!(Scale::from_str("smoke").unwrap(), Scale::Smoke);
         assert_eq!(Scale::from_str("FULL").unwrap(), Scale::Full);
         assert!(Scale::from_str("bogus").is_err());
+    }
+
+    #[test]
+    fn scale_name_round_trips_through_from_str() {
+        for scale in [Scale::Smoke, Scale::Standard, Scale::Full] {
+            assert_eq!(Scale::from_str(scale.name()).unwrap(), scale);
+            assert_eq!(scale.to_string(), scale.name());
+        }
     }
 
     #[test]

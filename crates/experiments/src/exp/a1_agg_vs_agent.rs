@@ -14,16 +14,18 @@ use bitdissem_markov::AggregateChain;
 use bitdissem_sim::agent::AgentSim;
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::run::{run_to_consensus, Simulator};
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::{Summary, Table};
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs ablation A1.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("a1");
     let mut report = ExperimentReport::new(
         "a1",
         "ablation: aggregate exact-chain simulator vs agent-level simulator",
@@ -40,12 +42,12 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     // (a) One-round transition mean vs exact expectation.
     let chain = AggregateChain::build(&minority, n, Opinion::One).expect("valid");
     let exact_mean = chain.expected_next(x0);
-    let agg_next = replicate(reps, cfg.seed, cfg.threads, |mut rng, _| {
+    let agg_next = replicate_observed(reps, cfg.seed, cfg.threads, obs, |mut rng, _| {
         let mut sim = AggregateSim::new(&minority, start).expect("valid");
         sim.step_round(&mut rng);
         sim.configuration().ones() as f64
     });
-    let agent_next = replicate(reps, cfg.seed ^ 1, cfg.threads, |mut rng, _| {
+    let agent_next = replicate_observed(reps, cfg.seed ^ 1, cfg.threads, obs, |mut rng, _| {
         let mut sim = AgentSim::new(&minority, start).expect("valid");
         sim.step_round(&mut rng);
         sim.configuration().ones() as f64
@@ -85,11 +87,11 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     let conv_reps = cfg.scale.pick(60, 200, 500);
     let fav = Configuration::new(n, Opinion::One, n - 1).expect("consistent");
     let budget = 40 * n;
-    let agg_tau = replicate(conv_reps, cfg.seed ^ 2, cfg.threads, |mut rng, _| {
+    let agg_tau = replicate_observed(conv_reps, cfg.seed ^ 2, cfg.threads, obs, |mut rng, _| {
         let mut sim = AggregateSim::new(&minority, fav).expect("valid");
         run_to_consensus(&mut sim, &mut rng, budget).rounds_censored() as f64
     });
-    let agent_tau = replicate(conv_reps, cfg.seed ^ 3, cfg.threads, |mut rng, _| {
+    let agent_tau = replicate_observed(conv_reps, cfg.seed ^ 3, cfg.threads, obs, |mut rng, _| {
         let mut sim = AgentSim::new(&minority, fav).expect("valid");
         run_to_consensus(&mut sim, &mut rng, budget).rounds_censored() as f64
     });
@@ -147,7 +149,7 @@ mod tests {
 
     #[test]
     fn smoke_run_simulators_agree() {
-        let report = run(&RunConfig::smoke(53));
+        let report = run(&RunConfig::smoke(53), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

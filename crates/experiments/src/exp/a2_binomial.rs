@@ -16,6 +16,7 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 fn tv_distance(samples: &[u64], n: u64, p: f64) -> f64 {
     let pmf = binomial_pmf_vec(n, p);
@@ -29,7 +30,8 @@ fn tv_distance(samples: &[u64], n: u64, p: f64) -> f64 {
 
 /// Runs ablation A2.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("a2");
     let mut report = ExperimentReport::new(
         "a2",
         "ablation: binomial sampler algorithms (naive / BINV / BTRS)",
@@ -80,7 +82,7 @@ mod tests {
 
     #[test]
     fn smoke_run_all_samplers_accurate() {
-        let report = run(&RunConfig::smoke(59));
+        let report = run(&RunConfig::smoke(59), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -14,10 +14,12 @@ use rand::Rng;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs ablation A3.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("a3");
     let mut report = ExperimentReport::new(
         "a3",
         "ablation: Bernstein root isolation vs Sturm counting",
@@ -110,7 +112,7 @@ mod tests {
 
     #[test]
     fn smoke_run_isolators_agree() {
-        let report = run(&RunConfig::smoke(61));
+        let report = run(&RunConfig::smoke(61), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

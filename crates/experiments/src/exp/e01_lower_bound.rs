@@ -22,11 +22,13 @@ use bitdissem_stats::Table;
 
 use crate::config::{RunConfig, Scale};
 use crate::report::ExperimentReport;
-use crate::workload::{measure_crossing, pow2_sweep, OutcomeBatch};
+use crate::workload::{measure_crossing_observed, pow2_sweep, OutcomeBatch};
+use bitdissem_obs::Obs;
 
 /// Runs experiment E1.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e1");
     let mut report = ExperimentReport::new(
         "e1",
         "lower bound: threshold-crossing time for constant sample size",
@@ -67,8 +69,15 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
             let witness = LowerBoundWitness::construct(protocol, n).expect("valid protocol");
             last_case = witness.case();
             let budget = budget_factor * n;
-            let outcomes =
-                measure_crossing(protocol, &witness, reps, budget, cfg.seed ^ n, cfg.threads);
+            let outcomes = measure_crossing_observed(
+                obs,
+                protocol,
+                &witness,
+                reps,
+                budget,
+                cfg.seed ^ n,
+                cfg.threads,
+            );
             let batch = OutcomeBatch::new(outcomes, budget);
             let median = batch.censored_summary().expect("non-empty").median();
             last_frac = batch.converged_fraction();
@@ -128,7 +137,7 @@ mod tests {
 
     #[test]
     fn smoke_run_confirms_almost_linear_scaling() {
-        let report = run(&RunConfig::smoke(7));
+        let report = run(&RunConfig::smoke(7), &Obs::none());
         assert!(report.pass, "{}", report.render());
         assert_eq!(report.tables.len(), 1);
         // 4 protocols × 4 sizes.
@@ -137,8 +146,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run(&RunConfig::smoke(3)).render();
-        let b = run(&RunConfig::smoke(3)).render();
+        let a = run(&RunConfig::smoke(3), &Obs::none()).render();
+        let b = run(&RunConfig::smoke(3), &Obs::none()).render();
         assert_eq!(a, b);
     }
 }

@@ -13,11 +13,13 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
-use crate::workload::{measure_convergence, pow2_sweep};
+use crate::workload::{measure_convergence_observed, pow2_sweep};
+use bitdissem_obs::Obs;
 
 /// Runs experiment E2.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e2");
     let mut report = ExperimentReport::new(
         "e2",
         "Voter upper bound from the all-wrong configuration",
@@ -46,7 +48,15 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         // Budget far above the 2 n ln n bound so timeouts are impossible
         // unless the theorem is badly violated.
         let budget = (8.0 * nlogn) as u64;
-        let batch = measure_convergence(&voter, start, reps, budget, cfg.seed ^ n, cfg.threads);
+        let batch = measure_convergence_observed(
+            obs,
+            &voter,
+            start,
+            reps,
+            budget,
+            cfg.seed ^ n,
+            cfg.threads,
+        );
         let s = batch.censored_summary().expect("non-empty");
         let whp_frac = batch.fraction_within(2.0 * nlogn);
         all_whp_ok &= whp_frac >= 0.8;
@@ -87,7 +97,7 @@ mod tests {
 
     #[test]
     fn smoke_run_matches_n_log_n_shape() {
-        let report = run(&RunConfig::smoke(11));
+        let report = run(&RunConfig::smoke(11), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -15,11 +15,13 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
-use crate::workload::{measure_convergence, pow2_sweep};
+use crate::workload::{measure_convergence_observed, pow2_sweep};
+use bitdissem_obs::Obs;
 
 /// Runs experiment E3.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e3");
     let mut report = ExperimentReport::new(
         "e3",
         "Minority dynamics with the large sample size of [15]",
@@ -44,7 +46,15 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         let start = Configuration::all_wrong(n, Opinion::One);
         let log2n = (n as f64).ln().powi(2);
         let budget = (100.0 * log2n) as u64;
-        let batch = measure_convergence(&minority, start, reps, budget, cfg.seed ^ n, cfg.threads);
+        let batch = measure_convergence_observed(
+            obs,
+            &minority,
+            start,
+            reps,
+            budget,
+            cfg.seed ^ n,
+            cfg.threads,
+        );
         let s = batch.censored_summary().expect("non-empty");
         let ratio = s.median() / log2n;
         table.row([
@@ -87,7 +97,7 @@ mod tests {
 
     #[test]
     fn smoke_run_shows_polylog_convergence() {
-        let report = run(&RunConfig::smoke(13));
+        let report = run(&RunConfig::smoke(13), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

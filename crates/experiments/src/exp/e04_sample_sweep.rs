@@ -15,11 +15,13 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
-use crate::workload::{measure_convergence, OutcomeBatch};
+use crate::workload::{measure_convergence_observed, OutcomeBatch};
+use bitdissem_obs::Obs;
 
 /// Runs experiment E4.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e4");
     let mut report = ExperimentReport::new(
         "e4",
         "Minority convergence vs sample size (fixed n)",
@@ -53,7 +55,8 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
             // Start from the adversarial witness configuration so small-l
             // runs exhibit the Theorem-1 slowness.
             let witness = LowerBoundWitness::construct(&minority, n).expect("valid");
-            let batch: OutcomeBatch = measure_convergence(
+            let batch: OutcomeBatch = measure_convergence_observed(
+                obs,
                 &minority,
                 witness.start(),
                 reps,
@@ -105,7 +108,7 @@ mod tests {
 
     #[test]
     fn smoke_run_locates_crossover() {
-        let report = run(&RunConfig::smoke(17));
+        let report = run(&RunConfig::smoke(17), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -15,10 +15,12 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E5.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e5");
     let mut report = ExperimentReport::new(
         "e5",
         "bias-polynomial root structure and adversarial witness (Figures 2-3)",
@@ -106,7 +108,7 @@ mod tests {
 
     #[test]
     fn smoke_run_structure_is_consistent() {
-        let report = run(&RunConfig::smoke(19));
+        let report = run(&RunConfig::smoke(19), &Obs::none());
         assert!(report.pass, "{}", report.render());
         assert_eq!(report.tables.len(), 2);
         // 17 grid rows in the curve table.

@@ -24,10 +24,12 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E6.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e6");
     let mut report = ExperimentReport::new(
         "e6",
         "Doob decomposition along adversarial trajectories (Figure 1)",
@@ -131,7 +133,7 @@ mod tests {
 
     #[test]
     fn smoke_run_validates_theorem6_mechanics() {
-        let report = run(&RunConfig::smoke(23));
+        let report = run(&RunConfig::smoke(23), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

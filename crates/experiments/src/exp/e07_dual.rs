@@ -11,17 +11,19 @@
 use bitdissem_core::dynamics::Voter;
 use bitdissem_core::{Configuration, Opinion};
 use bitdissem_sim::dual::CoalescingDual;
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::{Summary, Table};
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
-use crate::workload::{measure_convergence, pow2_sweep};
+use crate::workload::{measure_convergence_observed, pow2_sweep};
+use bitdissem_obs::Obs;
 
 /// Runs experiment E7.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e7");
     let mut report = ExperimentReport::new(
         "e7",
         "Voter dual process: backward coalescing random walks (Figure 4)",
@@ -49,7 +51,7 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     let mut dual_ratios = Vec::new();
     for &n in &ns {
         let nlogn = n as f64 * (n as f64).ln();
-        let dual_times = replicate(reps, cfg.seed ^ n, cfg.threads, |mut rng, _| {
+        let dual_times = replicate_observed(reps, cfg.seed ^ n, cfg.threads, obs, |mut rng, _| {
             let mut dual = CoalescingDual::new(n);
             dual.run_to_absorption(&mut rng, (20.0 * nlogn) as u64)
                 .map_or(20.0 * nlogn, |t| t as f64)
@@ -57,7 +59,8 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         let dual_summary = Summary::from_samples(&dual_times).expect("non-empty");
 
         let start = Configuration::all_wrong(n, Opinion::One);
-        let forward = measure_convergence(
+        let forward = measure_convergence_observed(
+            obs,
             &voter,
             start,
             reps,
@@ -101,7 +104,7 @@ mod tests {
 
     #[test]
     fn smoke_run_dual_matches_forward_scale() {
-        let report = run(&RunConfig::smoke(29));
+        let report = run(&RunConfig::smoke(29), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

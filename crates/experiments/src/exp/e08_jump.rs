@@ -12,16 +12,18 @@ use bitdissem_core::dynamics::{Minority, TwoChoices, Voter};
 use bitdissem_core::{Configuration, Opinion, Protocol};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::run::Simulator;
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E8.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e8");
     let mut report = ExperimentReport::new(
         "e8",
         "one-step jump bound (Proposition 4)",
@@ -48,10 +50,11 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         for &c in &cs {
             let x0 = ((c * n as f64).floor() as u64).clamp(1, n - 1);
             let start = Configuration::new(n, Opinion::One, x0).expect("consistent");
-            let nexts = replicate(
+            let nexts = replicate_observed(
                 reps,
                 cfg.seed ^ n ^ ((c * 1000.0) as u64) ^ (ell as u64) << 32,
                 cfg.threads,
+                obs,
                 |mut rng, _| {
                     let mut sim = AggregateSim::new(protocol, start).expect("valid");
                     sim.step_round(&mut rng);
@@ -87,23 +90,24 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     let minority = Minority::new(3).expect("valid");
     let c = 0.5;
     let steps = cfg.scale.pick(2_000u64, 20_000, 100_000);
-    let traj_violations: u64 = replicate(4, cfg.seed ^ 0xBEEF, cfg.threads, |mut rng, _| {
-        let start = Configuration::new(n, Opinion::One, n / 4).expect("consistent");
-        let mut sim = AggregateSim::new(&minority, start).expect("valid");
-        let mut v = 0u64;
-        let mut prev = sim.configuration().ones();
-        for _ in 0..steps {
-            sim.step_round(&mut rng);
-            let cur = sim.configuration().ones();
-            if check_jump(n, 3, c, prev, cur) == Some(false) {
-                v += 1;
+    let traj_violations: u64 =
+        replicate_observed(4, cfg.seed ^ 0xBEEF, cfg.threads, obs, |mut rng, _| {
+            let start = Configuration::new(n, Opinion::One, n / 4).expect("consistent");
+            let mut sim = AggregateSim::new(&minority, start).expect("valid");
+            let mut v = 0u64;
+            let mut prev = sim.configuration().ones();
+            for _ in 0..steps {
+                sim.step_round(&mut rng);
+                let cur = sim.configuration().ones();
+                if check_jump(n, 3, c, prev, cur) == Some(false) {
+                    v += 1;
+                }
+                prev = cur;
             }
-            prev = cur;
-        }
-        v
-    })
-    .into_iter()
-    .sum();
+            v
+        })
+        .into_iter()
+        .sum();
     report.check(
         traj_violations == 0,
         format!("zero violations along 4 trajectories of {steps} rounds (c = {c})"),
@@ -117,7 +121,7 @@ mod tests {
 
     #[test]
     fn smoke_run_has_no_violations() {
-        let report = run(&RunConfig::smoke(31));
+        let report = run(&RunConfig::smoke(31), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -16,10 +16,12 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E9.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e9");
     let mut report = ExperimentReport::new(
         "e9",
         "Proposition 3: necessity of absorbing consensus",
@@ -127,7 +129,7 @@ mod tests {
 
     #[test]
     fn smoke_run_validates_prop3_both_ways() {
-        let report = run(&RunConfig::smoke(37));
+        let report = run(&RunConfig::smoke(37), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

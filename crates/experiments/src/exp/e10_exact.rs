@@ -18,7 +18,8 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
-use crate::workload::{measure_convergence, measure_convergence_sequential};
+use crate::workload::{measure_convergence_observed, measure_convergence_sequential_observed};
+use bitdissem_obs::Obs;
 
 /// One validation case: a protocol plus a starting state chosen so that the
 /// exact expected time is computable and moderate.
@@ -30,7 +31,8 @@ struct Case {
 
 /// Runs experiment E10.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e10");
     let mut report = ExperimentReport::new(
         "e10",
         "simulated vs exact convergence times (small n)",
@@ -89,7 +91,8 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
             let exact_median = median_from_survival(&curve).map_or(f64::NAN, |m| m as f64);
 
             let budget = (exact_mean * 500.0) as u64 + 1000;
-            let batch = measure_convergence(
+            let batch = measure_convergence_observed(
+                obs,
                 &case.protocol,
                 start,
                 reps,
@@ -146,7 +149,8 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         let exact = sc.expected_rounds_from(x0).expect("voter converges");
         let start = Configuration::new(n, Opinion::One, x0).expect("consistent");
         let seq_reps = reps / 4 + 10;
-        let batch = measure_convergence_sequential(
+        let batch = measure_convergence_sequential_observed(
+            obs,
             &voter,
             start,
             seq_reps,
@@ -180,7 +184,7 @@ mod tests {
 
     #[test]
     fn smoke_run_matches_exact_chains() {
-        let report = run(&RunConfig::smoke(41));
+        let report = run(&RunConfig::smoke(41), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

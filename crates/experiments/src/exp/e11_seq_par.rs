@@ -14,11 +14,15 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
-use crate::workload::{measure_convergence, measure_convergence_sequential, pow2_sweep};
+use crate::workload::{
+    measure_convergence_observed, measure_convergence_sequential_observed, pow2_sweep,
+};
+use bitdissem_obs::Obs;
 
 /// Runs experiment E11.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e11");
     let mut report = ExperimentReport::new(
         "e11",
         "sequential vs parallel activation (times in parallel rounds)",
@@ -54,9 +58,17 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         let budget_par = (200.0 * nf.ln().powi(2)) as u64 + 8 * n;
         let budget_seq = 64 * n;
 
-        let par_min =
-            measure_convergence(&minority, start, reps, budget_par, cfg.seed ^ n, cfg.threads);
-        let seq_min = measure_convergence_sequential(
+        let par_min = measure_convergence_observed(
+            obs,
+            &minority,
+            start,
+            reps,
+            budget_par,
+            cfg.seed ^ n,
+            cfg.threads,
+        );
+        let seq_min = measure_convergence_sequential_observed(
+            obs,
             &minority,
             start,
             reps,
@@ -64,9 +76,17 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
             cfg.seed ^ n ^ 1,
             cfg.threads,
         );
-        let par_vot =
-            measure_convergence(&voter, start, reps, budget_seq, cfg.seed ^ n ^ 2, cfg.threads);
-        let seq_vot = measure_convergence_sequential(
+        let par_vot = measure_convergence_observed(
+            obs,
+            &voter,
+            start,
+            reps,
+            budget_seq,
+            cfg.seed ^ n ^ 2,
+            cfg.threads,
+        );
+        let seq_vot = measure_convergence_sequential_observed(
+            obs,
             &voter,
             start,
             reps,
@@ -112,7 +132,7 @@ mod tests {
 
     #[test]
     fn smoke_run_shows_exponential_separation() {
-        let report = run(&RunConfig::smoke(43));
+        let report = run(&RunConfig::smoke(43), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -11,16 +11,18 @@
 use bitdissem_core::dynamics::{Majority, Minority, Voter};
 use bitdissem_core::Protocol;
 use bitdissem_sim::consensus::NoSourceSim;
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::{Summary, Table};
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E12.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e12");
     let mut report = ExperimentReport::new(
         "e12",
         "source-less consensus and the Minority oscillation",
@@ -46,10 +48,11 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     for protocol in &protocols {
         for &(label, ones) in &starts {
             let budget = 40 * n;
-            let times = replicate(
+            let times = replicate_observed(
                 reps,
                 cfg.seed ^ ones ^ ((protocol.sample_size() as u64) << 13),
                 cfg.threads,
+                obs,
                 |mut rng, _| {
                     let mut sim = NoSourceSim::new(protocol, n, ones).expect("valid");
                     sim.run_to_any_consensus(&mut rng, budget)
@@ -79,7 +82,7 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     );
 
     // Oscillation measurement near balance.
-    let osc = replicate(reps, cfg.seed ^ 0x05C1, cfg.threads, |mut rng, _| {
+    let osc = replicate_observed(reps, cfg.seed ^ 0x05C1, cfg.threads, obs, |mut rng, _| {
         let mut sim =
             NoSourceSim::new(&Minority::new(ell).expect("valid"), n, n / 2 + 2).expect("valid");
         let (steps, flips) = sim.measure_oscillation(&mut rng, 60);
@@ -111,7 +114,7 @@ mod tests {
 
     #[test]
     fn smoke_run_shows_speedup_and_oscillation() {
-        let report = run(&RunConfig::smoke(47));
+        let report = run(&RunConfig::smoke(47), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

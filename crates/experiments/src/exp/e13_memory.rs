@@ -14,7 +14,7 @@
 use bitdissem_core::dynamics::{Minority, Voter};
 use bitdissem_core::stateful::{usd_states, Memoryless, StatefulProtocol, UndecidedState};
 use bitdissem_core::Opinion;
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_sim::stateful::StatefulSim;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::{Summary, Table};
@@ -22,8 +22,10 @@ use bitdissem_stats::{Summary, Table};
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
 use crate::workload::pow2_sweep;
+use bitdissem_obs::Obs;
 
 fn measure_usd(
+    obs: &Obs,
     ell: usize,
     n: u64,
     reps: usize,
@@ -31,7 +33,7 @@ fn measure_usd(
     seed: u64,
     threads: Option<usize>,
 ) -> (f64, f64) {
-    let times = replicate(reps, seed, threads, |mut rng, _| {
+    let times = replicate_observed(reps, seed, threads, obs, |mut rng, _| {
         // Adversarial memory: every non-source agent is *decided* on the
         // wrong opinion (z = 1, all display 0).
         let usd = UndecidedState::new(ell).expect("valid");
@@ -46,6 +48,7 @@ fn measure_usd(
 }
 
 fn measure_memoryless<P>(
+    obs: &Obs,
     protocol: P,
     n: u64,
     reps: usize,
@@ -56,7 +59,7 @@ fn measure_memoryless<P>(
 where
     P: bitdissem_core::Protocol + Copy + Sync,
 {
-    let times = replicate(reps, seed, threads, |mut rng, _| {
+    let times = replicate_observed(reps, seed, threads, obs, |mut rng, _| {
         let mut sim = StatefulSim::new(Memoryless::new(protocol), n, Opinion::One, 1);
         sim.run_to_display_consensus(&mut rng, budget).map_or(budget as f64, |t| t as f64)
     });
@@ -67,7 +70,8 @@ where
 
 /// Runs experiment E13.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e13");
     let mut report = ExperimentReport::new(
         "e13",
         "constant memory under passive communication (future-work probe)",
@@ -90,7 +94,7 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         let budget = 50 * n;
         for ell in [1usize, 3] {
             let (median, frac) =
-                measure_usd(ell, n, reps, budget, cfg.seed ^ n ^ (ell as u64), cfg.threads);
+                measure_usd(obs, ell, n, reps, budget, cfg.seed ^ n ^ (ell as u64), cfg.threads);
             if n == *ns.last().expect("non-empty") {
                 usd_converged_at_largest = usd_converged_at_largest.min(frac);
             }
@@ -102,6 +106,7 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
             ]);
         }
         let (vm, vf) = measure_memoryless(
+            obs,
             Voter::new(1).expect("valid"),
             n,
             reps,
@@ -112,6 +117,7 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
         voter_always_converges &= vf > 0.9;
         table.row(["memoryless(voter(l=1))".to_string(), n.to_string(), fmt_num(vm), fmt_num(vf)]);
         let (mm, mf) = measure_memoryless(
+            obs,
             Minority::new(3).expect("valid"),
             n,
             reps,
@@ -158,7 +164,7 @@ mod tests {
 
     #[test]
     fn smoke_run_memory_does_not_help() {
-        let report = run(&RunConfig::smoke(67));
+        let report = run(&RunConfig::smoke(67), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -15,16 +15,18 @@ use bitdissem_core::dynamics::{Minority, Voter};
 use bitdissem_core::{Configuration, Opinion, Protocol, ProtocolExt};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::run::Simulator;
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::{Summary, Table};
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E14.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e14");
     let mut report = ExperimentReport::new(
         "e14",
         "observation noise destroys bit dissemination",
@@ -73,10 +75,11 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
             };
 
             // Long-run behaviour from the correct consensus.
-            let late_fracs = replicate(
+            let late_fracs = replicate_observed(
                 reps,
                 cfg.seed ^ ((delta * 1e4) as u64) ^ ((protocol.sample_size() as u64) << 8),
                 cfg.threads,
+                obs,
                 |mut rng, _| {
                     let start = Configuration::correct_consensus(n, Opinion::One);
                     let mut sim = AggregateSim::new(&noisy, start).expect("valid");
@@ -126,7 +129,7 @@ mod tests {
 
     #[test]
     fn smoke_run_noise_destroys_dissemination() {
-        let report = run(&RunConfig::smoke(71));
+        let report = run(&RunConfig::smoke(71), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -21,6 +21,7 @@ use rand::Rng;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Worst-start expected convergence time in parallel rounds, or `None` if
 /// the consensus is unreachable (then the time is `+∞`, which only
@@ -42,7 +43,8 @@ fn worst_expected_rounds<P: Protocol + ?Sized>(protocol: &P, n: u64) -> Option<f
 
 /// Runs experiment E15.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e15");
     let mut report = ExperimentReport::new(
         "e15",
         "exact sequential lower bound across all protocols",
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn smoke_run_sequential_bound_is_exact() {
-        let report = run(&RunConfig::smoke(73));
+        let report = run(&RunConfig::smoke(73), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

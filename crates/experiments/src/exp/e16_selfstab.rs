@@ -19,6 +19,7 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Exact worst-case expected convergence time over *all* starts and both
 /// correct opinions, plus the time from the witness start.
@@ -51,7 +52,8 @@ fn exact_worst_and_witness<P: Protocol + ?Sized>(
 
 /// Runs experiment E16.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e16");
     let mut report = ExperimentReport::new(
         "e16",
         "self-stabilization: exhaustive worst-case start vs the analytic witness",
@@ -136,7 +138,7 @@ mod tests {
 
     #[test]
     fn smoke_run_witness_is_near_worst() {
-        let report = run(&RunConfig::smoke(79));
+        let report = run(&RunConfig::smoke(79), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

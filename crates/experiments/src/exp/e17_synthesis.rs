@@ -17,10 +17,12 @@ use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E17.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e17");
     let mut report = ExperimentReport::new(
         "e17",
         "protocol synthesis: optimizing the decision table does not escape the bound",
@@ -122,7 +124,7 @@ mod tests {
 
     #[test]
     fn smoke_run_synthesis_cannot_beat_theorem1() {
-        let report = run(&RunConfig::smoke(83));
+        let report = run(&RunConfig::smoke(83), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -13,16 +13,18 @@ use bitdissem_core::dynamics::Minority;
 use bitdissem_core::{Configuration, Opinion};
 use bitdissem_sim::partial::PartialSim;
 use bitdissem_sim::run::{run_to_consensus, Outcome};
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_stats::table::fmt_num;
 use bitdissem_stats::{Summary, Table};
 
 use crate::config::RunConfig;
 use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
 
 /// Runs experiment E18.
 #[must_use]
-pub fn run(cfg: &RunConfig) -> ExperimentReport {
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e18");
     let mut report = ExperimentReport::new(
         "e18",
         "partial synchrony: interpolating the parallel and sequential settings",
@@ -63,13 +65,19 @@ pub fn run(cfg: &RunConfig) -> ExperimentReport {
     let mut slow_at_unit = false;
     let mut last_fast_fraction: Option<f64> = None;
     for &batch in &batches {
-        let times = replicate(reps, cfg.seed ^ batch.rotate_left(23), cfg.threads, |mut rng, _| {
-            let mut sim = PartialSim::new(&minority, start, batch).expect("valid");
-            match run_to_consensus(&mut sim, &mut rng, budget) {
-                Outcome::Converged { rounds } => rounds as f64,
-                Outcome::TimedOut { rounds } => rounds as f64,
-            }
-        });
+        let times = replicate_observed(
+            reps,
+            cfg.seed ^ batch.rotate_left(23),
+            cfg.threads,
+            obs,
+            |mut rng, _| {
+                let mut sim = PartialSim::new(&minority, start, batch).expect("valid");
+                match run_to_consensus(&mut sim, &mut rng, budget) {
+                    Outcome::Converged { rounds } => rounds as f64,
+                    Outcome::TimedOut { rounds } => rounds as f64,
+                }
+            },
+        );
         let s = Summary::from_samples(&times).expect("non-empty");
         let frac = times.iter().filter(|&&t| t < budget as f64).count() as f64 / reps as f64;
         let fast = s.median() <= 30.0 * polylog && frac > 0.5;
@@ -115,7 +123,7 @@ mod tests {
 
     #[test]
     fn smoke_run_synchronicity_matters() {
-        let report = run(&RunConfig::smoke(89));
+        let report = run(&RunConfig::smoke(89), &Obs::none());
         assert!(report.pass, "{}", report.render());
     }
 }

@@ -1,5 +1,7 @@
 //! Experiment registry: look up and run experiments by id.
 
+use bitdissem_obs::{Event, Obs, RunManifest};
+
 use crate::config::RunConfig;
 use crate::exp;
 use crate::report::ExperimentReport;
@@ -12,7 +14,7 @@ pub struct Entry {
     /// One-line description.
     pub description: &'static str,
     /// Runner function.
-    pub run: fn(&RunConfig) -> ExperimentReport,
+    pub run: fn(&RunConfig, &Obs) -> ExperimentReport,
 }
 
 impl std::fmt::Debug for Entry {
@@ -140,8 +142,44 @@ pub fn all() -> Vec<Entry> {
 /// id.
 #[must_use]
 pub fn run(id: &str, cfg: &RunConfig) -> Option<ExperimentReport> {
+    run_observed(id, cfg, &Obs::none())
+}
+
+/// [`run`] with an observability handle: brackets the experiment with
+/// `ExperimentStarted` / `ExperimentFinished` trace events, attaches a
+/// [`RunManifest`] to the report (and emits it into the trace), and
+/// flushes the sink before returning.
+#[must_use]
+pub fn run_observed(id: &str, cfg: &RunConfig, obs: &Obs) -> Option<ExperimentReport> {
     let id = id.to_ascii_lowercase();
-    all().into_iter().find(|e| e.id == id).map(|e| (e.run)(cfg))
+    let entry = all().into_iter().find(|e| e.id == id)?;
+
+    let manifest =
+        RunManifest::begin(entry.id, cfg.seed, cfg.scale.name(), cfg.threads.unwrap_or(0));
+    let timer = bitdissem_obs::Timer::start();
+    if obs.active() {
+        obs.emit(&Event::ExperimentStarted {
+            id: entry.id.to_string(),
+            title: entry.description.to_string(),
+            seed: cfg.seed,
+            scale: cfg.scale.name().to_string(),
+        });
+    }
+
+    let mut report = (entry.run)(cfg, obs);
+
+    let manifest = manifest.finish(timer.elapsed());
+    if obs.active() {
+        obs.emit(&Event::ExperimentFinished {
+            id: entry.id.to_string(),
+            pass: report.pass,
+            elapsed_us: manifest.duration_us,
+        });
+        obs.emit(&Event::Manifest(manifest.clone()));
+    }
+    report.set_manifest(manifest);
+    obs.flush();
+    Some(report)
 }
 
 #[cfg(test)]

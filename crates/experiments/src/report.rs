@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use bitdissem_obs::RunManifest;
 use bitdissem_stats::Table;
 
 /// The result of one experiment run: titled tables plus a verdict on
@@ -20,6 +21,9 @@ pub struct ExperimentReport {
     pub findings: Vec<String>,
     /// `true` when every directional expectation held in this run.
     pub pass: bool,
+    /// Provenance record (seed, scale, threads, version, timing), attached
+    /// by the registry when the run is observed.
+    pub manifest: Option<RunManifest>,
 }
 
 impl ExperimentReport {
@@ -37,7 +41,13 @@ impl ExperimentReport {
             tables: Vec::new(),
             findings: Vec::new(),
             pass: true,
+            manifest: None,
         }
+    }
+
+    /// Attaches the run manifest.
+    pub fn set_manifest(&mut self, manifest: RunManifest) {
+        self.manifest = Some(manifest);
     }
 
     /// Appends a captioned table.
@@ -75,6 +85,9 @@ impl ExperimentReport {
             }
         }
         out.push_str(&format!("\nverdict: {}\n", if self.pass { "PASS" } else { "FAIL" }));
+        // The manifest is deliberately NOT rendered: it carries wall-clock
+        // fields, and `render()` must stay byte-identical for a fixed seed
+        // (the determinism integration tests compare it directly).
         out
     }
 }
@@ -119,5 +132,15 @@ mod tests {
     fn display_matches_render() {
         let r = ExperimentReport::new("x", "t", "c");
         assert_eq!(format!("{r}"), r.render());
+    }
+
+    #[test]
+    fn manifest_is_stored_but_stays_out_of_render() {
+        let mut r = ExperimentReport::new("x", "t", "c");
+        let baseline = r.render();
+        r.set_manifest(RunManifest::example());
+        assert_eq!(r.manifest.as_ref().unwrap().experiment_id, "e2");
+        // Wall-clock provenance must not perturb the deterministic render.
+        assert_eq!(r.render(), baseline);
     }
 }

@@ -2,9 +2,10 @@
 
 use bitdissem_analysis::LowerBoundWitness;
 use bitdissem_core::{Configuration, Protocol};
+use bitdissem_obs::Obs;
 use bitdissem_sim::aggregate::AggregateSim;
-use bitdissem_sim::run::{run_to_consensus, Outcome, Simulator};
-use bitdissem_sim::runner::replicate;
+use bitdissem_sim::run::{run_to_consensus_observed, Outcome, Simulator};
+use bitdissem_sim::runner::replicate_observed;
 use bitdissem_sim::sequential::SequentialSim;
 use bitdissem_stats::Summary;
 
@@ -96,9 +97,29 @@ pub fn measure_convergence<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    let outcomes = replicate(reps, seed, threads, |mut rng, _| {
+    measure_convergence_observed(&Obs::none(), protocol, start, reps, budget, seed, threads)
+}
+
+/// [`measure_convergence`] with an observability handle: each replication
+/// emits per-round and per-replication trace events and contributes to the
+/// run counters. Outcomes are identical to the unobserved call for the
+/// same seed.
+#[must_use]
+pub fn measure_convergence_observed<P>(
+    obs: &Obs,
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    let outcomes = replicate_observed(reps, seed, threads, obs, |mut rng, rep| {
         let mut sim = AggregateSim::new(protocol, start).expect("valid protocol");
-        run_to_consensus(&mut sim, &mut rng, budget)
+        run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
     });
     OutcomeBatch::new(outcomes, budget)
 }
@@ -117,9 +138,34 @@ pub fn measure_convergence_sequential<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    let outcomes = replicate(reps, seed, threads, |mut rng, _| {
+    measure_convergence_sequential_observed(
+        &Obs::none(),
+        protocol,
+        start,
+        reps,
+        budget_rounds,
+        seed,
+        threads,
+    )
+}
+
+/// [`measure_convergence_sequential`] with an observability handle.
+#[must_use]
+pub fn measure_convergence_sequential_observed<P>(
+    obs: &Obs,
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget_rounds: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    let outcomes = replicate_observed(reps, seed, threads, obs, |mut rng, rep| {
         let mut sim = SequentialSim::new(protocol, start).expect("valid protocol");
-        run_to_consensus(&mut sim, &mut rng, budget_rounds)
+        run_to_consensus_observed(&mut sim, &mut rng, budget_rounds, obs, rep as u64)
     });
     OutcomeBatch::new(outcomes, budget_rounds)
 }
@@ -140,7 +186,26 @@ pub fn measure_crossing<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    replicate(reps, seed, threads, |mut rng, _| {
+    measure_crossing_observed(&Obs::none(), protocol, witness, reps, budget, seed, threads)
+}
+
+/// [`measure_crossing`] with an observability handle (progress ticks and
+/// stream counters; crossing runs emit no per-round events since the
+/// stopping rule differs from consensus).
+#[must_use]
+pub fn measure_crossing_observed<P>(
+    obs: &Obs,
+    protocol: &P,
+    witness: &LowerBoundWitness,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<Outcome>
+where
+    P: Protocol + Sync + ?Sized,
+{
+    replicate_observed(reps, seed, threads, obs, |mut rng, _| {
         let mut sim = AggregateSim::new(protocol, witness.start()).expect("valid protocol");
         for t in 0..=budget {
             if witness.crossed(sim.configuration().ones()) {

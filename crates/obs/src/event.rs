@@ -1,0 +1,242 @@
+//! Typed trace events and their JSONL encoding.
+
+use crate::json::{self, Value};
+use crate::manifest::RunManifest;
+
+/// How a replication ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationOutcome {
+    /// The run reached the correct consensus (or crossed its witness
+    /// threshold) within the budget.
+    Converged,
+    /// The round budget was exhausted first.
+    TimedOut,
+}
+
+impl ReplicationOutcome {
+    /// Stable string tag used in the JSON encoding.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplicationOutcome::Converged => "converged",
+            ReplicationOutcome::TimedOut => "timed_out",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "converged" => Some(ReplicationOutcome::Converged),
+            "timed_out" => Some(ReplicationOutcome::TimedOut),
+            _ => None,
+        }
+    }
+}
+
+/// One structured trace event. Every variant encodes to a single JSON
+/// object with a `"type"` discriminator, one per line in a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An experiment run began.
+    ExperimentStarted {
+        /// Experiment id (`e1`…).
+        id: String,
+        /// Human-readable title.
+        title: String,
+        /// Base seed of the run.
+        seed: u64,
+        /// Scale name (`smoke` / `standard` / `full`).
+        scale: String,
+    },
+    /// An experiment run completed.
+    ExperimentFinished {
+        /// Experiment id.
+        id: String,
+        /// Whether every directional check passed.
+        pass: bool,
+        /// Wall-clock duration in microseconds.
+        elapsed_us: u64,
+    },
+    /// One replication of a replicated measurement completed.
+    ReplicationFinished {
+        /// Replication index within its batch.
+        rep: u64,
+        /// Converged or timed out.
+        outcome: ReplicationOutcome,
+        /// Convergence time (or the exhausted budget), in parallel rounds.
+        rounds: u64,
+        /// Wall-clock duration in microseconds.
+        elapsed_us: u64,
+    },
+    /// One parallel round of a simulation completed.
+    RoundCompleted {
+        /// Replication index the round belongs to.
+        rep: u64,
+        /// Round number within the replication (0-based).
+        round: u64,
+        /// Number of agents holding opinion 1 after the round.
+        ones: u64,
+        /// The source's (correct) opinion bit.
+        source_opinion: u8,
+    },
+    /// The run manifest, embedded in the trace for self-description.
+    Manifest(RunManifest),
+}
+
+impl Event {
+    /// Encodes the event as one compact JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    fn to_value(&self) -> Value {
+        let obj = |ty: &str, mut fields: Vec<(String, Value)>| {
+            fields.insert(0, ("type".to_string(), Value::Str(ty.to_string())));
+            Value::Obj(fields)
+        };
+        match self {
+            Event::ExperimentStarted { id, title, seed, scale } => obj(
+                "experiment_started",
+                vec![
+                    ("id".to_string(), Value::Str(id.clone())),
+                    ("title".to_string(), Value::Str(title.clone())),
+                    ("seed".to_string(), Value::Int(i128::from(*seed))),
+                    ("scale".to_string(), Value::Str(scale.clone())),
+                ],
+            ),
+            Event::ExperimentFinished { id, pass, elapsed_us } => obj(
+                "experiment_finished",
+                vec![
+                    ("id".to_string(), Value::Str(id.clone())),
+                    ("pass".to_string(), Value::Bool(*pass)),
+                    ("elapsed_us".to_string(), Value::Int(i128::from(*elapsed_us))),
+                ],
+            ),
+            Event::ReplicationFinished { rep, outcome, rounds, elapsed_us } => obj(
+                "replication_finished",
+                vec![
+                    ("rep".to_string(), Value::Int(i128::from(*rep))),
+                    ("outcome".to_string(), Value::Str(outcome.as_str().to_string())),
+                    ("rounds".to_string(), Value::Int(i128::from(*rounds))),
+                    ("elapsed_us".to_string(), Value::Int(i128::from(*elapsed_us))),
+                ],
+            ),
+            Event::RoundCompleted { rep, round, ones, source_opinion } => obj(
+                "round_completed",
+                vec![
+                    ("rep".to_string(), Value::Int(i128::from(*rep))),
+                    ("round".to_string(), Value::Int(i128::from(*round))),
+                    ("ones".to_string(), Value::Int(i128::from(*ones))),
+                    ("source_opinion".to_string(), Value::Int(i128::from(*source_opinion))),
+                ],
+            ),
+            Event::Manifest(manifest) => {
+                let Value::Obj(fields) = manifest.to_value() else {
+                    unreachable!("manifest encodes to an object");
+                };
+                obj("manifest", fields)
+            }
+        }
+    }
+
+    /// Decodes an event from one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description on malformed JSON, an unknown
+    /// `"type"` or missing fields.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = json::parse(line).map_err(|e| e.to_string())?;
+        let ty = value.get("type").and_then(Value::as_str).ok_or("missing \"type\" field")?;
+        let str_field = |k: &str| {
+            value.get(k).and_then(Value::as_str).map(str::to_string).ok_or(format!("missing {k}"))
+        };
+        let u64_field =
+            |k: &str| value.get(k).and_then(Value::as_u64).ok_or(format!("missing {k}"));
+        match ty {
+            "experiment_started" => Ok(Event::ExperimentStarted {
+                id: str_field("id")?,
+                title: str_field("title")?,
+                seed: u64_field("seed")?,
+                scale: str_field("scale")?,
+            }),
+            "experiment_finished" => Ok(Event::ExperimentFinished {
+                id: str_field("id")?,
+                pass: value.get("pass").and_then(Value::as_bool).ok_or("missing pass")?,
+                elapsed_us: u64_field("elapsed_us")?,
+            }),
+            "replication_finished" => Ok(Event::ReplicationFinished {
+                rep: u64_field("rep")?,
+                outcome: ReplicationOutcome::from_str(&str_field("outcome")?)
+                    .ok_or("unknown outcome")?,
+                rounds: u64_field("rounds")?,
+                elapsed_us: u64_field("elapsed_us")?,
+            }),
+            "round_completed" => Ok(Event::RoundCompleted {
+                rep: u64_field("rep")?,
+                round: u64_field("round")?,
+                ones: u64_field("ones")?,
+                source_opinion: u8::try_from(u64_field("source_opinion")?)
+                    .map_err(|_| "source_opinion out of range".to_string())?,
+            }),
+            "manifest" => RunManifest::from_value(&value).map(Event::Manifest),
+            other => Err(format!("unknown event type '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::ExperimentStarted {
+                id: "e2".to_string(),
+                title: "Voter upper bound".to_string(),
+                seed: u64::MAX,
+                scale: "smoke".to_string(),
+            },
+            Event::ExperimentFinished { id: "e2".to_string(), pass: true, elapsed_us: 12_345 },
+            Event::ReplicationFinished {
+                rep: 3,
+                outcome: ReplicationOutcome::Converged,
+                rounds: 99,
+                elapsed_us: 400,
+            },
+            Event::ReplicationFinished {
+                rep: 4,
+                outcome: ReplicationOutcome::TimedOut,
+                rounds: 1_000,
+                elapsed_us: 2,
+            },
+            Event::RoundCompleted { rep: 0, round: 17, ones: 5, source_opinion: 1 },
+            Event::Manifest(RunManifest::example()),
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for ev in samples() {
+            let line = ev.to_json();
+            assert!(!line.contains('\n'), "single line: {line}");
+            let back = Event::from_json(&line).expect(&line);
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn type_tag_is_first_field() {
+        for ev in samples() {
+            assert!(ev.to_json().starts_with("{\"type\":\""), "{}", ev.to_json());
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Event::from_json("{}").is_err());
+        assert!(Event::from_json("{\"type\":\"martian\"}").is_err());
+        assert!(Event::from_json("{\"type\":\"round_completed\",\"rep\":0}").is_err());
+        assert!(Event::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Coarse run metrics: lock-free counters plus named phase timers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Aggregated counters and phase timings for one run.
+///
+/// Counters are relaxed atomics: instrumented code batches additions
+/// (e.g. once per replication, not once per round) so contention and
+/// overhead stay negligible.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total parallel rounds simulated across all replications.
+    pub rounds_simulated: AtomicU64,
+    /// Total opinion samples drawn by agents (≈ rounds × population).
+    pub opinion_samples: AtomicU64,
+    /// Independent RNG streams derived (one per replication).
+    pub rng_streams: AtomicU64,
+    /// Replications completed.
+    pub replications: AtomicU64,
+    phases: Mutex<BTreeMap<String, PhaseStat>>,
+}
+
+/// Accumulated timing for one named phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Times the phase was entered.
+    pub calls: u64,
+    /// Total nanoseconds spent in the phase.
+    pub nanos: u64,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to `rounds_simulated`.
+    pub fn add_rounds(&self, n: u64) {
+        self.rounds_simulated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to `opinion_samples`.
+    pub fn add_samples(&self, n: u64) {
+        self.opinion_samples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to `rng_streams`.
+    pub fn add_rng_streams(&self, n: u64) {
+        self.rng_streams.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to `replications`.
+    pub fn add_replications(&self, n: u64) {
+        self.replications.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one timed entry into phase `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the metrics block panicked mid-update.
+    pub fn record_phase(&self, name: &str, elapsed: Duration) {
+        let mut phases = self.phases.lock().expect("metrics poisoned");
+        let stat = phases.entry(name.to_string()).or_default();
+        stat.calls += 1;
+        stat.nanos =
+            stat.nanos.saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Snapshot of all phase timings, sorted by phase name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the metrics block panicked mid-update.
+    #[must_use]
+    pub fn phases(&self) -> Vec<(String, PhaseStat)> {
+        self.phases.lock().expect("metrics poisoned").clone().into_iter().collect()
+    }
+
+    /// Renders a human-readable multi-line summary (counters, then one
+    /// line per phase).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics:\n");
+        let counter =
+            |label: &str, v: &AtomicU64| format!("  {:<24} {}\n", label, v.load(Ordering::Relaxed));
+        out.push_str(&counter("rounds_simulated", &self.rounds_simulated));
+        out.push_str(&counter("opinion_samples", &self.opinion_samples));
+        out.push_str(&counter("rng_streams", &self.rng_streams));
+        out.push_str(&counter("replications", &self.replications));
+        let phases = self.phases();
+        if !phases.is_empty() {
+            out.push_str("phases:\n");
+            for (name, stat) in phases {
+                let ms = stat.nanos as f64 / 1e6;
+                out.push_str(&format!("  {:<24} {:>6} calls  {:>10.3} ms\n", name, stat.calls, ms));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_rounds(10);
+        m.add_rounds(5);
+        m.add_samples(300);
+        m.add_rng_streams(2);
+        m.add_replications(2);
+        assert_eq!(m.rounds_simulated.load(Ordering::Relaxed), 15);
+        assert_eq!(m.opinion_samples.load(Ordering::Relaxed), 300);
+        assert_eq!(m.rng_streams.load(Ordering::Relaxed), 2);
+        assert_eq!(m.replications.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn phases_accumulate_and_sort() {
+        let m = Metrics::new();
+        m.record_phase("zeta", Duration::from_nanos(50));
+        m.record_phase("alpha", Duration::from_nanos(100));
+        m.record_phase("zeta", Duration::from_nanos(25));
+        let phases = m.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "alpha");
+        assert_eq!(phases[0].1, PhaseStat { calls: 1, nanos: 100 });
+        assert_eq!(phases[1].1, PhaseStat { calls: 2, nanos: 75 });
+    }
+
+    #[test]
+    fn render_mentions_every_counter_and_phase() {
+        let m = Metrics::new();
+        m.add_rounds(7);
+        m.record_phase("simulate", Duration::from_millis(2));
+        let text = m.render();
+        assert!(text.contains("rounds_simulated"));
+        assert!(text.contains('7'));
+        assert!(text.contains("simulate"));
+        assert!(text.contains("1 calls"));
+    }
+}

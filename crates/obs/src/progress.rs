@@ -1,0 +1,81 @@
+//! A minimal stderr progress meter for long replication batches.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe progress meter that rewrites one stderr line (`\r`).
+///
+/// With a known total it only redraws when the integer percentage
+/// changes, so ticking from a tight loop is cheap. A total of `0` means
+/// indeterminate: every tick redraws a plain completion count.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    last_pct: AtomicU64,
+}
+
+impl Progress {
+    /// A meter for `total` units of work under `label` (`0` =
+    /// indeterminate).
+    #[must_use]
+    pub fn new(label: &str, total: u64) -> Self {
+        Progress {
+            label: label.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            last_pct: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records `n` completed units and redraws if the meter moved.
+    pub fn tick(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if self.total == 0 {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r{}: {} done", self.label, done);
+            let _ = err.flush();
+            return;
+        }
+        let pct = (done.min(self.total) * 100) / self.total;
+        if self.last_pct.swap(pct, Ordering::Relaxed) != pct {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r{}: {:>3}% ({}/{})", self.label, pct, done, self.total);
+            let _ = err.flush();
+        }
+    }
+
+    /// Units completed so far.
+    #[must_use]
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Finishes the meter line with a newline.
+    pub fn finish(&self) {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err);
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ticks() {
+        let p = Progress::new("reps", 10);
+        p.tick(3);
+        p.tick(4);
+        assert_eq!(p.done(), 7);
+    }
+
+    #[test]
+    fn zero_total_does_not_divide_by_zero() {
+        let p = Progress::new("empty", 0);
+        p.tick(1); // must not panic
+        assert_eq!(p.done(), 1);
+    }
+}

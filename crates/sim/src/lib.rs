@@ -55,4 +55,5 @@ pub mod trajectory;
 pub use agent::AgentSim;
 pub use aggregate::AggregateSim;
 pub use rng::{rng_from, SimRng};
-pub use run::{run_to_consensus, Outcome, Simulator};
+pub use run::{run_to_consensus, run_to_consensus_observed, Outcome, Simulator};
+pub use runner::{replicate, replicate_observed};

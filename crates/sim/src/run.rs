@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use bitdissem_core::Configuration;
+use bitdissem_obs::{Event, Obs, ReplicationOutcome, Timer};
 
 use crate::rng::SimRng;
 
@@ -21,6 +22,14 @@ pub trait Simulator {
     /// Population size (convenience).
     fn n(&self) -> u64 {
         self.configuration().n()
+    }
+
+    /// Opinion samples drawn per parallel round, used for the
+    /// `opinion_samples` metric. Defaults to one per agent, which is
+    /// exact for both the aggregate and the sequential simulator (the
+    /// latter performs `n` single-sample activations per round).
+    fn opinion_samples_per_round(&self) -> u64 {
+        self.n()
     }
 }
 
@@ -88,6 +97,68 @@ pub fn run_to_consensus<S: Simulator + ?Sized>(
         sim.step_round(rng);
     }
     Outcome::TimedOut { rounds: max_rounds }
+}
+
+/// [`run_to_consensus`] with observability: emits a
+/// [`Event::RoundCompleted`] per simulated round (subject to the handle's
+/// round stride), a closing [`Event::ReplicationFinished`], and
+/// batch-adds round/sample counters once at the end of the run.
+///
+/// Instrumentation never touches `rng`, so outcomes are **identical** to
+/// [`run_to_consensus`] for the same seed; with a fully disabled handle
+/// the call forwards directly to the uninstrumented loop.
+pub fn run_to_consensus_observed<S: Simulator + ?Sized>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    max_rounds: u64,
+    obs: &Obs,
+    rep: u64,
+) -> Outcome {
+    if !obs.active() && !obs.metrics_on() {
+        return run_to_consensus(sim, rng, max_rounds);
+    }
+
+    let timer = Timer::start();
+    let mut rounds_done: u64 = 0;
+    let outcome = 'run: {
+        for t in 0..=max_rounds {
+            if sim.configuration().is_correct_consensus() {
+                break 'run Outcome::Converged { rounds: t };
+            }
+            if t == max_rounds {
+                break;
+            }
+            sim.step_round(rng);
+            rounds_done += 1;
+            if obs.wants_round(t) {
+                let config = sim.configuration();
+                obs.emit(&Event::RoundCompleted {
+                    rep,
+                    round: t,
+                    ones: config.ones(),
+                    source_opinion: config.correct().as_bit(),
+                });
+            }
+        }
+        Outcome::TimedOut { rounds: max_rounds }
+    };
+    if obs.metrics_on() {
+        obs.metrics().add_rounds(rounds_done);
+        obs.metrics().add_samples(rounds_done.saturating_mul(sim.opinion_samples_per_round()));
+    }
+    if obs.active() {
+        obs.emit(&Event::ReplicationFinished {
+            rep,
+            outcome: if outcome.is_converged() {
+                ReplicationOutcome::Converged
+            } else {
+                ReplicationOutcome::TimedOut
+            },
+            rounds: outcome.rounds_censored(),
+            elapsed_us: timer.elapsed_us(),
+        });
+    }
+    outcome
 }
 
 /// Result of a stability-checked run (experiment E9).
@@ -182,6 +253,95 @@ mod tests {
             StabilityOutcome::Stable { entered } => assert!(entered > 0),
             other => panic!("expected stable convergence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_exactly() {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(64, Opinion::One);
+        let plain = {
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            run_to_consensus(&mut sim, &mut rng_from(11), 100_000)
+        };
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(sink).with_metrics();
+        let observed = {
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            run_to_consensus_observed(&mut sim, &mut rng_from(11), 100_000, &obs, 0)
+        };
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn memory_sink_records_the_exact_event_sequence() {
+        // Fixed seed, n = 8, Voter: the trace must be RoundCompleted for
+        // rounds 0..k-1 (one per simulated round, in order) followed by a
+        // single ReplicationFinished whose round count equals the outcome.
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(8, Opinion::One);
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(std::sync::Arc::clone(&sink) as _);
+        let mut sim = AggregateSim::new(&voter, start).unwrap();
+        let outcome = run_to_consensus_observed(&mut sim, &mut rng_from(42), 100_000, &obs, 5);
+        let k = outcome.rounds().expect("voter converges on n = 8");
+        assert!(k > 0);
+
+        let events = sink.events();
+        assert_eq!(events.len() as u64, k + 1, "k round events plus the replication event");
+        for (t, ev) in events[..events.len() - 1].iter().enumerate() {
+            match *ev {
+                bitdissem_obs::Event::RoundCompleted { rep, round, ones, source_opinion } => {
+                    assert_eq!(rep, 5);
+                    assert_eq!(round, t as u64);
+                    assert!(ones <= 8);
+                    assert_eq!(source_opinion, 1);
+                }
+                ref other => panic!("expected RoundCompleted at {t}, got {other:?}"),
+            }
+        }
+        // The final round event shows the correct consensus being reached.
+        match events[events.len() - 2] {
+            bitdissem_obs::Event::RoundCompleted { ones, .. } => assert_eq!(ones, 8),
+            ref other => panic!("unexpected event {other:?}"),
+        }
+        match events[events.len() - 1] {
+            bitdissem_obs::Event::ReplicationFinished { rep, outcome, rounds, .. } => {
+                assert_eq!(rep, 5);
+                assert_eq!(outcome, ReplicationOutcome::Converged);
+                assert_eq!(rounds, k);
+            }
+            ref other => panic!("expected ReplicationFinished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_stride_thins_the_trace() {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(64, Opinion::One);
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(std::sync::Arc::clone(&sink) as _).with_round_stride(8);
+        let mut sim = AggregateSim::new(&voter, start).unwrap();
+        let outcome = run_to_consensus_observed(&mut sim, &mut rng_from(4), 100_000, &obs, 0);
+        let k = outcome.rounds().unwrap();
+        let round_events = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, bitdissem_obs::Event::RoundCompleted { .. }))
+            .count() as u64;
+        assert_eq!(round_events, k.div_ceil(8));
+    }
+
+    #[test]
+    fn observed_metrics_count_rounds_and_samples() {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(16, Opinion::One);
+        let obs = Obs::none().with_metrics();
+        let mut sim = AggregateSim::new(&voter, start).unwrap();
+        let outcome = run_to_consensus_observed(&mut sim, &mut rng_from(9), 100_000, &obs, 0);
+        let k = outcome.rounds().unwrap();
+        let m = obs.metrics();
+        assert_eq!(m.rounds_simulated.load(std::sync::atomic::Ordering::Relaxed), k);
+        assert_eq!(m.opinion_samples.load(std::sync::atomic::Ordering::Relaxed), k * 16);
     }
 
     #[test]

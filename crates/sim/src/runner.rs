@@ -3,10 +3,15 @@
 //! Experiments run hundreds of independent replications; this module fans
 //! them out over threads with deterministic per-replication seeds, so the
 //! result vector is identical regardless of thread count or scheduling.
+//!
+//! Workers send `(index, result)` pairs over a channel and the caller
+//! scatters them into their slots, so no lock is held while replications
+//! run and no slot is written twice.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
-use parking_lot::Mutex;
+use bitdissem_obs::Obs;
 
 use crate::rng::{replication_seed, rng_from, SimRng};
 
@@ -36,42 +41,92 @@ where
     R: Send,
     F: Fn(SimRng, usize) -> R + Sync,
 {
+    replicate_observed(reps, base_seed, threads, &Obs::none(), f)
+}
+
+/// [`replicate`] with an observability handle: counts derived RNG streams
+/// and completed replications, and ticks the attached progress meter once
+/// per replication. Trace events for individual replications are the
+/// closure's job (it knows the outcome); see
+/// `experiments::workload::measure_convergence_observed`.
+///
+/// # Panics
+///
+/// Panics if any worker panics (the panic is propagated).
+pub fn replicate_observed<R, F>(
+    reps: usize,
+    base_seed: u64,
+    threads: Option<usize>,
+    obs: &Obs,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(SimRng, usize) -> R + Sync,
+{
     if reps == 0 {
         return Vec::new();
     }
     let threads = threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
         .clamp(1, reps);
+    let _scope = obs.scope("replicate");
+    if obs.metrics_on() {
+        obs.metrics().add_rng_streams(reps as u64);
+        obs.metrics().add_replications(reps as u64);
+    }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..reps).map(|_| None).collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let rep = next.fetch_add(1, Ordering::Relaxed);
-                if rep >= reps {
-                    break;
-                }
-                let rng = rng_from(replication_seed(base_seed, rep as u64));
-                let r = f(rng, rep);
-                results.lock()[rep] = Some(r);
-            });
+    let results: Vec<Option<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tx = tx.clone();
+                scope.spawn(|| {
+                    let tx = tx;
+                    loop {
+                        let rep = next.fetch_add(1, Ordering::Relaxed);
+                        if rep >= reps {
+                            break;
+                        }
+                        let rng = rng_from(replication_seed(base_seed, rep as u64));
+                        let r = f(rng, rep);
+                        // The receiver lives until every worker is joined,
+                        // so this send cannot fail.
+                        tx.send((rep, r)).expect("replication receiver alive");
+                        if let Some(progress) = obs.progress() {
+                            progress.tick(1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Drop the original sender so `rx` terminates once workers finish.
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = (0..reps).map(|_| None).collect();
+        for (rep, r) in rx {
+            debug_assert!(slots[rep].is_none(), "replication {rep} produced twice");
+            slots[rep] = Some(r);
         }
-    })
-    .expect("worker thread panicked");
+        for handle in handles {
+            if handle.join().is_err() {
+                panic!("worker thread panicked");
+            }
+        }
+        slots
+    });
 
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every replication index is filled"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every replication index is filled")).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitdissem_obs::Progress;
     use rand::Rng;
+    use std::sync::Arc;
 
     #[test]
     fn empty_and_single() {
@@ -86,6 +141,26 @@ mod tests {
         let xs = replicate(100, 9, Some(8), |_, rep| rep * 3);
         for (i, &x) in xs.iter().enumerate() {
             assert_eq!(x, i * 3);
+        }
+    }
+
+    #[test]
+    fn results_in_replication_order_across_thread_counts() {
+        // Regression test for the channel-based collection: the scatter
+        // into indexed slots must restore replication order for every
+        // thread count and replication count, including reps % threads != 0
+        // and a worker finishing out of order (later reps return faster).
+        for &threads in &[1usize, 2, 3, 8] {
+            for &reps in &[1usize, 2, 7, 33] {
+                let xs = replicate(reps, 5, Some(threads), |_, rep| {
+                    if rep == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    rep
+                });
+                let expect: Vec<usize> = (0..reps).collect();
+                assert_eq!(xs, expect, "threads={threads} reps={reps}");
+            }
         }
     }
 
@@ -113,5 +188,26 @@ mod tests {
             assert!(rep < 2, "boom");
             rep
         });
+    }
+
+    #[test]
+    fn observed_counts_streams_and_ticks_progress() {
+        let progress = Arc::new(Progress::new("test", 16));
+        let obs = Obs::none().with_metrics().with_progress(Arc::clone(&progress));
+        let xs = replicate_observed(16, 3, Some(4), &obs, |_, rep| rep);
+        assert_eq!(xs.len(), 16);
+        assert_eq!(progress.done(), 16);
+        let metrics = obs.metrics();
+        assert_eq!(metrics.rng_streams.load(std::sync::atomic::Ordering::Relaxed), 16);
+        assert_eq!(metrics.replications.load(std::sync::atomic::Ordering::Relaxed), 16);
+        assert_eq!(metrics.phases().len(), 1);
+    }
+
+    #[test]
+    fn observed_matches_unobserved() {
+        let plain = replicate(24, 99, Some(3), |mut rng, _| rng.random::<u64>());
+        let obs = Obs::none().with_metrics();
+        let observed = replicate_observed(24, 99, Some(3), &obs, |mut rng, _| rng.random::<u64>());
+        assert_eq!(plain, observed);
     }
 }

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "all" => {
             let mut failures = Vec::new();
             for entry in registry::all() {
-                let report = (entry.run)(&cfg);
+                let report = registry::run(entry.id, &cfg).expect("registered id");
                 println!("{report}");
                 if !report.pass {
                     failures.push(entry.id);

@@ -1,0 +1,171 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the subset of its API this workspace uses.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the normal assertion message; it is not minimized.
+//! * **Deterministic.** Each `proptest!`-generated test derives its RNG seed
+//!   from the test's module path and name, so runs are reproducible and
+//!   hermetic (no `proptest-regressions` files).
+//! * **Edge-case bias.** Range strategies return an endpoint with small
+//!   probability, then sample uniformly — a lightweight version of
+//!   upstream's bias toward boundary values.
+//!
+//! Supported surface: `Strategy` (with `prop_map` / `prop_flat_map`),
+//! integer/float range strategies, tuple strategies, `Just`,
+//! `collection::vec`, `ProptestConfig::with_cases`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Derives a deterministic RNG seed from a test's fully qualified name
+/// (FNV-1a). Not part of the public API.
+#[doc(hidden)]
+#[must_use]
+pub fn __seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property-based tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn sum_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ( $( $strat, )+ );
+                let mut __rng = $crate::test_runner::TestRng::new($crate::__seed_from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                ));
+                for _ in 0..__config.cases {
+                    #[allow(unused_mut, unused_parens)]
+                    let ( $( $pat, )+ ) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    // The closure gives `prop_assume!`'s `?` an enclosing
+                    // function; it is not redundant.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::Reject> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    // A rejected case (prop_assume) is simply skipped.
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// stand-in performs no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::core::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::core::assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { ::core::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::core::assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { ::core::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::core::assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Assumptions skip cases without failing.
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x > 4);
+            prop_assert!(x > 4);
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..5).prop_flat_map(|len| {
+            crate::collection::vec(0.0f64..=1.0, len)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!((0.0..=1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_mut_patterns(mut v in crate::collection::vec(0i64..10, 1..4),
+                                   (a, b) in (0u32..5, 0u32..5)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(a < 5 && b < 5);
+        }
+    }
+}

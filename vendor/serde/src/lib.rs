@@ -1,0 +1,48 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no crates.io access, and this workspace uses
+//! serde only as a *compile-time marker* (`#[derive(Serialize, Deserialize)]`
+//! and `T: Serialize` bounds) — nothing actually serializes through serde's
+//! data model; JSON output in this repo goes through `bitdissem-obs`'s
+//! hand-rolled writer. This stub therefore provides blanket-implemented
+//! marker traits and no-op derive macros, which keeps every existing bound
+//! and derive compiling unchanged. If real serde interop is ever needed,
+//! replace this vendored crate with the upstream one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    struct Example {
+        _x: u32,
+    }
+
+    fn assert_serialize<T: crate::Serialize>() {}
+    fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn markers_are_universal() {
+        assert_serialize::<Example>();
+        assert_serialize::<Vec<String>>();
+        assert_deserialize::<Example>();
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stand-in. The traits are blanket-implemented in `serde`, so the derives
+//! only need to exist (and swallow `#[serde(...)]` helper attributes).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
