@@ -1,0 +1,83 @@
+//! Replication-engine benchmarks: the persistent work-stealing pool vs the
+//! spawn-per-call scoped-thread baseline it replaced.
+//!
+//! The interesting regimes are the sweep shapes experiments actually use:
+//! many cheap batches in a row (where per-call thread spawn/join dominated)
+//! and a few heavy batches (where the two engines should converge on the
+//! same throughput). Both engines compute identical results — the
+//! equivalence is asserted once up front.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bitdissem_core::dynamics::Voter;
+use bitdissem_core::{Configuration, Opinion};
+use bitdissem_pool::Pool;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::run::run_to_consensus;
+use bitdissem_sim::runner::{replicate, replicate_spawn};
+
+fn convergence_batch(engine: fn(usize, u64, Option<usize>) -> Vec<u64>, reps: usize) -> Vec<u64> {
+    engine(reps, 42, Some(4))
+}
+
+fn pooled(reps: usize, seed: u64, threads: Option<usize>) -> Vec<u64> {
+    let voter = Voter::new(1).unwrap();
+    let start = Configuration::all_wrong(256, Opinion::One);
+    replicate(reps, seed, threads, |mut rng, _| {
+        let mut sim = AggregateSim::new(&voter, start).unwrap();
+        run_to_consensus(&mut sim, &mut rng, 1 << 20).rounds_censored()
+    })
+}
+
+fn spawned(reps: usize, seed: u64, threads: Option<usize>) -> Vec<u64> {
+    let voter = Voter::new(1).unwrap();
+    let start = Configuration::all_wrong(256, Opinion::One);
+    replicate_spawn(reps, seed, threads, |mut rng, _| {
+        let mut sim = AggregateSim::new(&voter, start).unwrap();
+        run_to_consensus(&mut sim, &mut rng, 1 << 20).rounds_censored()
+    })
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    assert_eq!(
+        convergence_batch(pooled, 16),
+        convergence_batch(spawned, 16),
+        "the two engines must agree before their speed is compared"
+    );
+
+    let mut group = c.benchmark_group("pool_vs_spawn");
+    group.sample_size(10);
+    // Sweep-shaped load: many small batches (a sweep point each), where the
+    // persistent pool amortizes thread startup across points.
+    for &reps in &[8usize, 32, 128] {
+        group.bench_function(format!("pool_reps{reps}"), |b| {
+            b.iter(|| std::hint::black_box(convergence_batch(pooled, reps)));
+        });
+        group.bench_function(format!("spawn_reps{reps}"), |b| {
+            b.iter(|| std::hint::black_box(convergence_batch(spawned, reps)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_overhead(c: &mut Criterion) {
+    // Pure dispatch cost: empty tasks expose the per-batch fixed overhead
+    // (chunk dealing, publish, close handshake) vs spawn/join.
+    let mut group = c.benchmark_group("batch_overhead");
+    let pool = Pool::new(3);
+    group.bench_function("pool_noop_batch64", |b| {
+        b.iter(|| {
+            pool.run_batch(64, 4, &|i| {
+                std::hint::black_box(i);
+            })
+            .tasks
+        });
+    });
+    group.bench_function("spawn_noop_batch64", |b| {
+        b.iter(|| std::hint::black_box(replicate_spawn(64, 0, Some(4), |_, rep| rep)));
+    });
+    group.finish();
+}
+
+criterion_group!(pool_benches, bench_pool_vs_spawn, bench_batch_overhead);
+criterion_main!(pool_benches);

@@ -4,9 +4,11 @@
 //!
 //! * `list` — the experiment registry;
 //! * `run <id> [--scale smoke|standard|full] [--seed N] [--threads T]
-//!   [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]`
-//!   — run an experiment and print its report, optionally writing a JSONL
-//!   trace and printing run metrics to stderr;
+//!   [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]
+//!   [--checkpoint-dir DIR] [--resume]` — run an experiment and print its
+//!   report, optionally writing a JSONL trace, printing run metrics to
+//!   stderr, and persisting per-replication checkpoints (so an interrupted
+//!   sweep can be resumed with `--resume`);
 //! * `analyze <protocol> [--ell L] [--n N]` — bias polynomial, roots, sign
 //!   intervals and the Theorem-12 witness of a protocol;
 //! * `simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B]
@@ -32,7 +34,7 @@ use bitdissem_core::Protocol;
 use bitdissem_experiments::{registry, RunConfig, Scale};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
-use bitdissem_obs::{JsonlSink, Obs, Progress};
+use bitdissem_obs::{CheckpointLog, JsonlSink, Obs, Progress};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::rng::rng_from;
 use bitdissem_sim::run::{Outcome, Simulator};
@@ -74,6 +76,7 @@ pub fn usage() -> String {
      \x20 bitdissem list\n\
      \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N]\n\
      \x20\x20\x20\x20 [--threads T] [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]\n\
+     \x20\x20\x20\x20 [--checkpoint-dir DIR] [--resume]\n\
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
@@ -83,6 +86,10 @@ pub fn usage() -> String {
      \x20 --trace-every N    thin per-round events to every N-th round (default 1)\n\
      \x20 --metrics          print counters and per-phase timings to stderr\n\
      \x20 --progress         live replication meter on stderr\n\
+     \x20 --checkpoint-dir D persist per-replication results to D/checkpoint.jsonl and\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run manifests to D/manifests.jsonl\n\
+     \x20 --resume           skip replications already in the checkpoint log\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (requires --checkpoint-dir; results stay bit-identical)\n\
      \n\
      protocols: voter, minority, majority, two-choices, lazy-voter, power-voter, anti-voter, stay\n"
         .to_string()
@@ -170,8 +177,37 @@ fn build_obs(args: &Args) -> Result<Obs, String> {
     if args.flag("progress") {
         obs = obs.with_progress(Arc::new(Progress::new("replications", 0)));
     }
+    if let Some(dir) = args.get("checkpoint-dir") {
+        if dir.is_empty() {
+            return Err("--checkpoint-dir needs a directory path".to_string());
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create checkpoint directory '{dir}': {e}"))?;
+        let path = std::path::Path::new(dir).join("checkpoint.jsonl");
+        // A fresh run truncates the log (stale entries from a different
+        // invocation must not be replayed); --resume reopens it.
+        let log = if args.flag("resume") {
+            CheckpointLog::open(&path)
+        } else {
+            CheckpointLog::create(&path)
+        }
+        .map_err(|e| format!("cannot open checkpoint log '{}': {e}", path.display()))?;
+        obs = obs.with_checkpoint(Arc::new(log));
+    } else if args.flag("resume") {
+        return Err("--resume requires --checkpoint-dir".to_string());
+    }
     let stride: u64 = args.get_parsed("trace-every", 1)?;
     Ok(obs.with_round_stride(stride))
+}
+
+/// Appends each run's manifest to `<dir>/manifests.jsonl`, giving a
+/// checkpointed sweep a durable provenance record alongside its results.
+fn append_manifest(dir: &str, manifest: &bitdissem_obs::RunManifest) {
+    use std::io::Write as _;
+    let path = std::path::Path::new(dir).join("manifests.jsonl");
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{}", manifest.to_json());
+    }
 }
 
 fn cmd_run(args: &Args) -> CommandOutput {
@@ -218,9 +254,12 @@ fn cmd_run(args: &Args) -> CommandOutput {
                     out.push_str(&report.render());
                     out.push('\n');
                 }
-                if args.flag("metrics") {
-                    if let Some(manifest) = &report.manifest {
+                if let Some(manifest) = &report.manifest {
+                    if args.flag("metrics") {
                         let _ = writeln!(stderr, "manifest: {}", manifest.to_json());
+                    }
+                    if let Some(dir) = args.get("checkpoint-dir") {
+                        append_manifest(dir, manifest);
                     }
                 }
                 all_pass &= report.pass;
@@ -651,6 +690,81 @@ mod tests {
         let body = |s: &str| s.split("\nverdict:").next().unwrap().to_string();
         assert_eq!(body(&plain.stdout), body(&traced.stdout));
         assert_eq!(plain.status, traced.status);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_a_usage_error() {
+        let (out, status) = run_cli(&["run", "e2", "--scale", "smoke", "--resume"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("--resume requires --checkpoint-dir"), "{out}");
+    }
+
+    #[test]
+    fn checkpointed_resume_is_byte_identical_and_hits_the_cache() {
+        let dir = std::env::temp_dir().join(format!("bitdissem_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+
+        let base = ["run", "e2", "--scale", "smoke", "--seed", "13", "--metrics"];
+        let plain = dispatch_full(&Args::parse(base));
+        assert_eq!(plain.status, Status::Ok, "{}", plain.stdout);
+
+        // Fresh checkpointed run: populates the log, zero cache hits.
+        let argv: Vec<&str> =
+            base.iter().copied().chain(["--checkpoint-dir", dir_s.as_str()]).collect();
+        let fresh = dispatch_full(&Args::parse(argv.clone()));
+        assert_eq!(fresh.status, Status::Ok, "{}", fresh.stdout);
+        assert_eq!(fresh.stdout, plain.stdout, "checkpointing must not change results");
+        let hits = |stderr: &str| -> u64 {
+            stderr
+                .lines()
+                .find(|l| l.contains("checkpoint_hits"))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert_eq!(hits(&fresh.stderr), 0, "{}", fresh.stderr);
+        let log = std::fs::read_to_string(dir.join("checkpoint.jsonl")).unwrap();
+        assert!(!log.is_empty(), "fresh run must persist checkpoints");
+        let manifests = std::fs::read_to_string(dir.join("manifests.jsonl")).unwrap();
+        assert!(manifests.contains("\"experiment_id\":\"e2\""), "{manifests}");
+
+        // Resumed run: every replication loads from the log, output is
+        // byte-identical to the uninterrupted run.
+        let resume: Vec<&str> = argv.iter().copied().chain(["--resume"]).collect();
+        let resumed = dispatch_full(&Args::parse(resume));
+        assert_eq!(resumed.status, Status::Ok, "{}", resumed.stdout);
+        assert_eq!(resumed.stdout, plain.stdout, "resume must be bit-identical");
+        assert!(hits(&resumed.stderr) > 0, "{}", resumed.stderr);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_checkpoint_run_truncates_a_stale_log() {
+        let dir = std::env::temp_dir().join(format!("bitdissem_trunc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("checkpoint.jsonl"),
+            "{\"type\":\"checkpoint\",\"key\":\"stale\",\"payload\":\"c:1\"}\n",
+        )
+        .unwrap();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let out = dispatch_full(&Args::parse([
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "13",
+            "--checkpoint-dir",
+            dir_s.as_str(),
+        ]));
+        assert_eq!(out.status, Status::Ok, "{}", out.stdout);
+        let log = std::fs::read_to_string(dir.join("checkpoint.jsonl")).unwrap();
+        assert!(!log.contains("stale"), "non-resume runs must start from an empty log");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use bitdissem_core::dynamics::{AntiVoter, Minority, NoisyVoter, Stay, Voter};
 use bitdissem_core::{Configuration, Opinion, Protocol, ProtocolExt};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::rng::rng_from;
-use bitdissem_sim::run::{run_with_exit_detection, StabilityOutcome};
+use bitdissem_sim::run::{run_with_exit_detection_observed, StabilityOutcome};
 use bitdissem_stats::Table;
 
 use crate::config::RunConfig;
@@ -39,7 +39,7 @@ pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
         expect_compliant: bool,
         expect_stable_if_reached: bool,
     }
-    let cases = vec![
+    let cases = [
         Case {
             protocol: Box::new(Voter::new(1).expect("valid")),
             expect_compliant: true,
@@ -69,7 +69,7 @@ pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
     ];
 
     let mut table = Table::new(["protocol", "prop3 static", "empirical outcome"]);
-    for case in &cases {
+    for (case_idx, case) in cases.iter().enumerate() {
         let compliant = case.protocol.check_proposition3(n).is_ok();
         report.check(
             compliant == case.expect_compliant,
@@ -85,7 +85,16 @@ pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
         let start = Configuration::correct_consensus(n, Opinion::One);
         let mut sim = AggregateSim::new(&case.protocol, start).expect("valid");
         let mut rng = rng_from(cfg.seed ^ 0x9999);
-        let outcome = run_with_exit_detection(&mut sim, &mut rng, budget, dwell);
+        // Observed: dwell rounds enter the metrics and a consensus loss
+        // emits a ConsensusExited trace event (one rep per protocol case).
+        let outcome = run_with_exit_detection_observed(
+            &mut sim,
+            &mut rng,
+            budget,
+            dwell,
+            obs,
+            case_idx as u64,
+        );
         let desc = match outcome {
             StabilityOutcome::Stable { entered } => format!("stable (entered at {entered})"),
             StabilityOutcome::Exited { entered, exited } => {
@@ -114,7 +123,8 @@ pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
     let start = Configuration::new(n, Opinion::One, n / 2).expect("consistent");
     let mut sim = AggregateSim::new(&stay, start).expect("valid");
     let mut rng = rng_from(cfg.seed ^ 0xAAAA);
-    let outcome = run_with_exit_detection(&mut sim, &mut rng, 1_000, 10);
+    let outcome =
+        run_with_exit_detection_observed(&mut sim, &mut rng, 1_000, 10, obs, cases.len() as u64);
     report.check(
         matches!(outcome, StabilityOutcome::NeverReached { .. }),
         "Stay is compliant but never converges from a mixed start: Prop 3 is \

@@ -153,6 +153,9 @@ pub fn run(id: &str, cfg: &RunConfig) -> Option<ExperimentReport> {
 pub fn run_observed(id: &str, cfg: &RunConfig, obs: &Obs) -> Option<ExperimentReport> {
     let id = id.to_ascii_lowercase();
     let entry = all().into_iter().find(|e| e.id == id)?;
+    // Namespace checkpoint keys per experiment so one shared log can hold
+    // an entire `run --all` sweep without cross-experiment collisions.
+    let obs = &obs.clone().with_checkpoint_ns(entry.id);
 
     let manifest =
         RunManifest::begin(entry.id, cfg.seed, cfg.scale.name(), cfg.threads.unwrap_or(0));

@@ -1,11 +1,20 @@
 //! Shared measurement helpers: replicated convergence and crossing times.
+//!
+//! When the observability handle carries a checkpoint log, the replicated
+//! helpers run **checkpointed**: each replication's outcome is keyed by
+//! `<kind>:<g-table-fingerprint>:<batch-params>#<rep>` (namespaced per
+//! experiment by the registry), cached results are loaded instead of
+//! re-simulated, and fresh results are recorded as they complete. Because
+//! every replication derives its RNG from its index alone, splicing cached
+//! and fresh results is bit-identical to an uninterrupted run.
 
 use bitdissem_analysis::LowerBoundWitness;
-use bitdissem_core::{Configuration, Protocol};
+use bitdissem_core::{Configuration, GTable, Opinion, Protocol, ProtocolExt};
 use bitdissem_obs::Obs;
 use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::SimRng;
 use bitdissem_sim::run::{run_to_consensus_observed, Outcome, Simulator};
-use bitdissem_sim::runner::replicate_observed;
+use bitdissem_sim::runner::{replicate_indices_observed, replicate_observed};
 use bitdissem_sim::sequential::SequentialSim;
 use bitdissem_stats::Summary;
 
@@ -82,6 +91,105 @@ impl OutcomeBatch {
     }
 }
 
+/// FNV-1a over the materialized table's sample size and g-value bit
+/// patterns: two protocols share a fingerprint iff they induce the same
+/// decision table, which is exactly when their replications are
+/// interchangeable.
+fn table_fingerprint(table: &GTable) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(table.sample_size() as u64);
+    for k in 0..=table.sample_size() {
+        mix(table.g(Opinion::Zero, k).to_bits());
+        mix(table.g(Opinion::One, k).to_bits());
+    }
+    h
+}
+
+/// Builds the per-batch checkpoint key base (everything but the `#rep`
+/// suffix): the kind tag, the protocol's table fingerprint, and every
+/// parameter the outcome depends on.
+fn batch_key<P>(kind: &str, protocol: &P, start: Configuration, budget: u64, seed: u64) -> String
+where
+    P: Protocol + Sync + ?Sized,
+{
+    let table = protocol.to_table(start.n()).expect("valid protocol");
+    format!(
+        "{kind}:{fp:016x}:n{n}:z{z}:x{x}:b{budget}:s{seed}",
+        fp = table_fingerprint(&table),
+        n = start.n(),
+        z = start.correct().as_bit(),
+        x = start.ones(),
+    )
+}
+
+fn encode_outcome(outcome: Outcome) -> String {
+    match outcome {
+        Outcome::Converged { rounds } => format!("c:{rounds}"),
+        Outcome::TimedOut { rounds } => format!("t:{rounds}"),
+    }
+}
+
+fn decode_outcome(payload: &str) -> Option<Outcome> {
+    let (tag, rounds) = payload.split_once(':')?;
+    let rounds = rounds.parse().ok()?;
+    match tag {
+        "c" => Some(Outcome::Converged { rounds }),
+        "t" => Some(Outcome::TimedOut { rounds }),
+        _ => None,
+    }
+}
+
+/// Replicates `f` with checkpointing when the handle carries a log:
+/// cached replications are loaded (counted as `checkpoint_hits` and
+/// ticked on the progress meter), only the missing indices run on the
+/// pool, and fresh outcomes are recorded under `<key_base()>#<rep>`.
+/// Without a log this is exactly [`replicate_observed`].
+fn replicate_checkpointed<F, K>(
+    obs: &Obs,
+    key_base: K,
+    reps: usize,
+    seed: u64,
+    threads: Option<usize>,
+    f: F,
+) -> Vec<Outcome>
+where
+    F: Fn(SimRng, usize) -> Outcome + Sync,
+    K: FnOnce() -> String,
+{
+    let Some(log) = obs.checkpoint().cloned() else {
+        return replicate_observed(reps, seed, threads, obs, f);
+    };
+    let key_base = key_base();
+    let keys: Vec<String> =
+        (0..reps).map(|rep| obs.checkpoint_key(&format!("{key_base}#{rep}"))).collect();
+    let mut slots: Vec<Option<Outcome>> =
+        keys.iter().map(|k| log.lookup(k).and_then(|p| decode_outcome(&p))).collect();
+
+    let cached = slots.iter().filter(|s| s.is_some()).count() as u64;
+    if cached > 0 {
+        if obs.metrics_on() {
+            obs.metrics().add_checkpoint_hits(cached);
+        }
+        if let Some(progress) = obs.progress() {
+            progress.tick(cached);
+        }
+    }
+
+    let missing: Vec<usize> = (0..reps).filter(|&rep| slots[rep].is_none()).collect();
+    let fresh = replicate_indices_observed(&missing, seed, threads, obs, f);
+    for (&rep, &outcome) in missing.iter().zip(&fresh) {
+        log.record(&keys[rep], &encode_outcome(outcome));
+        slots[rep] = Some(outcome);
+    }
+    slots.into_iter().map(|s| s.expect("every replication slot is filled")).collect()
+}
+
 /// Measures convergence times of `protocol` from `start` over `reps`
 /// replications with a per-run budget of `budget` rounds, using the
 /// aggregate exact-chain simulator.
@@ -117,10 +225,17 @@ pub fn measure_convergence_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    let outcomes = replicate_observed(reps, seed, threads, obs, |mut rng, rep| {
-        let mut sim = AggregateSim::new(protocol, start).expect("valid protocol");
-        run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
-    });
+    let outcomes = replicate_checkpointed(
+        obs,
+        || batch_key("conv", protocol, start, budget, seed),
+        reps,
+        seed,
+        threads,
+        |mut rng, rep| {
+            let mut sim = AggregateSim::new(protocol, start).expect("valid protocol");
+            run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
+        },
+    );
     OutcomeBatch::new(outcomes, budget)
 }
 
@@ -163,10 +278,17 @@ pub fn measure_convergence_sequential_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    let outcomes = replicate_observed(reps, seed, threads, obs, |mut rng, rep| {
-        let mut sim = SequentialSim::new(protocol, start).expect("valid protocol");
-        run_to_consensus_observed(&mut sim, &mut rng, budget_rounds, obs, rep as u64)
-    });
+    let outcomes = replicate_checkpointed(
+        obs,
+        || batch_key("seqconv", protocol, start, budget_rounds, seed),
+        reps,
+        seed,
+        threads,
+        |mut rng, rep| {
+            let mut sim = SequentialSim::new(protocol, start).expect("valid protocol");
+            run_to_consensus_observed(&mut sim, &mut rng, budget_rounds, obs, rep as u64)
+        },
+    );
     OutcomeBatch::new(outcomes, budget_rounds)
 }
 
@@ -205,19 +327,26 @@ pub fn measure_crossing_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    replicate_observed(reps, seed, threads, obs, |mut rng, _| {
-        let mut sim = AggregateSim::new(protocol, witness.start()).expect("valid protocol");
-        for t in 0..=budget {
-            if witness.crossed(sim.configuration().ones()) {
-                return Outcome::Converged { rounds: t };
+    replicate_checkpointed(
+        obs,
+        || batch_key("cross", protocol, witness.start(), budget, seed),
+        reps,
+        seed,
+        threads,
+        |mut rng, _| {
+            let mut sim = AggregateSim::new(protocol, witness.start()).expect("valid protocol");
+            for t in 0..=budget {
+                if witness.crossed(sim.configuration().ones()) {
+                    return Outcome::Converged { rounds: t };
+                }
+                if t == budget {
+                    break;
+                }
+                sim.step_round(&mut rng);
             }
-            if t == budget {
-                break;
-            }
-            sim.step_round(&mut rng);
-        }
-        Outcome::TimedOut { rounds: budget }
-    })
+            Outcome::TimedOut { rounds: budget }
+        },
+    )
 }
 
 /// Geometric sweep of population sizes `start·2^k`, `k = 0..count`.
@@ -284,5 +413,86 @@ mod tests {
     #[test]
     fn sweep_is_geometric() {
         assert_eq!(pow2_sweep(128, 3), vec![128, 256, 512]);
+    }
+
+    #[test]
+    fn outcome_payloads_round_trip() {
+        for outcome in [Outcome::Converged { rounds: 42 }, Outcome::TimedOut { rounds: 9 }] {
+            assert_eq!(decode_outcome(&encode_outcome(outcome)), Some(outcome));
+        }
+        assert_eq!(decode_outcome("x:1"), None);
+        assert_eq!(decode_outcome("c:notanumber"), None);
+        assert_eq!(decode_outcome(""), None);
+    }
+
+    #[test]
+    fn table_fingerprint_separates_protocols() {
+        use bitdissem_core::dynamics::Minority;
+        let v1 = table_fingerprint(&Voter::new(1).unwrap().to_table(64).unwrap());
+        let v3 = table_fingerprint(&Voter::new(3).unwrap().to_table(64).unwrap());
+        let m3 = table_fingerprint(&Minority::new(3).unwrap().to_table(64).unwrap());
+        assert_ne!(v1, v3, "sample size must enter the fingerprint");
+        assert_ne!(v3, m3, "g-values must enter the fingerprint");
+        let again = table_fingerprint(&Voter::new(1).unwrap().to_table(64).unwrap());
+        assert_eq!(v1, again, "fingerprint is deterministic");
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        use bitdissem_obs::CheckpointLog;
+        use std::sync::Arc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let plain = measure_convergence(&voter, start, 8, 100_000, 5, Some(2));
+
+        let log = Arc::new(CheckpointLog::in_memory());
+        let obs = Obs::none().with_metrics().with_checkpoint(Arc::clone(&log));
+        let fresh = measure_convergence_observed(&obs, &voter, start, 8, 100_000, 5, Some(2));
+        assert_eq!(fresh.outcomes(), plain.outcomes());
+        assert_eq!(log.len(), 8, "every replication was recorded");
+        assert_eq!(obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+
+        // Second run over the same log: all replications load from cache
+        // and the batch stays bit-identical.
+        let resumed = measure_convergence_observed(&obs, &voter, start, 8, 100_000, 5, Some(4));
+        assert_eq!(resumed.outcomes(), plain.outcomes());
+        assert_eq!(obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn partially_checkpointed_run_splices_cached_and_fresh() {
+        use bitdissem_obs::CheckpointLog;
+        use std::sync::Arc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let full = measure_convergence(&voter, start, 10, 100_000, 7, Some(2));
+
+        // Simulate an interrupted sweep: only the first 4 replications made
+        // it into the log.
+        let log = Arc::new(CheckpointLog::in_memory());
+        let obs = Obs::none().with_metrics().with_checkpoint(Arc::clone(&log));
+        let _ = measure_convergence_observed(&obs, &voter, start, 4, 100_000, 7, Some(2));
+        assert_eq!(log.len(), 4);
+
+        let resumed = measure_convergence_observed(&obs, &voter, start, 10, 100_000, 7, Some(3));
+        assert_eq!(resumed.outcomes(), full.outcomes());
+        assert_eq!(obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    fn checkpoint_keys_differ_across_batch_parameters() {
+        // A key collision would silently reuse a foreign result, so the
+        // parameters that change an outcome must all enter the key.
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let base = batch_key("conv", &voter, start, 1000, 5);
+        assert_ne!(base, batch_key("cross", &voter, start, 1000, 5));
+        assert_ne!(base, batch_key("conv", &voter, start, 2000, 5));
+        assert_ne!(base, batch_key("conv", &voter, start, 1000, 6));
+        let other_start = Configuration::new(24, Opinion::One, 7).unwrap();
+        assert_ne!(base, batch_key("conv", &voter, other_start, 1000, 5));
+        let minority = bitdissem_core::dynamics::Minority::new(3).unwrap();
+        assert_ne!(base, batch_key("conv", &minority, start, 1000, 5));
     }
 }

@@ -1,0 +1,240 @@
+//! Sweep checkpointing: a durable, append-only log of completed
+//! replication results.
+//!
+//! Long sweeps (`run --all` at full scale) used to lose everything on an
+//! interruption. The checkpoint log persists each completed unit of work as
+//! one JSONL line — `{"type":"checkpoint","key":…,"payload":…}` — next to
+//! the run-manifest provenance records, so a resumed run
+//! (`run --all --resume`) loads the log and skips every replication whose
+//! key is already present.
+//!
+//! Keys are opaque strings built by the caller; the convention used by the
+//! experiments layer is
+//! `<experiment>/<kind>:<batch-params-hash>…#<replication-index>`, which
+//! makes a key collision equivalent to "bit-identical batch parameters" —
+//! exactly the case where reusing the stored result *is* correct (see the
+//! determinism contract in `bitdissem-pool`). Payloads are equally opaque;
+//! the caller owns their encoding.
+
+use crate::json::{self, Value};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+struct Inner {
+    done: HashMap<String, String>,
+    writer: Option<BufWriter<File>>,
+}
+
+/// A thread-safe checkpoint log: an in-memory `key → payload` map mirrored
+/// to an append-only JSONL file (when opened with a path).
+pub struct CheckpointLog {
+    inner: Mutex<Inner>,
+}
+
+impl CheckpointLog {
+    /// An in-memory log with no backing file (tests, opt-out runs).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        CheckpointLog { inner: Mutex::new(Inner { done: HashMap::new(), writer: None }) }
+    }
+
+    /// Opens (or creates) the log at `path`. Existing entries are loaded
+    /// and new entries are appended, so an interrupted run can resume.
+    /// Unparseable lines (e.g. a torn final line after a crash) are
+    /// skipped, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be opened or read.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let mut done = HashMap::new();
+        if path.exists() {
+            for line in std::fs::read_to_string(path)?.lines() {
+                if let Some((key, payload)) = Self::parse_line(line) {
+                    done.insert(key, payload);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(CheckpointLog { inner: Mutex::new(Inner { done, writer: Some(BufWriter::new(file)) }) })
+    }
+
+    /// Creates the log at `path`, discarding any previous contents (a
+    /// fresh, non-resumed run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(CheckpointLog {
+            inner: Mutex::new(Inner { done: HashMap::new(), writer: Some(BufWriter::new(file)) }),
+        })
+    }
+
+    fn parse_line(line: &str) -> Option<(String, String)> {
+        let value = json::parse(line).ok()?;
+        if value.get("type").and_then(Value::as_str) != Some("checkpoint") {
+            return None;
+        }
+        let key = value.get("key").and_then(Value::as_str)?.to_string();
+        let payload = value.get("payload").and_then(Value::as_str)?.to_string();
+        Some((key, payload))
+    }
+
+    /// The stored payload for `key`, if this unit of work already
+    /// completed in a previous (or the current) run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the log panicked mid-update.
+    #[must_use]
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        self.inner.lock().expect("checkpoint log poisoned").done.get(key).cloned()
+    }
+
+    /// Records a completed unit of work and flushes the line to disk, so
+    /// the entry survives an interruption right after the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the log panicked mid-update.
+    pub fn record(&self, key: &str, payload: &str) {
+        let mut inner = self.inner.lock().expect("checkpoint log poisoned");
+        if inner.done.contains_key(key) {
+            return;
+        }
+        inner.done.insert(key.to_string(), payload.to_string());
+        if let Some(writer) = inner.writer.as_mut() {
+            let line = Value::Obj(vec![
+                ("type".to_string(), Value::Str("checkpoint".to_string())),
+                ("key".to_string(), Value::Str(key.to_string())),
+                ("payload".to_string(), Value::Str(payload.to_string())),
+            ])
+            .render();
+            // An I/O error (e.g. disk full) must not abort the sweep; the
+            // run degrades to non-checkpointed.
+            let _ = writer.write_all(line.as_bytes());
+            let _ = writer.write_all(b"\n");
+            let _ = writer.flush();
+        }
+    }
+
+    /// Number of completed entries in the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the log panicked mid-update.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("checkpoint log poisoned").done.len()
+    }
+
+    /// Whether the log holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for CheckpointLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointLog").field("entries", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("obs_ckpt_{}_{}.jsonl", name, std::process::id()))
+    }
+
+    #[test]
+    fn in_memory_round_trip() {
+        let log = CheckpointLog::in_memory();
+        assert!(log.is_empty());
+        assert_eq!(log.lookup("a"), None);
+        log.record("a", "payload-1");
+        assert_eq!(log.lookup("a").as_deref(), Some("payload-1"));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn first_record_wins() {
+        let log = CheckpointLog::in_memory();
+        log.record("k", "first");
+        log.record("k", "second");
+        assert_eq!(log.lookup("k").as_deref(), Some("first"));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn reopen_resumes_previous_entries() {
+        let path = tmp("resume");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = CheckpointLog::open(&path).unwrap();
+            log.record("e2/conv#0", "c:12");
+            log.record("e2/conv#1", "t:99");
+        }
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.lookup("e2/conv#0").as_deref(), Some("c:12"));
+        log.record("e2/conv#2", "c:5");
+        drop(log);
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_truncates_previous_entries() {
+        let path = tmp("truncate");
+        {
+            let log = CheckpointLog::open(&path).unwrap();
+            log.record("old", "x");
+        }
+        let log = CheckpointLog::create(&path).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.lookup("old"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = tmp("torn");
+        {
+            let log = CheckpointLog::open(&path).unwrap();
+            log.record("good", "v");
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"type\":\"checkpoint\",\"key\":\"trunc").unwrap();
+        }
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.lookup("good").as_deref(), Some("v"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn keys_with_escapes_round_trip() {
+        let path = tmp("escape");
+        let _ = std::fs::remove_file(&path);
+        let key = "e1/\"quoted\"\\slash\nnewline";
+        {
+            let log = CheckpointLog::open(&path).unwrap();
+            log.record(key, "p\"x\"");
+        }
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.lookup(key).as_deref(), Some("p\"x\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

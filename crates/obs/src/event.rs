@@ -68,15 +68,31 @@ pub enum Event {
         elapsed_us: u64,
     },
     /// One parallel round of a simulation completed.
+    ///
+    /// **Round-label convention:** the event labeled `round = r` carries
+    /// the configuration `X_r`, i.e. the state *after* `r` rounds have
+    /// completed. Labels therefore start at 1 (the initial configuration
+    /// `X_0` is never simulated), and a run converging at round `k`
+    /// reports `ones = n` in its `round = k` event.
     RoundCompleted {
         /// Replication index the round belongs to.
         rep: u64,
-        /// Round number within the replication (0-based).
+        /// Rounds completed so far; `ones` describes `X_round`.
         round: u64,
         /// Number of agents holding opinion 1 after the round.
         ones: u64,
         /// The source's (correct) opinion bit.
         source_opinion: u8,
+    },
+    /// A stability-checked run lost the correct consensus during its dwell
+    /// window (the protocol violates Proposition 3 dynamically).
+    ConsensusExited {
+        /// Replication index the run belongs to.
+        rep: u64,
+        /// Round at which the correct consensus was first reached.
+        entered: u64,
+        /// First round after `entered` at which some agent deviated.
+        exited: u64,
     },
     /// The run manifest, embedded in the trace for self-description.
     Manifest(RunManifest),
@@ -130,6 +146,14 @@ impl Event {
                     ("source_opinion".to_string(), Value::Int(i128::from(*source_opinion))),
                 ],
             ),
+            Event::ConsensusExited { rep, entered, exited } => obj(
+                "consensus_exited",
+                vec![
+                    ("rep".to_string(), Value::Int(i128::from(*rep))),
+                    ("entered".to_string(), Value::Int(i128::from(*entered))),
+                    ("exited".to_string(), Value::Int(i128::from(*exited))),
+                ],
+            ),
             Event::Manifest(manifest) => {
                 let Value::Obj(fields) = manifest.to_value() else {
                     unreachable!("manifest encodes to an object");
@@ -179,6 +203,11 @@ impl Event {
                 source_opinion: u8::try_from(u64_field("source_opinion")?)
                     .map_err(|_| "source_opinion out of range".to_string())?,
             }),
+            "consensus_exited" => Ok(Event::ConsensusExited {
+                rep: u64_field("rep")?,
+                entered: u64_field("entered")?,
+                exited: u64_field("exited")?,
+            }),
             "manifest" => RunManifest::from_value(&value).map(Event::Manifest),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -211,6 +240,7 @@ mod tests {
                 elapsed_us: 2,
             },
             Event::RoundCompleted { rep: 0, round: 17, ones: 5, source_opinion: 1 },
+            Event::ConsensusExited { rep: 2, entered: 40, exited: 55 },
             Event::Manifest(RunManifest::example()),
         ]
     }

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod event;
 pub mod json;
 pub mod manifest;
@@ -38,6 +39,7 @@ pub mod progress;
 pub mod sink;
 pub mod time;
 
+pub use checkpoint::CheckpointLog;
 pub use event::{Event, ReplicationOutcome};
 pub use manifest::RunManifest;
 pub use metrics::{Metrics, PhaseStat};
@@ -57,6 +59,8 @@ pub struct Obs {
     sink: Arc<dyn EventSink>,
     metrics: Arc<Metrics>,
     progress: Option<Arc<Progress>>,
+    checkpoint: Option<Arc<CheckpointLog>>,
+    checkpoint_ns: Arc<str>,
     active: bool,
     metrics_on: bool,
     round_stride: u64,
@@ -71,6 +75,8 @@ impl Obs {
             sink: Arc::new(NullSink),
             metrics: Arc::new(Metrics::new()),
             progress: None,
+            checkpoint: None,
+            checkpoint_ns: Arc::from(""),
             active: false,
             metrics_on: false,
             round_stride: 1,
@@ -106,6 +112,39 @@ impl Obs {
     pub fn with_round_stride(mut self, stride: u64) -> Self {
         self.round_stride = stride.max(1);
         self
+    }
+
+    /// Attaches a checkpoint log. Replicated workloads consult the log
+    /// before running a replication and record each fresh result.
+    #[must_use]
+    pub fn with_checkpoint(mut self, log: Arc<CheckpointLog>) -> Self {
+        self.checkpoint = Some(log);
+        self
+    }
+
+    /// Sets the namespace prepended to checkpoint keys (conventionally
+    /// the experiment id), isolating experiments within a shared log.
+    #[must_use]
+    pub fn with_checkpoint_ns(mut self, ns: &str) -> Self {
+        self.checkpoint_ns = Arc::from(ns);
+        self
+    }
+
+    /// The checkpoint log, if one is attached.
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<&Arc<CheckpointLog>> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Builds a namespaced checkpoint key: `<ns>/<body>` (or `body`
+    /// alone when no namespace is set).
+    #[must_use]
+    pub fn checkpoint_key(&self, body: &str) -> String {
+        if self.checkpoint_ns.is_empty() {
+            body.to_string()
+        } else {
+            format!("{}/{}", self.checkpoint_ns, body)
+        }
     }
 
     /// Whether event emission is on. Hot paths must check this before
@@ -173,6 +212,8 @@ impl std::fmt::Debug for Obs {
             .field("metrics_on", &self.metrics_on)
             .field("round_stride", &self.round_stride)
             .field("has_progress", &self.progress.is_some())
+            .field("has_checkpoint", &self.checkpoint.is_some())
+            .field("checkpoint_ns", &self.checkpoint_ns)
             .finish()
     }
 }
@@ -217,6 +258,17 @@ mod tests {
         let obs = Obs::none().with_metrics();
         drop(obs.scope("measured"));
         assert_eq!(obs.metrics().phases().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_keys_are_namespaced() {
+        let obs = Obs::none();
+        assert!(obs.checkpoint().is_none());
+        assert_eq!(obs.checkpoint_key("conv#3"), "conv#3");
+        let obs =
+            obs.with_checkpoint(Arc::new(CheckpointLog::in_memory())).with_checkpoint_ns("e2");
+        assert!(obs.checkpoint().is_some());
+        assert_eq!(obs.checkpoint_key("conv#3"), "e2/conv#3");
     }
 
     #[test]

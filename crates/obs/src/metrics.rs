@@ -20,6 +20,14 @@ pub struct Metrics {
     pub rng_streams: AtomicU64,
     /// Replications completed.
     pub replications: AtomicU64,
+    /// Batches submitted to the worker pool.
+    pub pool_batches: AtomicU64,
+    /// Tasks executed by the worker pool.
+    pub pool_tasks: AtomicU64,
+    /// Chunks stolen from another participant's deque by the pool.
+    pub pool_steals: AtomicU64,
+    /// Replications satisfied from the checkpoint log instead of re-run.
+    pub checkpoint_hits: AtomicU64,
     phases: Mutex<BTreeMap<String, PhaseStat>>,
 }
 
@@ -59,6 +67,18 @@ impl Metrics {
         self.replications.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one pool batch: its task and steal counts.
+    pub fn add_pool_batch(&self, tasks: u64, steals: u64) {
+        self.pool_batches.fetch_add(1, Ordering::Relaxed);
+        self.pool_tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.pool_steals.fetch_add(steals, Ordering::Relaxed);
+    }
+
+    /// Adds to `checkpoint_hits`.
+    pub fn add_checkpoint_hits(&self, n: u64) {
+        self.checkpoint_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records one timed entry into phase `name`.
     ///
     /// # Panics
@@ -93,6 +113,10 @@ impl Metrics {
         out.push_str(&counter("opinion_samples", &self.opinion_samples));
         out.push_str(&counter("rng_streams", &self.rng_streams));
         out.push_str(&counter("replications", &self.replications));
+        out.push_str(&counter("pool_batches", &self.pool_batches));
+        out.push_str(&counter("pool_tasks", &self.pool_tasks));
+        out.push_str(&counter("pool_steals", &self.pool_steals));
+        out.push_str(&counter("checkpoint_hits", &self.checkpoint_hits));
         let phases = self.phases();
         if !phases.is_empty() {
             out.push_str("phases:\n");
@@ -121,6 +145,22 @@ mod tests {
         assert_eq!(m.opinion_samples.load(Ordering::Relaxed), 300);
         assert_eq!(m.rng_streams.load(Ordering::Relaxed), 2);
         assert_eq!(m.replications.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_and_checkpoint_counters_accumulate() {
+        let m = Metrics::new();
+        m.add_pool_batch(100, 7);
+        m.add_pool_batch(50, 0);
+        m.add_checkpoint_hits(30);
+        assert_eq!(m.pool_batches.load(Ordering::Relaxed), 2);
+        assert_eq!(m.pool_tasks.load(Ordering::Relaxed), 150);
+        assert_eq!(m.pool_steals.load(Ordering::Relaxed), 7);
+        assert_eq!(m.checkpoint_hits.load(Ordering::Relaxed), 30);
+        let text = m.render();
+        assert!(text.contains("pool_batches"));
+        assert!(text.contains("pool_steals"));
+        assert!(text.contains("checkpoint_hits"));
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Persistent work-stealing worker pool.
+//!
+//! Experiments run hundreds of replications per sweep point and dozens of
+//! sweep points per run. The previous engine spawned and joined a fresh set
+//! of scoped threads for **every** batch; this crate keeps one set of
+//! workers alive for the whole process and feeds them *chunked,
+//! work-stealing* batches instead:
+//!
+//! * [`Pool::new`] spawns `workers` OS threads that park on a condition
+//!   variable until a batch arrives, and live until the pool is dropped.
+//! * [`Pool::run_batch`] splits `tasks` indices into chunks, deals the
+//!   chunks round-robin over up to `cap` participant slots, publishes the
+//!   batch, and **participates from the calling thread** (slot 0). Each
+//!   participant drains its own deque from the front and, when empty,
+//!   steals from the back of the other slots' deques.
+//! * [`Pool::global`] is the shared process-wide pool (sized from
+//!   `BITDISSEM_POOL_WORKERS` or the available parallelism) that the
+//!   replication runner uses by default, so worker threads are reused
+//!   across sweep points, experiments, and `run --all`.
+//!
+//! # Determinism contract
+//!
+//! The pool schedules *which thread* runs a task, never *what* the task
+//! computes: callers derive any randomness from the task **index** alone
+//! (see `bitdissem_sim::rng::replication_seed`). Batch results are
+//! therefore bit-identical for every `workers`/`cap` combination, including
+//! `cap = 1` (fully serial on the calling thread).
+//!
+//! # Safety
+//!
+//! Tasks borrow caller state, while workers are `'static` threads, so the
+//! batch core is handed to workers through a lifetime-erased raw pointer
+//! ([`BatchHandle`]). Soundness rests on one invariant, enforced by a
+//! close/leave handshake on sequentially-consistent atomics:
+//! [`Pool::run_batch`] does not return until the batch is closed to new
+//! participants **and** every joined worker has left, so the pointer is
+//! never dereferenced after the borrowed core leaves scope. This is the
+//! same scheme scoped thread-pool libraries use; the unsafe surface is
+//! confined to [`BatchHandle`] and documented inline.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Counters describing how one batch executed. Purely observational: the
+/// numbers never influence results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Tasks executed (equals the batch size on success).
+    pub tasks: u64,
+    /// Chunks taken from another participant's deque.
+    pub steals: u64,
+    /// Participants that executed at least one chunk (including the
+    /// submitting thread).
+    pub participants: u64,
+}
+
+/// Object-safe face of a batch: what a worker runs once it has joined.
+trait BatchRun: Sync {
+    /// Drains chunks (own deque first, then stealing) until none remain.
+    fn work(&self, slot: usize);
+}
+
+/// The borrowed heart of a batch, owned by the `run_batch` stack frame.
+struct BatchCore<'a> {
+    /// One chunk deque per participant slot.
+    queues: Vec<Mutex<VecDeque<Range<usize>>>>,
+    /// Runs a single task index.
+    task: &'a (dyn Fn(usize) + Sync),
+    executed: AtomicU64,
+    steals: AtomicU64,
+    workers_used: AtomicU64,
+    panicked: AtomicBool,
+}
+
+impl<'a> BatchCore<'a> {
+    fn new(tasks: usize, cap: usize, task: &'a (dyn Fn(usize) + Sync)) -> Self {
+        // Chunk so each participant sees several chunks (smooth stealing)
+        // without degenerating to per-task locking on huge batches.
+        let chunk = tasks.div_ceil(cap * 8).max(1);
+        let mut queues: Vec<VecDeque<Range<usize>>> = (0..cap).map(|_| VecDeque::new()).collect();
+        let mut start = 0usize;
+        let mut slot = 0usize;
+        while start < tasks {
+            let end = (start + chunk).min(tasks);
+            queues[slot].push_back(start..end);
+            slot = (slot + 1) % cap;
+            start = end;
+        }
+        BatchCore {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            task,
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            workers_used: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    /// Pops the next chunk: front of the own deque, else the back of the
+    /// first non-empty other deque (a steal).
+    fn next_chunk(&self, slot: usize) -> Option<Range<usize>> {
+        if let Some(chunk) = self.queues[slot].lock().expect("queue poisoned").pop_front() {
+            return Some(chunk);
+        }
+        let cap = self.queues.len();
+        for off in 1..cap {
+            let victim = (slot + off) % cap;
+            if let Some(chunk) = self.queues[victim].lock().expect("queue poisoned").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(chunk);
+            }
+        }
+        None
+    }
+}
+
+impl BatchRun for BatchCore<'_> {
+    fn work(&self, slot: usize) {
+        let mut ran_any = false;
+        while let Some(chunk) = self.next_chunk(slot) {
+            ran_any = true;
+            for index in chunk {
+                // Keep draining after a panic so the batch always
+                // completes and the submitter can re-raise deterministically.
+                if catch_unwind(AssertUnwindSafe(|| (self.task)(index))).is_err() {
+                    self.panicked.store(true, Ordering::Relaxed);
+                }
+                self.executed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if ran_any {
+            self.workers_used.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Lifetime-erased batch registration shared between the submitter and the
+/// workers through the injector.
+///
+/// `core` points at a [`BatchCore`] on the submitting thread's stack. The
+/// pointer is only dereferenced between a successful [`BatchHandle::try_join`]
+/// and the matching [`BatchHandle::leave`]; [`BatchHandle::close_and_wait`]
+/// guarantees that window is empty before `run_batch` returns.
+struct BatchHandle {
+    core: *const (dyn BatchRun + 'static),
+    cap: usize,
+    /// Participant slots handed out so far (slot 0 is the submitter).
+    participants: AtomicUsize,
+    /// Workers currently inside `work` (the submitter is not counted).
+    active: AtomicUsize,
+    closed: AtomicBool,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: the raw pointer is the only non-Send/Sync field. Workers
+// dereference it only inside the join/leave window, while the pointee is
+// alive and `BatchCore` itself is `Sync`; outside that window the pointer
+// is treated as an opaque value.
+unsafe impl Send for BatchHandle {}
+unsafe impl Sync for BatchHandle {}
+
+impl BatchHandle {
+    fn new(core: &BatchCore<'_>, cap: usize) -> Self {
+        let core: *const (dyn BatchRun + '_) = core;
+        // SAFETY (lifetime erasure): the pointer is stored as 'static but
+        // `close_and_wait` keeps every dereference within the pointee's
+        // actual lifetime, as documented on the struct.
+        let core: *const (dyn BatchRun + 'static) = unsafe { std::mem::transmute(core) };
+        BatchHandle {
+            core,
+            cap,
+            participants: AtomicUsize::new(1),
+            active: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Whether a worker could still join (racy, used only as a cheap
+    /// pre-filter while holding the injector lock).
+    fn joinable(&self) -> bool {
+        !self.closed.load(Ordering::SeqCst) && self.participants.load(Ordering::SeqCst) < self.cap
+    }
+
+    /// Attempts to claim a participant slot. On success the caller *must*
+    /// call [`BatchHandle::leave`] after finishing its work.
+    fn try_join(&self) -> Option<usize> {
+        if self.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let slot = self
+            .participants
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |p| (p < self.cap).then_some(p + 1))
+            .ok()?;
+        self.active.fetch_add(1, Ordering::SeqCst);
+        // Re-check after raising `active`: either we observe the close and
+        // back out without touching `core`, or `close_and_wait` observes
+        // our `active` and waits for `leave`.
+        if self.closed.load(Ordering::SeqCst) {
+            self.leave();
+            return None;
+        }
+        Some(slot)
+    }
+
+    fn leave(&self) {
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.done.lock().expect("done lock poisoned");
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Closes the batch to new participants and blocks until every joined
+    /// worker has left. After this returns, `core` is never dereferenced
+    /// again.
+    fn close_and_wait(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let mut guard = self.done.lock().expect("done lock poisoned");
+        while self.active.load(Ordering::SeqCst) != 0 {
+            guard = self.done_cv.wait(guard).expect("done lock poisoned");
+        }
+    }
+}
+
+struct PoolShared {
+    injector: Mutex<Vec<Arc<BatchHandle>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let batch: Arc<BatchHandle> = {
+            let mut injector = shared.injector.lock().expect("injector poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(batch) = injector.iter().find(|b| b.joinable()).cloned() {
+                    break batch;
+                }
+                injector = shared.work_cv.wait(injector).expect("injector poisoned");
+            }
+        };
+        if let Some(slot) = batch.try_join() {
+            // SAFETY: we hold a participant slot, so `close_and_wait` is
+            // blocked until our `leave` — the pointee is alive.
+            let core = unsafe { &*batch.core };
+            core.work(slot);
+            batch.leave();
+        }
+        // Lost the join race (or the batch closed): loop back and park.
+    }
+}
+
+/// A persistent pool of worker threads executing chunked work-stealing
+/// batches. See the crate docs for the architecture and the determinism
+/// contract.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    batches: AtomicU64,
+}
+
+impl Pool {
+    /// Spawns a pool with `workers` background threads. The submitting
+    /// thread always participates in its own batches, so a pool with `0`
+    /// workers degrades to serial in-place execution (useful for tests).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bitdissem-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers: handles, batches: AtomicU64::new(0) }
+    }
+
+    /// The shared process-wide pool, created on first use with
+    /// `BITDISSEM_POOL_WORKERS` background workers (default: available
+    /// parallelism minus one, since the submitter participates).
+    #[must_use]
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("BITDISSEM_POOL_WORKERS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map_or(1, std::num::NonZero::get)
+                        .saturating_sub(1)
+                });
+            Pool::new(workers)
+        })
+    }
+
+    /// Number of background worker threads (excluding submitters).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Batches executed over the pool's lifetime.
+    #[must_use]
+    pub fn batches_run(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Runs `task(i)` for every `i in 0..tasks` using at most `cap`
+    /// participants (the calling thread plus up to `cap - 1` pool workers)
+    /// and blocks until all tasks have finished.
+    ///
+    /// Tasks may run in any order and on any participating thread; callers
+    /// needing reproducibility must make each task a pure function of its
+    /// index (the determinism contract in the crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"worker thread panicked"` if any task panicked (on
+    /// whichever thread it ran); the remaining tasks still execute first,
+    /// so the batch always runs to completion.
+    pub fn run_batch(&self, tasks: usize, cap: usize, task: &(dyn Fn(usize) + Sync)) -> BatchStats {
+        if tasks == 0 {
+            return BatchStats::default();
+        }
+        let cap = cap.clamp(1, tasks);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let core = BatchCore::new(tasks, cap, task);
+        let handle = Arc::new(BatchHandle::new(&core, cap));
+        let published = cap > 1 && !self.workers.is_empty();
+        if published {
+            self.shared.injector.lock().expect("injector poisoned").push(Arc::clone(&handle));
+            self.shared.work_cv.notify_all();
+        }
+
+        core.work(0); // the submitter is participant slot 0
+        handle.close_and_wait();
+
+        if published {
+            let mut injector = self.shared.injector.lock().expect("injector poisoned");
+            injector.retain(|b| !Arc::ptr_eq(b, &handle));
+        }
+
+        debug_assert_eq!(core.executed.load(Ordering::Relaxed), tasks as u64);
+        if core.panicked.load(Ordering::Relaxed) {
+            panic!("worker thread panicked");
+        }
+        BatchStats {
+            tasks: core.executed.load(Ordering::Relaxed),
+            steals: core.steals.load(Ordering::Relaxed),
+            participants: core.workers_used.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            // Take the lock so no worker is between the shutdown check and
+            // the wait when we notify.
+            let _injector = self.shared.injector.lock().expect("injector poisoned");
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .field("batches_run", &self.batches_run())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let pool = Pool::new(3);
+        for &tasks in &[1usize, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            let stats = pool.run_batch(tasks, 4, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(stats.tasks, tasks as u64);
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = Pool::new(1);
+        let stats = pool.run_batch(0, 4, &|_| panic!("must not run"));
+        assert_eq!(stats, BatchStats::default());
+    }
+
+    #[test]
+    fn zero_workers_runs_serially_on_the_caller() {
+        let pool = Pool::new(0);
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(Vec::new());
+        pool.run_batch(16, 8, &|_| {
+            ran_on.lock().unwrap().push(std::thread::current().id());
+        });
+        let ran_on = ran_on.into_inner().unwrap();
+        assert_eq!(ran_on.len(), 16);
+        assert!(ran_on.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn cap_one_stays_on_the_caller_and_in_order() {
+        let pool = Pool::new(4);
+        let order = Mutex::new(Vec::new());
+        pool.run_batch(32, 1, &|i| order.lock().unwrap().push(i));
+        assert_eq!(order.into_inner().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = Pool::new(2);
+        for round in 0..50 {
+            let total = AtomicUsize::new(0);
+            pool.run_batch(round + 1, 3, &|i| {
+                total.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), (round + 1) * (round + 2) / 2);
+        }
+        assert_eq!(pool.batches_run(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn task_panic_propagates_after_batch_completion() {
+        let pool = Pool::new(2);
+        pool.run_batch(8, 2, &|i| assert!(i != 3, "boom"));
+    }
+
+    #[test]
+    fn panicking_batch_still_runs_every_task() {
+        let pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(64, 3, &|i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 0, "boom");
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_alive() {
+        let a = Pool::global() as *const Pool;
+        let b = Pool::global() as *const Pool;
+        assert_eq!(a, b);
+        let sum = AtomicUsize::new(0);
+        Pool::global().run_batch(100, 8, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn concurrent_submitters_do_not_interfere() {
+        let pool = Arc::new(Pool::new(3));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let sum = AtomicUsize::new(0);
+                    pool.run_batch(257, 4, &|i| {
+                        sum.fetch_add(i + t, Ordering::Relaxed);
+                    });
+                    sum.load(Ordering::Relaxed)
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), 257 * 256 / 2 + 257 * t);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = Pool::new(4);
+        pool.run_batch(10, 4, &|_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -106,6 +106,12 @@ impl Simulator for AgentSim {
         std::mem::swap(&mut self.opinions, &mut self.scratch);
         self.ones = ones;
     }
+
+    /// Nominally `ℓ·n` samples per round (the source's `ℓ` draws are
+    /// counted even though it ignores them, matching the other simulators).
+    fn opinion_samples_per_round(&self) -> u64 {
+        self.table.sample_size() as u64 * self.opinions.len() as u64
+    }
 }
 
 #[cfg(test)]

@@ -103,6 +103,13 @@ impl Simulator for AggregateSim {
         let next = z + keep + flip;
         self.config = self.config.with_ones(next).expect("next state is always consistent");
     }
+
+    /// The aggregate chain is distributionally equivalent to every agent
+    /// drawing `ℓ` samples per round, so the nominal sample count is `ℓ·n`
+    /// even though only two binomial draws are performed.
+    fn opinion_samples_per_round(&self) -> u64 {
+        self.table.sample_size() as u64 * self.config.n()
+    }
 }
 
 #[cfg(test)]

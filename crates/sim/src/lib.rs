@@ -55,5 +55,8 @@ pub mod trajectory;
 pub use agent::AgentSim;
 pub use aggregate::AggregateSim;
 pub use rng::{rng_from, SimRng};
-pub use run::{run_to_consensus, run_to_consensus_observed, Outcome, Simulator};
-pub use runner::{replicate, replicate_observed};
+pub use run::{
+    run_to_consensus, run_to_consensus_observed, run_with_exit_detection,
+    run_with_exit_detection_observed, Outcome, Simulator, StabilityOutcome,
+};
+pub use runner::{replicate, replicate_indices_observed, replicate_observed, replicate_spawn};

@@ -25,9 +25,10 @@ pub trait Simulator {
     }
 
     /// Opinion samples drawn per parallel round, used for the
-    /// `opinion_samples` metric. Defaults to one per agent, which is
-    /// exact for both the aggregate and the sequential simulator (the
-    /// latter performs `n` single-sample activations per round).
+    /// `opinion_samples` metric. The process draws `ℓ` samples per agent
+    /// per round, so simulators with a materialized decision table
+    /// override this to `ℓ·n`; the trait default of `n` is only correct
+    /// for `ℓ = 1` and exists for lightweight test doubles.
     fn opinion_samples_per_round(&self) -> u64 {
         self.n()
     }
@@ -104,6 +105,12 @@ pub fn run_to_consensus<S: Simulator + ?Sized>(
 /// round stride), a closing [`Event::ReplicationFinished`], and
 /// batch-adds round/sample counters once at the end of the run.
 ///
+/// Round labels follow the convention documented on
+/// [`Event::RoundCompleted`]: the event labeled `round = r` carries the
+/// configuration `X_r` — the state *after* `r` completed rounds — so
+/// labels start at 1 and a run converging at round `k` reports the
+/// consensus in its `round = k` event.
+///
 /// Instrumentation never touches `rng`, so outcomes are **identical** to
 /// [`run_to_consensus`] for the same seed; with a fully disabled handle
 /// the call forwards directly to the uninstrumented loop.
@@ -130,11 +137,13 @@ pub fn run_to_consensus_observed<S: Simulator + ?Sized>(
             }
             sim.step_round(rng);
             rounds_done += 1;
-            if obs.wants_round(t) {
+            // `rounds_done` rounds have completed, so this event describes
+            // X_{rounds_done} (label convention on `Event::RoundCompleted`).
+            if obs.wants_round(rounds_done) {
                 let config = sim.configuration();
                 obs.emit(&Event::RoundCompleted {
                     rep,
-                    round: t,
+                    round: rounds_done,
                     ones: config.ones(),
                     source_opinion: config.correct().as_bit(),
                 });
@@ -208,6 +217,64 @@ pub fn run_with_exit_detection<S: Simulator + ?Sized>(
     StabilityOutcome::Stable { entered }
 }
 
+/// [`run_with_exit_detection`] with observability: the consensus phase runs
+/// through [`run_to_consensus_observed`] (round events, replication event,
+/// counters), the dwell window emits its own [`Event::RoundCompleted`]
+/// events (labeled `entered + d`, continuing the run's round numbering) and
+/// adds its rounds and samples to the metrics, and a consensus loss emits a
+/// closing [`Event::ConsensusExited`].
+///
+/// Instrumentation never touches `rng`, so outcomes are **identical** to
+/// [`run_with_exit_detection`] for the same seed; with a fully disabled
+/// handle the call forwards directly to the uninstrumented loop.
+pub fn run_with_exit_detection_observed<S: Simulator + ?Sized>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    max_rounds: u64,
+    dwell: u64,
+    obs: &Obs,
+    rep: u64,
+) -> StabilityOutcome {
+    if !obs.active() && !obs.metrics_on() {
+        return run_with_exit_detection(sim, rng, max_rounds, dwell);
+    }
+
+    let entered = match run_to_consensus_observed(sim, rng, max_rounds, obs, rep) {
+        Outcome::Converged { rounds } => rounds,
+        Outcome::TimedOut { rounds } => return StabilityOutcome::NeverReached { rounds },
+    };
+    let mut dwell_done: u64 = 0;
+    let outcome = 'dwell: {
+        for d in 1..=dwell {
+            sim.step_round(rng);
+            dwell_done += 1;
+            let config = sim.configuration();
+            if obs.wants_round(entered + d) {
+                obs.emit(&Event::RoundCompleted {
+                    rep,
+                    round: entered + d,
+                    ones: config.ones(),
+                    source_opinion: config.correct().as_bit(),
+                });
+            }
+            if !config.is_correct_consensus() {
+                break 'dwell StabilityOutcome::Exited { entered, exited: entered + d };
+            }
+        }
+        StabilityOutcome::Stable { entered }
+    };
+    if obs.metrics_on() {
+        obs.metrics().add_rounds(dwell_done);
+        obs.metrics().add_samples(dwell_done.saturating_mul(sim.opinion_samples_per_round()));
+    }
+    if obs.active() {
+        if let StabilityOutcome::Exited { entered, exited } = outcome {
+            obs.emit(&Event::ConsensusExited { rep, entered, exited });
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,8 +342,9 @@ mod tests {
     #[test]
     fn memory_sink_records_the_exact_event_sequence() {
         // Fixed seed, n = 8, Voter: the trace must be RoundCompleted for
-        // rounds 0..k-1 (one per simulated round, in order) followed by a
-        // single ReplicationFinished whose round count equals the outcome.
+        // rounds 1..=k (the event labeled r carries X_r, per the convention
+        // on Event::RoundCompleted) followed by a single
+        // ReplicationFinished whose round count equals the outcome.
         let voter = Voter::new(1).unwrap();
         let start = Configuration::all_wrong(8, Opinion::One);
         let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
@@ -292,7 +360,7 @@ mod tests {
             match *ev {
                 bitdissem_obs::Event::RoundCompleted { rep, round, ones, source_opinion } => {
                     assert_eq!(rep, 5);
-                    assert_eq!(round, t as u64);
+                    assert_eq!(round, t as u64 + 1, "label r carries X_r; labels start at 1");
                     assert!(ones <= 8);
                     assert_eq!(source_opinion, 1);
                 }
@@ -328,7 +396,8 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, bitdissem_obs::Event::RoundCompleted { .. }))
             .count() as u64;
-        assert_eq!(round_events, k.div_ceil(8));
+        // Labels run 1..=k, so exactly ⌊k/8⌋ of them are multiples of 8.
+        assert_eq!(round_events, k / 8);
     }
 
     #[test]
@@ -345,6 +414,22 @@ mod tests {
     }
 
     #[test]
+    fn observed_metrics_count_ell_samples_per_agent() {
+        // Regression: `opinion_samples` must equal ℓ·n·rounds, not
+        // n·rounds — every agent draws ℓ opinions per parallel round.
+        use bitdissem_core::dynamics::Minority;
+        let minority = Minority::new(3).unwrap();
+        let start = Configuration::new(16, Opinion::One, 14).unwrap();
+        let obs = Obs::none().with_metrics();
+        let mut sim = AggregateSim::new(&minority, start).unwrap();
+        let outcome = run_to_consensus_observed(&mut sim, &mut rng_from(13), 100_000, &obs, 0);
+        let k = outcome.rounds().expect("minority converges from 14/16 correct");
+        let m = obs.metrics();
+        assert_eq!(m.rounds_simulated.load(std::sync::atomic::Ordering::Relaxed), k);
+        assert_eq!(m.opinion_samples.load(std::sync::atomic::Ordering::Relaxed), 3 * 16 * k);
+    }
+
+    #[test]
     fn noisy_voter_exits_consensus() {
         // ε = 0.02 with n = 16: consensus is reached quickly (each agent is
         // correct w.p. ≈ 0.98 near consensus) but exits at rate
@@ -357,5 +442,81 @@ mod tests {
             StabilityOutcome::Exited { entered, exited } => assert!(exited > entered),
             other => panic!("expected consensus exit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn observed_exit_detection_matches_unobserved_exactly() {
+        let noisy = NoisyVoter::new(1, 0.02).unwrap();
+        let start = Configuration::new(16, Opinion::One, 14).unwrap();
+        let plain = {
+            let mut sim = AggregateSim::new(&noisy, start).unwrap();
+            run_with_exit_detection(&mut sim, &mut rng_from(21), 1_000_000, 10_000)
+        };
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(sink).with_metrics();
+        let observed = {
+            let mut sim = AggregateSim::new(&noisy, start).unwrap();
+            run_with_exit_detection_observed(
+                &mut sim,
+                &mut rng_from(21),
+                1_000_000,
+                10_000,
+                &obs,
+                0,
+            )
+        };
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn observed_exit_detection_emits_consensus_exited() {
+        let noisy = NoisyVoter::new(1, 0.02).unwrap();
+        let start = Configuration::new(16, Opinion::One, 14).unwrap();
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(std::sync::Arc::clone(&sink) as _).with_metrics();
+        let mut sim = AggregateSim::new(&noisy, start).unwrap();
+        let outcome = run_with_exit_detection_observed(
+            &mut sim,
+            &mut rng_from(3),
+            1_000_000,
+            10_000,
+            &obs,
+            7,
+        );
+        let StabilityOutcome::Exited { entered, exited } = outcome else {
+            panic!("expected consensus exit, got {outcome:?}");
+        };
+        let exits: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                bitdissem_obs::Event::ConsensusExited { rep, entered, exited } => {
+                    Some((rep, entered, exited))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, vec![(7, entered, exited)]);
+        // The dwell rounds are counted: total rounds exceed the consensus
+        // phase by the dwell length actually simulated.
+        let m = obs.metrics();
+        let rounds = m.rounds_simulated.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(rounds, exited, "entered rounds plus (exited − entered) dwell rounds");
+    }
+
+    #[test]
+    fn observed_exit_detection_is_silent_when_stable() {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(32, Opinion::One);
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(std::sync::Arc::clone(&sink) as _);
+        let mut sim = AggregateSim::new(&voter, start).unwrap();
+        let outcome =
+            run_with_exit_detection_observed(&mut sim, &mut rng_from(2), 1_000_000, 200, &obs, 0);
+        assert!(matches!(outcome, StabilityOutcome::Stable { .. }));
+        assert!(!sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, bitdissem_obs::Event::ConsensusExited { .. })));
     }
 }

@@ -1,30 +1,45 @@
-//! Multi-threaded replication.
+//! Multi-threaded replication over the persistent worker pool.
 //!
 //! Experiments run hundreds of independent replications; this module fans
-//! them out over threads with deterministic per-replication seeds, so the
-//! result vector is identical regardless of thread count or scheduling.
+//! them out over the shared [`Pool`] with deterministic per-replication
+//! seeds, so the result vector is identical regardless of worker count,
+//! pool reuse, or scheduling.
 //!
-//! Workers send `(index, result)` pairs over a channel and the caller
-//! scatters them into their slots, so no lock is held while replications
-//! run and no slot is written twice.
+//! Each replication derives its RNG from its **replication index** alone
+//! (`replication_seed(base, rep)`), which is the pool's determinism
+//! contract: the pool decides *where* a task runs, never *what* it
+//! computes. Results are scattered into an index-addressed slot vector, so
+//! no slot is written twice and order is restored for free.
+//!
+//! The pre-pool engine — spawn scoped threads per call, join, repeat — is
+//! kept as [`replicate_spawn`] as an executable reference implementation:
+//! the equivalence proptest and the `pool_vs_spawn` benchmark compare the
+//! two directly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Mutex;
 
 use bitdissem_obs::Obs;
+use bitdissem_pool::Pool;
 
 use crate::rng::{replication_seed, rng_from, SimRng};
 
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
 /// Runs `reps` independent replications of `f`, each with its own
-/// deterministically derived RNG, distributing work over `threads` threads
-/// (defaults to available parallelism). Results are returned **in
-/// replication order**, independent of scheduling.
+/// deterministically derived RNG, distributing work over the shared worker
+/// pool with at most `threads` concurrent participants (defaults to
+/// available parallelism). Results are returned **in replication order**,
+/// independent of scheduling.
 ///
 /// `f` receives `(rng, replication_index)`.
 ///
 /// # Panics
 ///
-/// Panics if any worker panics (the panic is propagated).
+/// Panics if any replication panics (the panic is propagated).
 ///
 /// # Examples
 ///
@@ -44,15 +59,15 @@ where
     replicate_observed(reps, base_seed, threads, &Obs::none(), f)
 }
 
-/// [`replicate`] with an observability handle: counts derived RNG streams
-/// and completed replications, and ticks the attached progress meter once
-/// per replication. Trace events for individual replications are the
-/// closure's job (it knows the outcome); see
-/// `experiments::workload::measure_convergence_observed`.
+/// [`replicate`] with an observability handle: counts derived RNG streams,
+/// completed replications and pool batch/steal totals, and ticks the
+/// attached progress meter once per replication. Trace events for
+/// individual replications are the closure's job (it knows the outcome);
+/// see `experiments::workload::measure_convergence_observed`.
 ///
 /// # Panics
 ///
-/// Panics if any worker panics (the panic is propagated).
+/// Panics if any replication panics (the panic is propagated).
 pub fn replicate_observed<R, F>(
     reps: usize,
     base_seed: u64,
@@ -64,17 +79,89 @@ where
     R: Send,
     F: Fn(SimRng, usize) -> R + Sync,
 {
+    let indices: Vec<usize> = (0..reps).collect();
+    replicate_indices_observed(&indices, base_seed, threads, obs, f)
+}
+
+/// Runs only the replications named by `indices` (a subset of a conceptual
+/// `0..reps` batch) and returns their results **in the order of `indices`**.
+///
+/// Each replication still derives its RNG from its own index via
+/// [`replication_seed`], so running `{0, 1, …, reps-1}` in one batch, or
+/// any partition of it across separate calls, produces bit-identical
+/// per-replication results. This is what makes sweep checkpointing sound:
+/// a resumed run executes only the missing indices and splices the cached
+/// results back in.
+///
+/// # Panics
+///
+/// Panics if any replication panics (the panic is propagated).
+pub fn replicate_indices_observed<R, F>(
+    indices: &[usize],
+    base_seed: u64,
+    threads: Option<usize>,
+    obs: &Obs,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(SimRng, usize) -> R + Sync,
+{
+    if indices.is_empty() {
+        return Vec::new();
+    }
+    let tasks = indices.len();
+    let cap = threads.unwrap_or_else(default_threads).clamp(1, tasks);
+    let _scope = obs.scope("replicate");
+    if obs.metrics_on() {
+        obs.metrics().add_rng_streams(tasks as u64);
+        obs.metrics().add_replications(tasks as u64);
+    }
+
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..tasks).map(|_| None).collect());
+    let stats = Pool::global().run_batch(tasks, cap, &|i| {
+        let rep = indices[i];
+        let rng = rng_from(replication_seed(base_seed, rep as u64));
+        let r = f(rng, rep);
+        {
+            let mut slots = slots.lock().expect("replication slots poisoned");
+            debug_assert!(slots[i].is_none(), "replication {rep} produced twice");
+            slots[i] = Some(r);
+        }
+        if let Some(progress) = obs.progress() {
+            progress.tick(1);
+        }
+    });
+    if obs.metrics_on() {
+        obs.metrics().add_pool_batch(stats.tasks, stats.steals);
+    }
+
+    slots
+        .into_inner()
+        .expect("replication slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("every replication index is filled"))
+        .collect()
+}
+
+/// The pre-pool replication engine: spawns `threads` scoped threads **per
+/// call**, joins them, and scatters `(index, result)` pairs sent over a
+/// channel. Kept as the reference implementation the pool is proven
+/// equivalent to (see `tests/pool_scheduler.rs`) and as the baseline of the
+/// `pool_vs_spawn` benchmark. New code should call [`replicate`].
+///
+/// # Panics
+///
+/// Panics if any worker panics (the panic is propagated).
+pub fn replicate_spawn<R, F>(reps: usize, base_seed: u64, threads: Option<usize>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(SimRng, usize) -> R + Sync,
+{
     if reps == 0 {
         return Vec::new();
     }
-    let threads = threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
-        .clamp(1, reps);
-    let _scope = obs.scope("replicate");
-    if obs.metrics_on() {
-        obs.metrics().add_rng_streams(reps as u64);
-        obs.metrics().add_replications(reps as u64);
-    }
+    let threads = threads.unwrap_or_else(default_threads).clamp(1, reps);
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -95,9 +182,6 @@ where
                         // The receiver lives until every worker is joined,
                         // so this send cannot fail.
                         tx.send((rep, r)).expect("replication receiver alive");
-                        if let Some(progress) = obs.progress() {
-                            progress.tick(1);
-                        }
                     }
                 })
             })
@@ -146,10 +230,10 @@ mod tests {
 
     #[test]
     fn results_in_replication_order_across_thread_counts() {
-        // Regression test for the channel-based collection: the scatter
-        // into indexed slots must restore replication order for every
-        // thread count and replication count, including reps % threads != 0
-        // and a worker finishing out of order (later reps return faster).
+        // Regression test for the slot scatter: results must come back in
+        // replication order for every thread count and replication count,
+        // including reps % threads != 0 and a task finishing out of order
+        // (later reps return faster).
         for &threads in &[1usize, 2, 3, 8] {
             for &reps in &[1usize, 2, 7, 33] {
                 let xs = replicate(reps, 5, Some(threads), |_, rep| {
@@ -175,6 +259,33 @@ mod tests {
     }
 
     #[test]
+    fn pool_matches_spawn_reference() {
+        // The pool engine and the scoped-thread reference must agree
+        // bit-for-bit for any thread count (the determinism contract).
+        let seed = 20_24;
+        let spawn = replicate_spawn(48, seed, Some(4), |mut rng, rep| (rep, rng.random::<u64>()));
+        for &threads in &[1usize, 2, 5, 16] {
+            let pooled =
+                replicate(48, seed, Some(threads), |mut rng, rep| (rep, rng.random::<u64>()));
+            assert_eq!(pooled, spawn, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_subsets_match_the_full_batch() {
+        let obs = Obs::none();
+        let full = replicate(20, 77, Some(4), |mut rng, _| rng.random::<u64>());
+        let odd: Vec<usize> = (0..20).filter(|i| i % 2 == 1).collect();
+        let partial =
+            replicate_indices_observed(&odd, 77, Some(3), &obs, |mut rng, _| rng.random::<u64>());
+        for (pos, &rep) in odd.iter().enumerate() {
+            assert_eq!(partial[pos], full[rep]);
+        }
+        let empty: Vec<u64> = replicate_indices_observed(&[], 77, None, &obs, |_, _| 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
     fn distinct_replications_get_distinct_streams() {
         let xs = replicate(32, 7, None, |mut rng, _| rng.random::<u64>());
         let unique: std::collections::HashSet<u64> = xs.iter().copied().collect();
@@ -191,6 +302,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn spawn_reference_panics_propagate() {
+        let _ = replicate_spawn(4, 0, Some(2), |_, rep| {
+            assert!(rep < 2, "boom");
+            rep
+        });
+    }
+
+    #[test]
     fn observed_counts_streams_and_ticks_progress() {
         let progress = Arc::new(Progress::new("test", 16));
         let obs = Obs::none().with_metrics().with_progress(Arc::clone(&progress));
@@ -200,6 +320,8 @@ mod tests {
         let metrics = obs.metrics();
         assert_eq!(metrics.rng_streams.load(std::sync::atomic::Ordering::Relaxed), 16);
         assert_eq!(metrics.replications.load(std::sync::atomic::Ordering::Relaxed), 16);
+        assert_eq!(metrics.pool_batches.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(metrics.pool_tasks.load(std::sync::atomic::Ordering::Relaxed), 16);
         assert_eq!(metrics.phases().len(), 1);
     }
 

@@ -91,6 +91,11 @@ impl Simulator for SequentialSim {
             self.step_activation(rng);
         }
     }
+
+    /// Each of the `n` activations per round draws `ℓ` opinion samples.
+    fn opinion_samples_per_round(&self) -> u64 {
+        self.table.sample_size() as u64 * self.config.n()
+    }
 }
 
 #[cfg(test)]

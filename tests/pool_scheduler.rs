@@ -1,0 +1,143 @@
+//! Cross-crate guarantees of the persistent worker pool and the sweep
+//! checkpointing built on top of it:
+//!
+//! 1. the pool-based `replicate` is **bit-identical** to the scoped-thread
+//!    spawn-per-call reference (`replicate_spawn`) for arbitrary batch
+//!    shapes and thread counts (property-based), and
+//! 2. a checkpointed sweep that is interrupted and resumed produces exactly
+//!    the results of an uninterrupted run, replication for replication.
+
+use std::sync::Arc;
+
+use bitdissem_core::dynamics::{Minority, Voter};
+use bitdissem_core::{Configuration, Opinion};
+use bitdissem_experiments::workload::measure_convergence_observed;
+use bitdissem_obs::{CheckpointLog, Obs};
+use bitdissem_pool::Pool;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::run::run_to_consensus;
+use bitdissem_sim::runner::{replicate, replicate_spawn};
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The determinism contract, stated as a property: for any batch size,
+    /// any thread count, and any base seed, the pooled engine returns the
+    /// same result vector as the pre-pool spawn engine with any *other*
+    /// thread count.
+    #[test]
+    fn pool_replicate_equals_spawn_reference(
+        reps in 1usize..48,
+        pool_threads in 1usize..9,
+        spawn_threads in 1usize..9,
+        seed in 0u64..u64::MAX,
+    ) {
+        let pooled = replicate(reps, seed, Some(pool_threads), |mut rng, rep| {
+            (rep, rng.random::<u64>())
+        });
+        let spawned = replicate_spawn(reps, seed, Some(spawn_threads), |mut rng, rep| {
+            (rep, rng.random::<u64>())
+        });
+        prop_assert_eq!(pooled, spawned);
+    }
+
+    /// Same property on a real simulation workload: convergence outcomes of
+    /// a Voter batch are scheduling-independent.
+    #[test]
+    fn pool_simulation_outcomes_are_scheduling_independent(
+        threads in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(16, Opinion::One);
+        let run = |t: usize| {
+            replicate(6, seed, Some(t), |mut rng, _| {
+                let mut sim = AggregateSim::new(&voter, start).unwrap();
+                run_to_consensus(&mut sim, &mut rng, 100_000).rounds_censored()
+            })
+        };
+        prop_assert_eq!(run(threads), run(1));
+    }
+}
+
+/// One pool instance survives an entire "sweep": many batches of varying
+/// shapes, all correct, with workers reused throughout.
+#[test]
+fn one_pool_serves_many_sweep_points() {
+    let pool = Pool::new(3);
+    for point in 1..20usize {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        pool.run_batch(point * 3, 4, &|i| {
+            total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+        });
+        let k = point * 3;
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), k * (k - 1) / 2);
+    }
+    assert_eq!(pool.batches_run(), 19);
+}
+
+/// Checkpoint/resume round trip through a real file: an interrupted sweep
+/// (only a prefix of replications persisted) resumed from disk yields the
+/// uninterrupted batch bit for bit, with the cached prefix counted as hits.
+#[test]
+fn interrupted_sweep_resumes_bit_identically_from_disk() {
+    let minority = Minority::new(3).unwrap();
+    let start = Configuration::new(32, Opinion::One, 24).unwrap();
+    let reps = 12;
+    let budget = 200_000;
+    let seed = 99;
+
+    let uninterrupted =
+        measure_convergence_observed(&Obs::none(), &minority, start, reps, budget, seed, Some(3));
+
+    let path = std::env::temp_dir()
+        .join(format!("bitdissem_pool_sched_resume_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // "Interrupted" run: only the first 5 replications complete and are
+    // checkpointed before the process dies (log dropped = file closed).
+    {
+        let log = Arc::new(CheckpointLog::open(&path).unwrap());
+        let obs = Obs::none().with_checkpoint(log);
+        let partial =
+            measure_convergence_observed(&obs, &minority, start, 5, budget, seed, Some(2));
+        assert_eq!(partial.outcomes(), &uninterrupted.outcomes()[..5]);
+    }
+
+    // Resumed run in a "new process": reload the log from disk, run the
+    // full batch with a different thread count.
+    let log = Arc::new(CheckpointLog::open(&path).unwrap());
+    assert_eq!(log.len(), 5, "the interrupted run persisted its prefix");
+    let obs = Obs::none().with_metrics().with_checkpoint(Arc::clone(&log));
+    let resumed = measure_convergence_observed(&obs, &minority, start, reps, budget, seed, Some(4));
+
+    assert_eq!(resumed.outcomes(), uninterrupted.outcomes());
+    assert_eq!(
+        obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed),
+        5,
+        "exactly the persisted prefix is served from the log"
+    );
+    assert_eq!(log.len(), reps, "the resumed run persisted the remainder");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Checkpoint namespaces keep two experiments' identical batch parameters
+/// from colliding in one shared log.
+#[test]
+fn checkpoint_namespaces_isolate_experiments() {
+    let voter = Voter::new(1).unwrap();
+    let start = Configuration::all_wrong(16, Opinion::One);
+    let log = Arc::new(CheckpointLog::in_memory());
+
+    let obs_a = Obs::none().with_checkpoint(Arc::clone(&log)).with_checkpoint_ns("e2");
+    let a = measure_convergence_observed(&obs_a, &voter, start, 4, 100_000, 1, Some(2));
+    let after_a = log.len();
+
+    let obs_b = Obs::none().with_checkpoint(Arc::clone(&log)).with_checkpoint_ns("e11");
+    let b = measure_convergence_observed(&obs_b, &voter, start, 4, 100_000, 1, Some(2));
+
+    assert_eq!(a.outcomes(), b.outcomes(), "same parameters, same outcomes");
+    assert_eq!(log.len(), 2 * after_a, "distinct namespaces produce distinct keys");
+}
