@@ -14,7 +14,14 @@
 //! * `simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B]
 //!   [--sequential]` — one adversarial run with a trajectory summary;
 //! * `exact <protocol> [--ell L] [--n N]` — exact expected hitting times
-//!   (small `n`).
+//!   (small `n`);
+//! * `bench [--scale S] [--seed N] [--label L] [--out DIR]
+//!   [--max-workers W] [--compare BASELINE.json] [--check-only]` — run the
+//!   macro-benchmark suite, write a schema-versioned `BENCH_<label>.json`,
+//!   and optionally compare against a baseline for a regression verdict;
+//! * `trace <run.jsonl>` — offline analytics over a recorded trace:
+//!   consensus-time and latency summaries plus theory-conformance checks
+//!   (Proposition 4 jump bound, Proposition 5 drift band).
 //!
 //! All output goes through a returned `String` so the commands are unit
 //! testable.
@@ -31,10 +38,12 @@ use std::sync::Arc;
 use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
 use bitdissem_core::dynamics::{self, BoxedProtocol};
 use bitdissem_core::Protocol;
+use bitdissem_experiments::bench::{run_all as bench_run_all, BenchCtx};
+use bitdissem_experiments::trace::analyze as trace_analyze;
 use bitdissem_experiments::{registry, RunConfig, Scale};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
-use bitdissem_obs::{CheckpointLog, JsonlSink, Obs, Progress};
+use bitdissem_obs::{read_trace, BenchRecord, CheckpointLog, JsonlSink, Obs, Progress};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::rng::rng_from;
 use bitdissem_sim::run::{Outcome, Simulator};
@@ -80,6 +89,21 @@ pub fn usage() -> String {
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
+     \x20 bitdissem bench [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
+     \x20\x20\x20\x20 [--max-workers W] [--compare BASELINE.json] [--check-only] [--metrics]\n\
+     \x20 bitdissem trace <run.jsonl>\n\
+     \n\
+     performance (bench):\n\
+     \x20 --label L          name the output record BENCH_<L>.json (default: the scale name)\n\
+     \x20 --out DIR          directory for the record (default: current directory)\n\
+     \x20 --max-workers W    ceiling of the pool-scaling curve (default: available cores, max 8)\n\
+     \x20 --compare B.json   compare against a baseline record; a benchmark regresses when its\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 median throughput drops >25% and a KS test confirms the shift\n\
+     \x20 --check-only       report regressions without failing the exit status\n\
+     \n\
+     trace analytics (trace):\n\
+     \x20 exit status 1 when a recorded trajectory violates the paper's Prop-4 jump\n\
+     \x20 bound or Prop-5 drift band; requires a trace recorded with --trace-out\n\
      \n\
      observability (run):\n\
      \x20 --trace-out PATH   write one JSON event per line (rounds, replications, manifest)\n\
@@ -142,6 +166,8 @@ pub fn dispatch_full(args: &Args) -> CommandOutput {
         Some("analyze") => cmd_analyze(args),
         Some("simulate") => cmd_simulate(args),
         Some("exact") => cmd_exact(args),
+        Some("bench") => cmd_bench(args),
+        Some("trace") => cmd_trace(args),
         Some(other) => CommandOutput::ok(
             format!("unknown command '{other}'\n\n{}", usage()),
             Status::UsageError,
@@ -275,6 +301,137 @@ fn cmd_run(args: &Args) -> CommandOutput {
     }
     let status = if all_pass { Status::Ok } else { Status::CheckFailed };
     CommandOutput { stdout: out, stderr, status }
+}
+
+/// Relative median drop below which a benchmark is considered regressed
+/// (when the KS test also confirms the distributions differ).
+const BENCH_REGRESSION_DROP: f64 = -0.25;
+
+/// KS significance for the bench regression verdict.
+const BENCH_REGRESSION_ALPHA: f64 = 0.01;
+
+fn cmd_bench(args: &Args) -> CommandOutput {
+    let scale = match args.get("scale").map(Scale::from_str).transpose() {
+        Ok(s) => s.unwrap_or(Scale::Smoke),
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let seed = match args.get_parsed("seed", 42u64) {
+        Ok(s) => s,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let max_workers = match args.get_parsed("max-workers", 0usize) {
+        Ok(0) => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8),
+        Ok(w) => w,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let label = args.get("label").unwrap_or(scale.name()).to_string();
+    let out_dir = args.get("out").unwrap_or(".").to_string();
+    let obs = match build_obs(args) {
+        Ok(obs) => obs,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    // Load the baseline before spending minutes benchmarking: a bad
+    // --compare path must fail fast, before anything is written.
+    let baseline = match args.get("compare") {
+        None => None,
+        Some(p) => match BenchRecord::load(std::path::Path::new(p)) {
+            Ok(b) => Some((p, b)),
+            Err(e) => return usage_error(format!("cannot load baseline: {e}\n")),
+        },
+    };
+
+    let ctx = BenchCtx::new(scale, seed, max_workers);
+    let results = bench_run_all(&ctx, &obs);
+
+    let mut record = BenchRecord::new(&label, scale.name(), seed, max_workers as u64);
+    for r in &results {
+        record.push(&r.id, r.unit, r.samples.clone());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "benchmarks at scale {} (seed {seed}, up to {max_workers} workers):",
+        scale.name()
+    );
+    for e in &record.entries {
+        let _ = writeln!(
+            out,
+            "  {:<20} median {:>14} {} ({} samples)",
+            e.id,
+            fmt_num(e.median()),
+            e.unit,
+            e.samples.len()
+        );
+    }
+    let path = match record.save(std::path::Path::new(&out_dir)) {
+        Ok(p) => p,
+        Err(e) => return usage_error(format!("cannot write bench record in '{out_dir}': {e}\n")),
+    };
+    let _ = writeln!(out, "wrote {} (schema v{})", path.display(), record.schema_version);
+
+    let mut status = Status::Ok;
+    if let Some((baseline_path, baseline)) = baseline {
+        let _ = writeln!(
+            out,
+            "\ncompared against {baseline_path} (label '{}', scale {}):",
+            baseline.label, baseline.scale
+        );
+        let mut regressions = 0usize;
+        for e in &record.entries {
+            let Some(base) = baseline.entry(&e.id) else {
+                let _ = writeln!(out, "  {:<20} no baseline entry, skipped", e.id);
+                continue;
+            };
+            let Some(shift) =
+                bitdissem_stats::median_shift(&base.samples, &e.samples, BENCH_REGRESSION_ALPHA)
+            else {
+                let _ = writeln!(out, "  {:<20} not comparable (degenerate samples)", e.id);
+                continue;
+            };
+            // Throughput units: a regression is a *confirmed* median drop.
+            let regressed = shift.rel_change < BENCH_REGRESSION_DROP && shift.distribution_shift;
+            regressions += usize::from(regressed);
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>+7.1}% vs baseline median {:>14} {}",
+                e.id,
+                shift.rel_change * 100.0,
+                fmt_num(shift.baseline_median),
+                if regressed { " REGRESSION" } else { "" }
+            );
+        }
+        if regressions > 0 {
+            let _ = writeln!(out, "verdict: {regressions} benchmark(s) regressed");
+            if !args.flag("check-only") {
+                status = Status::CheckFailed;
+            }
+        } else {
+            let _ = writeln!(out, "verdict: no regressions");
+        }
+    }
+
+    if let Some(progress) = obs.progress() {
+        progress.finish();
+    }
+    let mut stderr = String::new();
+    if args.flag("metrics") {
+        stderr.push_str(&obs.metrics().render());
+    }
+    CommandOutput { stdout: out, stderr, status }
+}
+
+fn cmd_trace(args: &Args) -> CommandOutput {
+    let Some(path) = args.positional.first() else {
+        return usage_error("missing trace path (a JSONL file recorded with --trace-out)\n");
+    };
+    let read = match read_trace(std::path::Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => return usage_error(format!("cannot read trace '{path}': {e}\n")),
+    };
+    let analysis = trace_analyze(&read.events, read.skipped);
+    let status = if analysis.has_violations() { Status::CheckFailed } else { Status::Ok };
+    CommandOutput::ok(analysis.render(), status)
 }
 
 fn cmd_analyze(args: &Args) -> CommandOutput {
@@ -773,5 +930,203 @@ mod tests {
             run_cli(&["run", "e5", "--scale", "smoke", "--trace-out", "/nonexistent-dir/x.jsonl"]);
         assert_eq!(status, Status::UsageError);
         assert!(out.contains("cannot create trace file"), "{out}");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bitdissem_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bench_smoke_writes_schema_versioned_record() {
+        let dir = temp_dir("bench");
+        let dir_s = dir.to_str().unwrap().to_string();
+        let (out, status) = run_cli(&[
+            "bench",
+            "--scale",
+            "smoke",
+            "--seed",
+            "1",
+            "--label",
+            "unit-test",
+            "--max-workers",
+            "2",
+            "--out",
+            dir_s.as_str(),
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("wrote"), "{out}");
+
+        let path = dir.join("BENCH_unit-test.json");
+        let record = BenchRecord::load(&path).expect("record loads");
+        assert_eq!(record.schema_version, bitdissem_obs::BENCH_SCHEMA_VERSION);
+        assert_eq!(record.scale, "smoke");
+        assert_eq!(record.pool_workers, 2);
+        for id in ["agent_step", "aggregate_rounds", "pool_scaling_w1", "checkpoint_write"] {
+            let e = record.entry(id).unwrap_or_else(|| panic!("entry {id} in {out}"));
+            assert!(e.median() > 0.0, "{id} median must be positive");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_compare_against_own_record_reports_no_regression() {
+        let dir = temp_dir("bench_cmp");
+        let dir_s = dir.to_str().unwrap().to_string();
+        let base = ["bench", "--scale", "smoke", "--seed", "2", "--max-workers", "1"];
+        let first: Vec<&str> =
+            base.iter().copied().chain(["--label", "base", "--out", dir_s.as_str()]).collect();
+        assert_eq!(run_cli(&first).1, Status::Ok);
+        let baseline = dir.join("BENCH_base.json");
+        let baseline_s = baseline.to_str().unwrap().to_string();
+        let second: Vec<&str> = base
+            .iter()
+            .copied()
+            .chain([
+                "--label",
+                "current",
+                "--out",
+                dir_s.as_str(),
+                "--compare",
+                baseline_s.as_str(),
+            ])
+            .collect();
+        let (out, status) = run_cli(&second);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("no regressions"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_compare_flags_a_confirmed_median_drop() {
+        // A doctored baseline with impossibly high throughput: the current
+        // run's medians drop ~100%, and 100 baseline samples give the KS
+        // test the power to confirm the shift.
+        let dir = temp_dir("bench_reg");
+        let dir_s = dir.to_str().unwrap().to_string();
+        let mut fake = BenchRecord::new("fake", "smoke", 3, 1);
+        for id in ["agent_step", "aggregate_rounds", "pool_scaling_w1", "checkpoint_write"] {
+            fake.push(id, "per_sec", (0..100).map(|i| 1e15 + f64::from(i)).collect());
+        }
+        let baseline = fake.save(&dir).unwrap();
+        let baseline_s = baseline.to_str().unwrap().to_string();
+
+        let argv = [
+            "bench",
+            "--scale",
+            "smoke",
+            "--seed",
+            "3",
+            "--max-workers",
+            "1",
+            "--label",
+            "reg",
+            "--out",
+            dir_s.as_str(),
+            "--compare",
+            baseline_s.as_str(),
+        ];
+        let (out, status) = run_cli(&argv);
+        assert_eq!(status, Status::CheckFailed, "{out}");
+        assert!(out.contains("REGRESSION"), "{out}");
+        assert!(out.contains("regressed"), "{out}");
+
+        // --check-only reports the same regressions but exits cleanly.
+        let check_only: Vec<&str> = argv.iter().copied().chain(["--check-only"]).collect();
+        let (out, status) = run_cli(&check_only);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("REGRESSION"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_rejects_bad_inputs() {
+        let (_, status) = run_cli(&["bench", "--scale", "bogus"]);
+        assert_eq!(status, Status::UsageError);
+        let (out, status) =
+            run_cli(&["bench", "--scale", "smoke", "--compare", "/nonexistent/baseline.json"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("cannot load baseline"), "{out}");
+    }
+
+    #[test]
+    fn trace_subcommand_passes_a_fresh_e2_trace() {
+        let dir = temp_dir("trace_ok");
+        let path = dir.join("run.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = dispatch_full(&Args::parse([
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "17",
+            "--trace-out",
+            path_s.as_str(),
+        ]));
+        assert_eq!(out.status, Status::Ok, "{}", out.stdout);
+
+        let (report, status) = run_cli(&["trace", path_s.as_str()]);
+        assert_eq!(status, Status::Ok, "{report}");
+        assert!(report.contains("conforms to theory"), "{report}");
+        assert!(report.contains("Prop 4"), "{report}");
+        assert!(report.contains("Prop 5"), "{report}");
+        assert!(!report.contains("VIOLATION"), "{report}");
+        // The e2 smoke sweep runs 4 population sizes = 4 conv batches.
+        assert!(report.contains("batch 4"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_subcommand_flags_a_doctored_jump() {
+        use bitdissem_obs::{Event, ReplicationOutcome};
+        let dir = temp_dir("trace_bad");
+        let path = dir.join("doctored.jsonl");
+        let n = 4096u64;
+        // Voter ℓ=1 from X_t = 0.3n: Prop 4 caps the next step at
+        // y(0.3, 1)·n ≈ 0.755n, so a jump to 0.9n violates the bound.
+        let events = [
+            Event::BatchStarted {
+                kind: "conv".to_string(),
+                protocol: "voter".to_string(),
+                ell: 1,
+                n,
+                x0: 1,
+                source_opinion: 1,
+                reps: 1,
+                budget: 100_000,
+                seed: 1,
+                g0: vec![0.0, 1.0],
+                g1: vec![0.0, 1.0],
+            },
+            Event::RoundCompleted { rep: 0, round: 5, ones: (3 * n) / 10, source_opinion: 1 },
+            Event::RoundCompleted { rep: 0, round: 6, ones: (9 * n) / 10, source_opinion: 1 },
+            Event::ReplicationFinished {
+                rep: 0,
+                outcome: ReplicationOutcome::Converged,
+                rounds: 6,
+                elapsed_us: 100,
+            },
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        std::fs::write(&path, text).unwrap();
+
+        let (report, status) = run_cli(&["trace", path.to_str().unwrap()]);
+        assert_eq!(status, Status::CheckFailed, "{report}");
+        assert!(report.contains("VIOLATION rep=0 round=5->6"), "{report}");
+        assert!(report.contains("VIOLATIONS FOUND"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_rejects_missing_input() {
+        let (out, status) = run_cli(&["trace"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("missing trace path"), "{out}");
+        let (out, status) = run_cli(&["trace", "/nonexistent/run.jsonl"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("cannot read trace"), "{out}");
     }
 }

@@ -1,0 +1,258 @@
+//! Macro-benchmark workloads for `bitdissem bench`.
+//!
+//! Each benchmark exercises one hot path of the reproduction pipeline and
+//! reports *throughput* samples (bigger is better), so a regression
+//! verdict is a median **drop**:
+//!
+//! - `agent_step` — sequential-simulator activations per second (one
+//!   parallel round = `n` agent activations);
+//! - `aggregate_rounds` — aggregate exact-chain simulator rounds per
+//!   second (the engine behind every convergence sweep);
+//! - `pool_scaling_w<k>` — replications per second through the persistent
+//!   worker pool at `k` workers, for `k` over `1, 2, 4, …, W` — the
+//!   scaling curve the CI pool-matrix job watches;
+//! - `checkpoint_write` — checkpoint-log records per second against a
+//!   real file (the resume path's write side).
+//!
+//! Every sample repeats enough work to be far above timer resolution, and
+//! all simulation inputs derive from the [`BenchCtx`] seed so two runs
+//! benchmark *identical* workloads — only the timing varies.
+
+use crate::config::Scale;
+use bitdissem_core::dynamics::Voter;
+use bitdissem_core::{Configuration, Opinion};
+use bitdissem_obs::{CheckpointLog, Obs};
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::rng::{replication_seed, rng_from};
+use bitdissem_sim::run::Simulator;
+use bitdissem_sim::runner::replicate;
+use bitdissem_sim::sequential::SequentialSim;
+use std::time::Instant;
+
+/// Parameters shared by every benchmark in a run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCtx {
+    /// Work-size tier (smoke stays CI-friendly, full is minutes).
+    pub scale: Scale,
+    /// Base seed: fixes the simulated workloads exactly.
+    pub seed: u64,
+    /// Largest worker count exercised by the pool-scaling curve.
+    pub max_workers: usize,
+}
+
+impl BenchCtx {
+    /// A context with the given scale, seed 42, and the pool-scaling
+    /// ceiling capped at the machine's parallelism.
+    #[must_use]
+    pub fn new(scale: Scale, seed: u64, max_workers: usize) -> Self {
+        Self { scale, seed, max_workers: max_workers.max(1) }
+    }
+
+    fn samples(&self) -> usize {
+        self.scale.pick(3, 5, 10)
+    }
+}
+
+/// One benchmark's throughput samples.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable benchmark id (the key compared against baselines).
+    pub id: String,
+    /// Unit of the samples; always a throughput (bigger is better).
+    pub unit: &'static str,
+    /// One throughput measurement per timed repetition.
+    pub samples: Vec<f64>,
+}
+
+/// The worker counts exercised by the pool-scaling curve: powers of two
+/// up to `max`, with `max` itself always included.
+#[must_use]
+pub fn worker_counts(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts: Vec<usize> = std::iter::successors(Some(1usize), |w| w.checked_mul(2))
+        .take_while(|&w| w <= max)
+        .collect();
+    if *counts.last().expect("starts at 1") != max {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Times `work` once and converts it to a throughput sample.
+fn throughput(units: f64, work: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    work();
+    let secs = start.elapsed().as_secs_f64();
+    // Sub-resolution elapsed times would divide by zero; clamp to 1 ns so
+    // a pathological sample is merely huge, not infinite.
+    units / secs.max(1e-9)
+}
+
+/// Sequential-simulator activations per second.
+fn bench_agent_step(ctx: &BenchCtx) -> BenchResult {
+    let n = ctx.scale.pick(256u64, 1024, 4096);
+    let rounds = ctx.scale.pick(50u64, 200, 500);
+    let voter = Voter::new(1).expect("ell >= 1");
+    let start = Configuration::all_wrong(n, Opinion::One);
+    let samples = (0..ctx.samples())
+        .map(|i| {
+            let mut rng = rng_from(replication_seed(ctx.seed, i as u64));
+            let mut sim = SequentialSim::new(&voter, start).expect("valid protocol");
+            throughput((rounds * n) as f64, || {
+                for _ in 0..rounds {
+                    sim.step_round(&mut rng);
+                }
+            })
+        })
+        .collect();
+    BenchResult { id: "agent_step".to_string(), unit: "activations_per_sec", samples }
+}
+
+/// Aggregate exact-chain simulator rounds per second.
+fn bench_aggregate_rounds(ctx: &BenchCtx) -> BenchResult {
+    let n = ctx.scale.pick(1024u64, 4096, 16_384);
+    let rounds = ctx.scale.pick(200u64, 1000, 5000);
+    let voter = Voter::new(1).expect("ell >= 1");
+    let start = Configuration::all_wrong(n, Opinion::One);
+    let samples = (0..ctx.samples())
+        .map(|i| {
+            let mut rng = rng_from(replication_seed(ctx.seed ^ 1, i as u64));
+            let mut sim = AggregateSim::new(&voter, start).expect("valid protocol");
+            throughput(rounds as f64, || {
+                for _ in 0..rounds {
+                    sim.step_round(&mut rng);
+                }
+            })
+        })
+        .collect();
+    BenchResult { id: "aggregate_rounds".to_string(), unit: "rounds_per_sec", samples }
+}
+
+/// Replications per second through the worker pool at `workers` workers.
+fn bench_pool_scaling(ctx: &BenchCtx, workers: usize) -> BenchResult {
+    let n = ctx.scale.pick(512u64, 1024, 2048);
+    let reps = ctx.scale.pick(16usize, 48, 96);
+    let rounds_per_rep = ctx.scale.pick(100u64, 300, 1000);
+    let voter = Voter::new(1).expect("ell >= 1");
+    let start = Configuration::all_wrong(n, Opinion::One);
+    let samples = (0..ctx.samples())
+        .map(|_| {
+            throughput(reps as f64, || {
+                // Fixed-length runs (not run-to-consensus) so every
+                // replication carries identical work and the measurement
+                // isolates pool overhead + parallel speedup.
+                let out = replicate(reps, ctx.seed ^ 2, Some(workers), |mut rng, _| {
+                    let mut sim = AggregateSim::new(&voter, start).expect("valid protocol");
+                    for _ in 0..rounds_per_rep {
+                        sim.step_round(&mut rng);
+                    }
+                    sim.configuration().ones()
+                });
+                assert_eq!(out.len(), reps);
+            })
+        })
+        .collect();
+    BenchResult { id: format!("pool_scaling_w{workers}"), unit: "reps_per_sec", samples }
+}
+
+/// Checkpoint-log records per second against a real file.
+///
+/// Each sample writes to a fresh file in the system temp directory and
+/// removes it afterwards; failures to set the file up are reported as an
+/// empty sample list rather than a panic (benches must not take the CLI
+/// down on a read-only temp dir).
+fn bench_checkpoint_write(ctx: &BenchCtx) -> BenchResult {
+    let records = ctx.scale.pick(1000u64, 5000, 20_000);
+    let mut samples = Vec::with_capacity(ctx.samples());
+    for i in 0..ctx.samples() {
+        let path = std::env::temp_dir().join(format!(
+            "bitdissem-bench-ckpt-{}-{}-{i}.jsonl",
+            std::process::id(),
+            ctx.seed
+        ));
+        let Ok(log) = CheckpointLog::open(&path) else {
+            continue;
+        };
+        samples.push(throughput(records as f64, || {
+            for r in 0..records {
+                log.record(&format!("bench:rep#{r}"), "c:123");
+            }
+        }));
+        let _ = std::fs::remove_file(&path);
+    }
+    BenchResult { id: "checkpoint_write".to_string(), unit: "records_per_sec", samples }
+}
+
+/// Runs the full benchmark suite, in a stable order. Each benchmark runs
+/// under an [`Obs::span`] so `--metrics` surfaces its wall-clock share.
+#[must_use]
+pub fn run_all(ctx: &BenchCtx, obs: &Obs) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    {
+        let _span = obs.span("bench/agent_step");
+        results.push(bench_agent_step(ctx));
+    }
+    {
+        let _span = obs.span("bench/aggregate_rounds");
+        results.push(bench_aggregate_rounds(ctx));
+    }
+    for workers in worker_counts(ctx.max_workers) {
+        let _span = obs.span("bench/pool_scaling");
+        results.push(bench_pool_scaling(ctx, workers));
+    }
+    {
+        let _span = obs.span("bench/checkpoint_write");
+        results.push(bench_checkpoint_write(ctx));
+    }
+    if let Some(progress) = obs.progress() {
+        progress.tick(results.len() as u64);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_counts_are_powers_of_two_plus_max() {
+        assert_eq!(worker_counts(1), vec![1]);
+        assert_eq!(worker_counts(2), vec![1, 2]);
+        assert_eq!(worker_counts(4), vec![1, 2, 4]);
+        assert_eq!(worker_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(worker_counts(0), vec![1], "max is clamped to 1");
+    }
+
+    #[test]
+    fn throughput_is_positive_and_finite() {
+        let t = throughput(100.0, || std::hint::black_box(()));
+        assert!(t.is_finite() && t > 0.0, "t = {t}");
+    }
+
+    #[test]
+    fn smoke_suite_covers_every_benchmark() {
+        let ctx = BenchCtx::new(Scale::Smoke, 42, 2);
+        let results = run_all(&ctx, &Obs::none());
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "agent_step",
+                "aggregate_rounds",
+                "pool_scaling_w1",
+                "pool_scaling_w2",
+                "checkpoint_write"
+            ]
+        );
+        for r in &results {
+            assert_eq!(r.samples.len(), 3, "{}: smoke takes 3 samples", r.id);
+            assert!(
+                r.samples.iter().all(|s| s.is_finite() && *s > 0.0),
+                "{}: throughputs must be positive, got {:?}",
+                r.id,
+                r.samples
+            );
+            assert!(r.unit.ends_with("_per_sec"), "{}: unit {} is a rate", r.id, r.unit);
+        }
+    }
+}

@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod config;
 pub mod exp;
 pub mod registry;
 pub mod report;
+pub mod trace;
 pub mod workload;
 
 pub use config::{RunConfig, Scale};

@@ -128,6 +128,44 @@ where
     )
 }
 
+/// Emits a [`bitdissem_obs::Event::BatchStarted`] describing a replicated
+/// batch: its kind, dimensions, seeds and the protocol's full `g`-table.
+/// This is what makes a trace *self-describing* — an offline analyzer can
+/// rebuild the protocol (a `GTable` is itself a `Protocol`) and check the
+/// recorded trajectory against the paper's Prop-4/Prop-5 predictions
+/// without knowing how the batch was constructed. Every event of the
+/// batch follows it in the trace (batch calls block), so the next
+/// `BatchStarted` line delimits it.
+fn emit_batch_started<P>(
+    obs: &Obs,
+    kind: &str,
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+) where
+    P: Protocol + Sync + ?Sized,
+{
+    if !obs.active() {
+        return;
+    }
+    let table = protocol.to_table(start.n()).expect("valid protocol");
+    obs.emit(&bitdissem_obs::Event::BatchStarted {
+        kind: kind.to_string(),
+        protocol: protocol.name(),
+        ell: table.sample_size() as u64,
+        n: start.n(),
+        x0: start.ones(),
+        source_opinion: start.correct().as_bit(),
+        reps: reps as u64,
+        budget,
+        seed,
+        g0: table.g0().to_vec(),
+        g1: table.g1().to_vec(),
+    });
+}
+
 fn encode_outcome(outcome: Outcome) -> String {
     match outcome {
         Outcome::Converged { rounds } => format!("c:{rounds}"),
@@ -225,6 +263,7 @@ pub fn measure_convergence_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
+    emit_batch_started(obs, "conv", protocol, start, reps, budget, seed);
     let outcomes = replicate_checkpointed(
         obs,
         || batch_key("conv", protocol, start, budget, seed),
@@ -278,6 +317,7 @@ pub fn measure_convergence_sequential_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
+    emit_batch_started(obs, "seqconv", protocol, start, reps, budget_rounds, seed);
     let outcomes = replicate_checkpointed(
         obs,
         || batch_key("seqconv", protocol, start, budget_rounds, seed),
@@ -327,6 +367,7 @@ pub fn measure_crossing_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
+    emit_batch_started(obs, "cross", protocol, witness.start(), reps, budget, seed);
     replicate_checkpointed(
         obs,
         || batch_key("cross", protocol, witness.start(), budget, seed),
@@ -478,6 +519,66 @@ mod tests {
         assert_eq!(resumed.outcomes(), full.outcomes());
         assert_eq!(obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed), 4);
         assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    fn observed_batch_emits_self_describing_header() {
+        use bitdissem_obs::{Event, MemorySink};
+        use std::sync::Arc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::none().with_sink(Arc::clone(&sink) as Arc<dyn bitdissem_obs::EventSink>);
+        let _ = measure_convergence_observed(&obs, &voter, start, 3, 100_000, 11, Some(1));
+
+        let events = sink.events();
+        let Some(Event::BatchStarted {
+            kind,
+            protocol,
+            ell,
+            n,
+            x0,
+            source_opinion,
+            reps,
+            budget,
+            seed,
+            g0,
+            g1,
+        }) = events.first()
+        else {
+            panic!("first event must be the batch header, got {:?}", events.first());
+        };
+        assert_eq!(kind, "conv");
+        assert_eq!(protocol, &voter.name());
+        assert_eq!((*ell, *n, *x0), (1, 24, 1));
+        assert_eq!((*source_opinion, *reps, *budget, *seed), (1, 3, 100_000, 11));
+        // Voter ℓ=1: adopt the sampled opinion, g(z, k) = k/ℓ.
+        assert_eq!(g0, &vec![0.0, 1.0]);
+        assert_eq!(g1, &vec![0.0, 1.0]);
+        // The header can rebuild the protocol for offline conformance
+        // checks: the round events that follow must belong to `reps` runs.
+        let finished =
+            events.iter().filter(|e| matches!(e, Event::ReplicationFinished { .. })).count();
+        assert_eq!(finished, 3);
+    }
+
+    #[test]
+    fn observed_batch_passes_trace_conformance() {
+        use bitdissem_obs::MemorySink;
+        use std::sync::Arc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(48, Opinion::One);
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::none().with_sink(Arc::clone(&sink) as Arc<dyn bitdissem_obs::EventSink>);
+        let _ = measure_convergence_observed(&obs, &voter, start, 10, 100_000, 3, Some(2));
+
+        let analysis = crate::trace::analyze(&sink.events(), 0);
+        assert_eq!(analysis.batches.len(), 1);
+        let batch = &analysis.batches[0];
+        assert_eq!(batch.replications, 10);
+        let conf = batch.conformance.as_ref().expect("conv batch is checkable");
+        assert!(conf.adjacent_pairs > 0);
+        assert!(!analysis.has_violations(), "{}", analysis.render());
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Versioned, machine-readable performance baselines.
+//!
+//! A [`BenchRecord`] is the on-disk contract between a benchmark run and
+//! everything that later consumes it (regression comparison, CI
+//! artifacts): one `BENCH_<label>.json` file carrying a schema version,
+//! the run's provenance knobs (scale, seed, worker cap) and a list of
+//! entries, each holding the *raw samples* of one workload rather than a
+//! pre-digested summary — so a comparison can pick its own statistic and
+//! run a distribution test instead of trusting a stored mean.
+//!
+//! The schema is versioned explicitly: readers accept records up to
+//! [`BENCH_SCHEMA_VERSION`] and refuse newer ones, so a stale binary
+//! fails loudly instead of silently misreading a future layout.
+
+use crate::json::{self, Value};
+use std::path::{Path, PathBuf};
+
+/// Current `BENCH_*.json` schema version. Bump when the layout changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Raw samples for one benchmark workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Workload id, e.g. `agent_step` or `pool_scaling_w4`.
+    pub id: String,
+    /// Unit of each sample, e.g. `steps/s`. All bundled workloads use
+    /// throughput units: higher is better.
+    pub unit: String,
+    /// One measured value per repetition.
+    pub samples: Vec<f64>,
+}
+
+impl BenchEntry {
+    /// Median of the samples (0 when empty).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+}
+
+/// One benchmark run: provenance plus per-workload samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Schema version the record was written with.
+    pub schema_version: u64,
+    /// Human-chosen label; determines the file name.
+    pub label: String,
+    /// Scale name the workloads ran at (`smoke` / `standard` / `full`).
+    pub scale: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Highest worker count exercised by the pool-scaling workloads.
+    pub pool_workers: u64,
+    /// Per-workload results.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchRecord {
+    /// Creates an empty record with the current schema version.
+    #[must_use]
+    pub fn new(label: &str, scale: &str, seed: u64, pool_workers: u64) -> Self {
+        BenchRecord {
+            schema_version: BENCH_SCHEMA_VERSION,
+            label: label.to_string(),
+            scale: scale.to_string(),
+            seed,
+            pool_workers,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one workload's samples.
+    pub fn push(&mut self, id: &str, unit: &str, samples: Vec<f64>) {
+        self.entries.push(BenchEntry { id: id.to_string(), unit: unit.to_string(), samples });
+    }
+
+    /// The entry with the given workload id, if present.
+    #[must_use]
+    pub fn entry(&self, id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// The conventional file name for this record: `BENCH_<label>.json`
+    /// with path-hostile characters in the label replaced by `-`.
+    #[must_use]
+    pub fn filename(&self) -> String {
+        let safe: String = self
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+            .collect();
+        format!("BENCH_{safe}.json")
+    }
+
+    /// Encodes the record as a single JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("id".to_string(), Value::Str(e.id.clone())),
+                    ("unit".to_string(), Value::Str(e.unit.clone())),
+                    (
+                        "samples".to_string(),
+                        Value::Arr(e.samples.iter().map(|&s| Value::Num(s)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema_version".to_string(), Value::Int(i128::from(self.schema_version))),
+            ("label".to_string(), Value::Str(self.label.clone())),
+            ("scale".to_string(), Value::Str(self.scale.clone())),
+            ("seed".to_string(), Value::Int(i128::from(self.seed))),
+            ("pool_workers".to_string(), Value::Int(i128::from(self.pool_workers))),
+            ("entries".to_string(), Value::Arr(entries)),
+        ])
+        .render()
+    }
+
+    /// Decodes a record, refusing schema versions newer than this build
+    /// understands.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on malformed JSON, missing fields, or an
+    /// unsupported schema version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let version =
+            value.get("schema_version").and_then(Value::as_u64).ok_or("missing schema_version")?;
+        if version > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench schema version {version} is newer than supported {BENCH_SCHEMA_VERSION}"
+            ));
+        }
+        let str_field = |k: &str| {
+            value.get(k).and_then(Value::as_str).map(str::to_string).ok_or(format!("missing {k}"))
+        };
+        let u64_field =
+            |k: &str| value.get(k).and_then(Value::as_u64).ok_or(format!("missing {k}"));
+        let Some(Value::Arr(raw_entries)) = value.get("entries") else {
+            return Err("missing entries".to_string());
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for raw in raw_entries {
+            let id = raw.get("id").and_then(Value::as_str).ok_or("entry missing id")?;
+            let unit = raw.get("unit").and_then(Value::as_str).ok_or("entry missing unit")?;
+            let Some(Value::Arr(raw_samples)) = raw.get("samples") else {
+                return Err(format!("entry {id} missing samples"));
+            };
+            let samples = raw_samples
+                .iter()
+                .map(|s| s.as_f64().ok_or(format!("entry {id} has a non-numeric sample")))
+                .collect::<Result<Vec<f64>, String>>()?;
+            entries.push(BenchEntry { id: id.to_string(), unit: unit.to_string(), samples });
+        }
+        Ok(BenchRecord {
+            schema_version: version,
+            label: str_field("label")?,
+            scale: str_field("scale")?,
+            seed: u64_field("seed")?,
+            pool_workers: u64_field("pool_workers")?,
+            entries,
+        })
+    }
+
+    /// Writes the record to `dir` under its conventional file name and
+    /// returns the full path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be written.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(self.filename());
+        std::fs::write(&path, format!("{}\n", self.to_json()))?;
+        Ok(path)
+    }
+
+    /// Reads and decodes a record from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on I/O failure or any [`Self::from_json`]
+    /// error.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> BenchRecord {
+        let mut rec = BenchRecord::new("smoke", "smoke", 42, 4);
+        rec.push("agent_step", "steps/s", vec![1.0e6, 1.2e6, 1.1e6]);
+        rec.push("pool_scaling_w4", "reps/s", vec![800.0, 760.5]);
+        rec
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let rec = sample_record();
+        let back = BenchRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd_counts() {
+        let rec = sample_record();
+        assert_eq!(rec.entry("agent_step").unwrap().median(), 1.1e6);
+        assert_eq!(rec.entry("pool_scaling_w4").unwrap().median(), 780.25);
+        assert_eq!(
+            BenchEntry { id: String::new(), unit: String::new(), samples: vec![] }.median(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn filename_is_sanitized() {
+        let rec = BenchRecord::new("ci/base line", "smoke", 0, 1);
+        assert_eq!(rec.filename(), "BENCH_ci-base-line.json");
+    }
+
+    #[test]
+    fn newer_schema_versions_are_refused() {
+        let mut rec = sample_record();
+        rec.schema_version = BENCH_SCHEMA_VERSION + 1;
+        let err = BenchRecord::from_json(&rec.to_json()).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(BenchRecord::from_json("not json").is_err());
+        assert!(BenchRecord::from_json("{}").is_err());
+        assert!(BenchRecord::from_json(r#"{"schema_version":1,"label":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir();
+        let mut rec = sample_record();
+        rec.label = format!("rec_test_{}", std::process::id());
+        let path = rec.save(&dir).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("BENCH_rec_test_"));
+        let back = BenchRecord::load(&path).unwrap();
+        assert_eq!(back, rec);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let rec = sample_record();
+        assert!(rec.entry("agent_step").is_some());
+        assert!(rec.entry("missing").is_none());
+    }
+}

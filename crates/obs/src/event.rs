@@ -56,6 +56,40 @@ pub enum Event {
         /// Wall-clock duration in microseconds.
         elapsed_us: u64,
     },
+    /// A replicated measurement batch began. The events of a batch
+    /// (rounds, replication results) follow it in the trace until the
+    /// next `BatchStarted`, and the batch carries everything a trace
+    /// analyzer needs to rebuild the protocol — the full `g`-table —
+    /// so recorded runs are checkable against theory without knowing
+    /// how the protocol was constructed.
+    BatchStarted {
+        /// Batch kind: `conv` (parallel-round convergence), `seqconv`
+        /// (sequential convergence) or `cross` (crossing time, no round
+        /// events).
+        kind: String,
+        /// Protocol display name.
+        protocol: String,
+        /// Sample size ℓ of the protocol.
+        ell: u64,
+        /// Population size (including the source).
+        n: u64,
+        /// Number of agents holding opinion 1 in the initial
+        /// configuration `X_0`.
+        x0: u64,
+        /// The source's (correct) opinion bit.
+        source_opinion: u8,
+        /// Replications in the batch.
+        reps: u64,
+        /// Per-replication round budget.
+        budget: u64,
+        /// Base seed of the batch (replication seeds derive from it).
+        seed: u64,
+        /// `g(0, k)` for `k = 0..=ℓ`: probability of adopting opinion 1
+        /// when holding 0 and seeing `k` ones.
+        g0: Vec<f64>,
+        /// `g(1, k)` for `k = 0..=ℓ`.
+        g1: Vec<f64>,
+    },
     /// One replication of a replicated measurement completed.
     ReplicationFinished {
         /// Replication index within its batch.
@@ -128,6 +162,37 @@ impl Event {
                     ("elapsed_us".to_string(), Value::Int(i128::from(*elapsed_us))),
                 ],
             ),
+            Event::BatchStarted {
+                kind,
+                protocol,
+                ell,
+                n,
+                x0,
+                source_opinion,
+                reps,
+                budget,
+                seed,
+                g0,
+                g1,
+            } => {
+                let floats = |xs: &[f64]| Value::Arr(xs.iter().map(|&x| Value::Num(x)).collect());
+                obj(
+                    "batch_started",
+                    vec![
+                        ("kind".to_string(), Value::Str(kind.clone())),
+                        ("protocol".to_string(), Value::Str(protocol.clone())),
+                        ("ell".to_string(), Value::Int(i128::from(*ell))),
+                        ("n".to_string(), Value::Int(i128::from(*n))),
+                        ("x0".to_string(), Value::Int(i128::from(*x0))),
+                        ("source_opinion".to_string(), Value::Int(i128::from(*source_opinion))),
+                        ("reps".to_string(), Value::Int(i128::from(*reps))),
+                        ("budget".to_string(), Value::Int(i128::from(*budget))),
+                        ("seed".to_string(), Value::Int(i128::from(*seed))),
+                        ("g0".to_string(), floats(g0)),
+                        ("g1".to_string(), floats(g1)),
+                    ],
+                )
+            }
             Event::ReplicationFinished { rep, outcome, rounds, elapsed_us } => obj(
                 "replication_finished",
                 vec![
@@ -177,7 +242,27 @@ impl Event {
         };
         let u64_field =
             |k: &str| value.get(k).and_then(Value::as_u64).ok_or(format!("missing {k}"));
+        let f64_array = |k: &str| -> Result<Vec<f64>, String> {
+            let Some(Value::Arr(items)) = value.get(k) else {
+                return Err(format!("missing {k}"));
+            };
+            items.iter().map(|v| v.as_f64().ok_or(format!("non-numeric entry in {k}"))).collect()
+        };
         match ty {
+            "batch_started" => Ok(Event::BatchStarted {
+                kind: str_field("kind")?,
+                protocol: str_field("protocol")?,
+                ell: u64_field("ell")?,
+                n: u64_field("n")?,
+                x0: u64_field("x0")?,
+                source_opinion: u8::try_from(u64_field("source_opinion")?)
+                    .map_err(|_| "source_opinion out of range".to_string())?,
+                reps: u64_field("reps")?,
+                budget: u64_field("budget")?,
+                seed: u64_field("seed")?,
+                g0: f64_array("g0")?,
+                g1: f64_array("g1")?,
+            }),
             "experiment_started" => Ok(Event::ExperimentStarted {
                 id: str_field("id")?,
                 title: str_field("title")?,
@@ -227,6 +312,32 @@ mod tests {
                 scale: "smoke".to_string(),
             },
             Event::ExperimentFinished { id: "e2".to_string(), pass: true, elapsed_us: 12_345 },
+            Event::BatchStarted {
+                kind: "conv".to_string(),
+                protocol: "voter".to_string(),
+                ell: 1,
+                n: 128,
+                x0: 1,
+                source_opinion: 1,
+                reps: 30,
+                budget: 4_964,
+                seed: 0xBAD_5EED,
+                g0: vec![0.0, 1.0],
+                g1: vec![0.0, 1.0],
+            },
+            Event::BatchStarted {
+                kind: "cross".to_string(),
+                protocol: "mixed".to_string(),
+                ell: 2,
+                n: 64,
+                x0: 32,
+                source_opinion: 0,
+                reps: 8,
+                budget: 100,
+                seed: 7,
+                g0: vec![0.125, 0.5, 0.875],
+                g1: vec![0.25, 0.5, 0.75],
+            },
             Event::ReplicationFinished {
                 rep: 3,
                 outcome: ReplicationOutcome::Converged,

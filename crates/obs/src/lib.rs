@@ -30,20 +30,28 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_record;
 pub mod checkpoint;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
+pub mod reader;
 pub mod sink;
 pub mod time;
 
+pub use bench_record::{BenchEntry, BenchRecord, BENCH_SCHEMA_VERSION};
 pub use checkpoint::CheckpointLog;
 pub use event::{Event, ReplicationOutcome};
+pub use hist::LogHistogram;
 pub use manifest::RunManifest;
 pub use metrics::{Metrics, PhaseStat};
+pub use profile::SpanGuard;
 pub use progress::Progress;
+pub use reader::{parse_trace, read_trace, TraceRead};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink};
 pub use time::{Scope, Timer};
 
@@ -199,6 +207,17 @@ impl Obs {
         }
     }
 
+    /// Opens a profiling span (latency histogram under a nested path;
+    /// see [`SpanGuard`]); disabled when metrics are off.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if self.metrics_on {
+            SpanGuard::enabled(Arc::clone(&self.metrics), name)
+        } else {
+            SpanGuard::disabled()
+        }
+    }
+
     /// Flushes the sink.
     pub fn flush(&self) {
         self.sink.flush();
@@ -258,6 +277,18 @@ mod tests {
         let obs = Obs::none().with_metrics();
         drop(obs.scope("measured"));
         assert_eq!(obs.metrics().phases().len(), 1);
+    }
+
+    #[test]
+    fn span_records_when_metrics_on() {
+        let obs = Obs::none().with_metrics();
+        drop(obs.span("profiled"));
+        let spans = obs.metrics().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "profiled");
+        let off = Obs::none();
+        drop(off.span("ignored"));
+        assert!(off.metrics().spans().is_empty());
     }
 
     #[test]

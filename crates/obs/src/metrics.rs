@@ -1,5 +1,6 @@
 //! Coarse run metrics: lock-free counters plus named phase timers.
 
+use crate::hist::LogHistogram;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -28,7 +29,17 @@ pub struct Metrics {
     pub pool_steals: AtomicU64,
     /// Replications satisfied from the checkpoint log instead of re-run.
     pub checkpoint_hits: AtomicU64,
-    phases: Mutex<BTreeMap<String, PhaseStat>>,
+    phases: Mutex<BTreeMap<String, PhaseEntry>>,
+    spans: Mutex<BTreeMap<String, LogHistogram>>,
+}
+
+/// Internal per-phase accumulator: the flat totals exposed as
+/// [`PhaseStat`] plus a streaming latency histogram of the individual
+/// entries.
+#[derive(Debug, Default)]
+struct PhaseEntry {
+    stat: PhaseStat,
+    hist: LogHistogram,
 }
 
 /// Accumulated timing for one named phase.
@@ -85,11 +96,12 @@ impl Metrics {
     ///
     /// Panics if a previous user of the metrics block panicked mid-update.
     pub fn record_phase(&self, name: &str, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let mut phases = self.phases.lock().expect("metrics poisoned");
-        let stat = phases.entry(name.to_string()).or_default();
-        stat.calls += 1;
-        stat.nanos =
-            stat.nanos.saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        let entry = phases.entry(name.to_string()).or_default();
+        entry.stat.calls += 1;
+        entry.stat.nanos = entry.stat.nanos.saturating_add(nanos);
+        entry.hist.record(nanos);
     }
 
     /// Snapshot of all phase timings, sorted by phase name.
@@ -99,7 +111,54 @@ impl Metrics {
     /// Panics if a previous user of the metrics block panicked mid-update.
     #[must_use]
     pub fn phases(&self) -> Vec<(String, PhaseStat)> {
-        self.phases.lock().expect("metrics poisoned").clone().into_iter().collect()
+        self.phases
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.stat))
+            .collect()
+    }
+
+    /// Snapshot of the per-phase latency histograms (nanoseconds), sorted
+    /// by phase name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the metrics block panicked mid-update.
+    #[must_use]
+    pub fn phase_histograms(&self) -> Vec<(String, LogHistogram)> {
+        self.phases
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.hist.clone()))
+            .collect()
+    }
+
+    /// Records one completed span (see [`crate::profile::SpanGuard`])
+    /// under its `/`-joined path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the metrics block panicked mid-update.
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.spans
+            .lock()
+            .expect("metrics poisoned")
+            .entry(path.to_string())
+            .or_default()
+            .record(nanos);
+    }
+
+    /// Snapshot of all span histograms (nanoseconds), sorted by path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the metrics block panicked mid-update.
+    #[must_use]
+    pub fn spans(&self) -> Vec<(String, LogHistogram)> {
+        self.spans.lock().expect("metrics poisoned").clone().into_iter().collect()
     }
 
     /// Renders a human-readable multi-line summary (counters, then one
@@ -117,12 +176,25 @@ impl Metrics {
         out.push_str(&counter("pool_tasks", &self.pool_tasks));
         out.push_str(&counter("pool_steals", &self.pool_steals));
         out.push_str(&counter("checkpoint_hits", &self.checkpoint_hits));
-        let phases = self.phases();
+        let phases = self.phase_histograms();
         if !phases.is_empty() {
             out.push_str("phases:\n");
-            for (name, stat) in phases {
-                let ms = stat.nanos as f64 / 1e6;
-                out.push_str(&format!("  {:<24} {:>6} calls  {:>10.3} ms\n", name, stat.calls, ms));
+            for (name, hist) in phases {
+                let ms = hist.sum() as f64 / 1e6;
+                out.push_str(&format!(
+                    "  {:<24} {:>6} calls  {:>10.3} ms  [{}]\n",
+                    name,
+                    hist.count(),
+                    ms,
+                    hist.render_nanos()
+                ));
+            }
+        }
+        let spans = self.spans();
+        if !spans.is_empty() {
+            out.push_str("spans:\n");
+            for (path, hist) in spans {
+                out.push_str(&format!("  {:<24} [{}]\n", path, hist.render_nanos()));
             }
         }
         out
@@ -174,6 +246,38 @@ mod tests {
         assert_eq!(phases[0].0, "alpha");
         assert_eq!(phases[0].1, PhaseStat { calls: 1, nanos: 100 });
         assert_eq!(phases[1].1, PhaseStat { calls: 2, nanos: 75 });
+    }
+
+    #[test]
+    fn phase_histograms_track_individual_entries() {
+        let m = Metrics::new();
+        m.record_phase("step", Duration::from_nanos(100));
+        m.record_phase("step", Duration::from_nanos(10_000));
+        let hists = m.phase_histograms();
+        assert_eq!(hists.len(), 1);
+        let (name, hist) = &hists[0];
+        assert_eq!(name, "step");
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.min(), 100);
+        assert_eq!(hist.max(), 10_000);
+        // Flat totals stay consistent with the histogram.
+        assert_eq!(m.phases()[0].1, PhaseStat { calls: 2, nanos: 10_100 });
+    }
+
+    #[test]
+    fn spans_record_under_paths() {
+        let m = Metrics::new();
+        m.record_span("run/replicate", Duration::from_nanos(500));
+        m.record_span("run/replicate", Duration::from_nanos(700));
+        m.record_span("run", Duration::from_nanos(1_300));
+        let spans = m.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, "run");
+        assert_eq!(spans[1].0, "run/replicate");
+        assert_eq!(spans[1].1.count(), 2);
+        let text = m.render();
+        assert!(text.contains("spans:"), "{text}");
+        assert!(text.contains("run/replicate"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! A lightweight span profiler nesting under the [`Metrics`] phase timers.
+//!
+//! Phase timers ([`crate::Scope`]) aggregate flat totals per name. Spans
+//! add two things on top: a per-span latency distribution (a streaming
+//! [`crate::hist::LogHistogram`], so p50/p90/p99 come out without storing
+//! samples) and hierarchical names — a span opened while another span is
+//! live on the same thread records under the joined path
+//! (`outer/inner`), giving a cheap flamegraph-shaped breakdown.
+//!
+//! Nesting is tracked per thread with a thread-local stack, which is why
+//! [`SpanGuard`] is `!Send`: a guard must be dropped on the thread that
+//! created it, in reverse creation order (the natural RAII discipline).
+//! Worker threads each get their own stack, so cross-thread spans simply
+//! start fresh paths.
+
+use crate::metrics::Metrics;
+use crate::time::Timer;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII span: records its elapsed time into the [`Metrics`] span
+/// histograms under its `/`-joined thread-local path when dropped.
+///
+/// Created via `Obs::span`; a disabled guard (metrics off) holds no
+/// state and records nothing.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(Arc<Metrics>, Timer)>,
+    // The thread-local stack makes moving a live guard across threads
+    // unsound-by-accounting; forbid it at compile time.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`, pushing it onto this thread's path.
+    #[must_use]
+    pub fn enabled(metrics: Arc<Metrics>, name: &'static str) -> Self {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard { inner: Some((metrics, Timer::start())), _not_send: PhantomData }
+    }
+
+    /// A span that does nothing (metrics off).
+    #[must_use]
+    pub fn disabled() -> Self {
+        SpanGuard { inner: None, _not_send: PhantomData }
+    }
+
+    /// Whether this guard will record on drop.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((metrics, timer)) = self.inner.take() {
+            let elapsed = timer.elapsed();
+            let path = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let path = stack.join("/");
+                stack.pop();
+                path
+            });
+            metrics.record_span(&path, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let metrics = Arc::new(Metrics::new());
+        drop(SpanGuard::disabled());
+        assert!(!SpanGuard::disabled().is_enabled());
+        assert!(metrics.spans().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_joined_paths() {
+        let metrics = Arc::new(Metrics::new());
+        {
+            let _outer = SpanGuard::enabled(Arc::clone(&metrics), "outer");
+            {
+                let _inner = SpanGuard::enabled(Arc::clone(&metrics), "inner");
+            }
+            {
+                let _inner = SpanGuard::enabled(Arc::clone(&metrics), "inner");
+            }
+        }
+        let spans = metrics.spans();
+        let names: Vec<&str> = spans.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["outer", "outer/inner"]);
+        assert_eq!(spans[0].1.count(), 1);
+        assert_eq!(spans[1].1.count(), 2);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let metrics = Arc::new(Metrics::new());
+        drop(SpanGuard::enabled(Arc::clone(&metrics), "a"));
+        drop(SpanGuard::enabled(Arc::clone(&metrics), "b"));
+        let names: Vec<String> = metrics.spans().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn disabled_inner_span_keeps_outer_path_intact() {
+        let metrics = Arc::new(Metrics::new());
+        {
+            let _outer = SpanGuard::enabled(Arc::clone(&metrics), "outer");
+            // A disabled span must not push (it would never pop).
+            drop(SpanGuard::disabled());
+            drop(SpanGuard::enabled(Arc::clone(&metrics), "leaf"));
+        }
+        let names: Vec<String> = metrics.spans().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["outer", "outer/leaf"]);
+    }
+
+    #[test]
+    fn span_histogram_sees_elapsed_time() {
+        let metrics = Arc::new(Metrics::new());
+        {
+            let _span = SpanGuard::enabled(Arc::clone(&metrics), "sleepy");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let spans = metrics.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].1.max() >= 2_000_000, "max = {}ns", spans[0].1.max());
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let metrics = Arc::new(Metrics::new());
+        let _outer = SpanGuard::enabled(Arc::clone(&metrics), "main_outer");
+        let m = Arc::clone(&metrics);
+        std::thread::spawn(move || {
+            // A fresh thread starts a fresh path: no "main_outer/" prefix.
+            drop(SpanGuard::enabled(m, "worker"));
+        })
+        .join()
+        .unwrap();
+        let names: Vec<String> = metrics.spans().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["worker"]);
+    }
+}

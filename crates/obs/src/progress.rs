@@ -1,48 +1,81 @@
 //! A minimal stderr progress meter for long replication batches.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Thread-safe progress meter that rewrites one stderr line (`\r`).
+/// Thread-safe progress meter that rewrites one output line (`\r`).
 ///
 /// With a known total it only redraws when the integer percentage
 /// changes, so ticking from a tight loop is cheap. A total of `0` means
 /// indeterminate: every tick redraws a plain completion count.
-#[derive(Debug)]
+///
+/// The meter owns its output line until [`Progress::finish`] is called,
+/// which erases the rewritten line and prints one final summary line —
+/// so whatever the process writes next starts on a clean line instead of
+/// clobbering a half-drawn percentage. `finish` is idempotent and ticks
+/// arriving after it are counted but no longer drawn.
 pub struct Progress {
     label: String,
     total: u64,
     done: AtomicU64,
     last_pct: AtomicU64,
+    /// Visible width of the most recent redraw (0 = nothing drawn yet).
+    drawn_width: AtomicUsize,
+    finished: AtomicBool,
+    out: Mutex<Box<dyn Write + Send>>,
 }
 
 impl Progress {
     /// A meter for `total` units of work under `label` (`0` =
-    /// indeterminate).
+    /// indeterminate), drawing to stderr.
     #[must_use]
     pub fn new(label: &str, total: u64) -> Self {
+        Self::with_writer(label, total, Box::new(std::io::stderr()))
+    }
+
+    /// A meter drawing to an arbitrary writer (tests, alternative TTYs).
+    #[must_use]
+    pub fn with_writer(label: &str, total: u64, out: Box<dyn Write + Send>) -> Self {
         Progress {
             label: label.to_string(),
             total,
             done: AtomicU64::new(0),
             last_pct: AtomicU64::new(u64::MAX),
+            drawn_width: AtomicUsize::new(0),
+            finished: AtomicBool::new(false),
+            out: Mutex::new(out),
         }
     }
 
+    /// Redraws the meter line, padding with spaces when the previous
+    /// draw was wider so stale characters never survive a shrink.
+    fn draw(&self, line: &str) {
+        let width = line.chars().count();
+        let prev = self.drawn_width.swap(width, Ordering::Relaxed);
+        let pad = prev.saturating_sub(width);
+        let mut out = self.out.lock().expect("progress writer poisoned");
+        let _ = write!(out, "\r{line}{:pad$}", "");
+        let _ = out.flush();
+    }
+
     /// Records `n` completed units and redraws if the meter moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the meter panicked mid-draw.
     pub fn tick(&self, n: u64) {
         let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if self.finished.load(Ordering::Relaxed) {
+            return;
+        }
         if self.total == 0 {
-            let mut err = std::io::stderr().lock();
-            let _ = write!(err, "\r{}: {} done", self.label, done);
-            let _ = err.flush();
+            self.draw(&format!("{}: {} done", self.label, done));
             return;
         }
         let pct = (done.min(self.total) * 100) / self.total;
         if self.last_pct.swap(pct, Ordering::Relaxed) != pct {
-            let mut err = std::io::stderr().lock();
-            let _ = write!(err, "\r{}: {:>3}% ({}/{})", self.label, pct, done, self.total);
-            let _ = err.flush();
+            self.draw(&format!("{}: {:>3}% ({}/{})", self.label, pct, done, self.total));
         }
     }
 
@@ -52,21 +85,80 @@ impl Progress {
         self.done.load(Ordering::Relaxed)
     }
 
-    /// Finishes the meter line with a newline.
+    /// Finalizes the meter: erases the rewritten line and prints one
+    /// newline-terminated summary, leaving the cursor on a fresh line.
+    /// Idempotent — only the first call writes anything — and a meter
+    /// that never drew stays silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user of the meter panicked mid-draw.
     pub fn finish(&self) {
-        let mut err = std::io::stderr().lock();
-        let _ = writeln!(err);
-        let _ = err.flush();
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let width = self.drawn_width.swap(0, Ordering::Relaxed);
+        if width == 0 {
+            return;
+        }
+        let done = self.done();
+        let mut out = self.out.lock().expect("progress writer poisoned");
+        let _ = write!(out, "\r{:width$}\r", "");
+        if self.total == 0 {
+            let _ = writeln!(out, "{}: {} done", self.label, done);
+        } else {
+            let _ = writeln!(out, "{}: {}/{} done", self.label, done.min(self.total), self.total);
+        }
+        let _ = out.flush();
+    }
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("label", &self.label)
+            .field("total", &self.total)
+            .field("done", &self.done())
+            .field("finished", &self.finished.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    /// A writer whose buffer the test can read back after handing the
+    /// meter its `Box<dyn Write>` half.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn meter(label: &str, total: u64) -> (Progress, SharedBuf) {
+        let buf = SharedBuf::default();
+        (Progress::with_writer(label, total, Box::new(buf.clone())), buf)
+    }
 
     #[test]
     fn counts_ticks() {
-        let p = Progress::new("reps", 10);
+        let (p, _) = meter("reps", 10);
         p.tick(3);
         p.tick(4);
         assert_eq!(p.done(), 7);
@@ -74,8 +166,71 @@ mod tests {
 
     #[test]
     fn zero_total_does_not_divide_by_zero() {
-        let p = Progress::new("empty", 0);
+        let (p, _) = meter("empty", 0);
         p.tick(1); // must not panic
         assert_eq!(p.done(), 1);
+    }
+
+    #[test]
+    fn finish_clears_the_rewritten_line() {
+        let (p, buf) = meter("reps", 4);
+        p.tick(2);
+        p.tick(2);
+        p.finish();
+        let out = buf.contents();
+        // The line is erased (carriage return + blanks + carriage return)
+        // before the final summary, so the summary starts at column 0 and
+        // is newline-terminated.
+        let erase_start = out.rfind("\r\u{20}").expect("erase sequence present");
+        let tail = &out[erase_start..];
+        assert!(tail.trim_start_matches(['\r', ' ']).starts_with("reps: 4/4 done"), "{out:?}");
+        assert!(out.ends_with("reps: 4/4 done\n"), "{out:?}");
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let (p, buf) = meter("reps", 2);
+        p.tick(2);
+        p.finish();
+        let after_first = buf.contents();
+        p.finish();
+        p.finish();
+        assert_eq!(buf.contents(), after_first);
+    }
+
+    #[test]
+    fn finish_without_draw_stays_silent() {
+        let (p, buf) = meter("reps", 5);
+        p.finish();
+        assert_eq!(buf.contents(), "");
+    }
+
+    #[test]
+    fn finish_finalizes_indeterminate_meters_too() {
+        let (p, buf) = meter("work", 0);
+        p.tick(3);
+        p.finish();
+        assert!(buf.contents().ends_with("work: 3 done\n"), "{:?}", buf.contents());
+    }
+
+    #[test]
+    fn ticks_after_finish_count_but_do_not_draw() {
+        let (p, buf) = meter("reps", 10);
+        p.tick(5);
+        p.finish();
+        let after_finish = buf.contents();
+        p.tick(5);
+        assert_eq!(p.done(), 10);
+        assert_eq!(buf.contents(), after_finish);
+    }
+
+    #[test]
+    fn finish_erases_the_full_width_of_the_last_draw() {
+        let (p, buf) = meter("x", 0);
+        p.tick(99); // draws "x: 99 done"
+        p.tick(1); // draws "x: 100 done" (11 chars wide)
+        p.finish();
+        let out = buf.contents();
+        assert!(out.contains("\r           \r"), "{out:?}");
     }
 }

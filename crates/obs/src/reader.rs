@@ -1,0 +1,121 @@
+//! Reading JSONL traces back from disk, tolerating torn lines.
+//!
+//! A trace produced by [`crate::JsonlSink`] can end mid-line: the sink
+//! swallows I/O errors by design (a full disk must not abort a
+//! simulation), and a crashed or killed process leaves whatever the
+//! `BufWriter` had flushed. The reader therefore treats a line that does
+//! not decode as damage to *that line only* — every complete event is
+//! still recovered, and the caller gets a count of what was dropped so
+//! it can report the trace as truncated rather than silently shortened.
+
+use crate::event::Event;
+use std::path::Path;
+
+/// The result of reading a trace: the decoded events plus a tally of
+/// undecodable (torn or foreign) lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRead {
+    /// Every event that decoded cleanly, in file order.
+    pub events: Vec<Event>,
+    /// Lines that failed to decode (torn final line, unknown event
+    /// types from a newer writer, stray garbage). Blank lines are not
+    /// counted.
+    pub skipped: usize,
+}
+
+/// Decodes a trace from in-memory JSONL text. Undecodable lines are
+/// skipped and counted, never fatal.
+#[must_use]
+pub fn parse_trace(text: &str) -> TraceRead {
+    let mut events = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json(line) {
+            Ok(ev) => events.push(ev),
+            Err(_) => skipped += 1,
+        }
+    }
+    TraceRead { events, skipped }
+}
+
+/// Reads and decodes the JSONL trace at `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be read; decode failures
+/// within the file are tolerated (see [`parse_trace`]).
+pub fn read_trace(path: impl AsRef<Path>) -> std::io::Result<TraceRead> {
+    Ok(parse_trace(&std::fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReplicationOutcome;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::RoundCompleted { rep: 0, round: 1, ones: 2, source_opinion: 1 },
+            Event::RoundCompleted { rep: 0, round: 2, ones: 5, source_opinion: 1 },
+            Event::ReplicationFinished {
+                rep: 0,
+                outcome: ReplicationOutcome::Converged,
+                rounds: 2,
+                elapsed_us: 17,
+            },
+        ]
+    }
+
+    fn render(events: &[Event]) -> String {
+        events.iter().map(|e| format!("{}\n", e.to_json())).collect()
+    }
+
+    #[test]
+    fn clean_trace_round_trips() {
+        let trace = parse_trace(&render(&events()));
+        assert_eq!(trace.events, events());
+        assert_eq!(trace.skipped, 0);
+    }
+
+    #[test]
+    fn truncated_final_line_loses_only_that_line() {
+        let mut text = render(&events());
+        // Simulate a crash mid-write: a final line cut off mid-object.
+        text.push_str("{\"type\":\"round_completed\",\"rep\":0,\"rou");
+        let trace = parse_trace(&text);
+        assert_eq!(trace.events, events());
+        assert_eq!(trace.skipped, 1);
+    }
+
+    #[test]
+    fn garbage_between_events_is_counted_not_fatal() {
+        let all = events();
+        let text = format!(
+            "{}\nnot json at all\n\n{}\n{}\n",
+            all[0].to_json(),
+            all[1].to_json(),
+            all[2].to_json()
+        );
+        let trace = parse_trace(&text);
+        assert_eq!(trace.events, all);
+        // The blank line is ignored; the garbage line is counted.
+        assert_eq!(trace.skipped, 1);
+    }
+
+    #[test]
+    fn read_trace_from_disk() {
+        let path =
+            std::env::temp_dir().join(format!("obs_reader_test_{}.jsonl", std::process::id()));
+        let mut text = render(&events());
+        text.push_str("{\"torn");
+        std::fs::write(&path, &text).unwrap();
+        let trace = read_trace(&path).unwrap();
+        assert_eq!(trace.events, events());
+        assert_eq!(trace.skipped, 1);
+        let _ = std::fs::remove_file(&path);
+        assert!(read_trace(&path).is_err());
+    }
+}

@@ -165,6 +165,51 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_survives_concurrent_emitters() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const EVENTS_PER_THREAD: u64 = 200;
+        let path =
+            std::env::temp_dir().join(format!("obs_sink_concurrent_{}.jsonl", std::process::id()));
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|rep| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for round in 1..=EVENTS_PER_THREAD {
+                        sink.emit(&Event::RoundCompleted {
+                            rep,
+                            round,
+                            ones: round,
+                            source_opinion: 1,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        sink.flush();
+        let trace = crate::reader::read_trace(&path).unwrap();
+        // Every line is a complete event: per-event lines never interleave
+        // because the writer is emitted under one lock.
+        assert_eq!(trace.skipped, 0);
+        assert_eq!(trace.events.len(), (THREADS * EVENTS_PER_THREAD) as usize);
+        // Per-thread emission order is preserved.
+        let mut last_round = vec![0u64; THREADS as usize];
+        for ev in &trace.events {
+            let Event::RoundCompleted { rep, round, .. } = ev else {
+                panic!("unexpected event {ev:?}");
+            };
+            assert_eq!(*round, last_round[*rep as usize] + 1);
+            last_round[*rep as usize] = *round;
+        }
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn jsonl_sink_writes_parseable_lines() {
         let path = std::env::temp_dir().join(format!("obs_sink_test_{}.jsonl", std::process::id()));
         let sink = JsonlSink::create(&path).unwrap();

@@ -120,6 +120,9 @@ where
 
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..tasks).map(|_| None).collect());
     let stats = Pool::global().run_batch(tasks, cap, &|i| {
+        // Per-replication latency span: feeds the p50/p90/p99 histogram
+        // under "replication" without touching the task's RNG or result.
+        let _span = obs.span("replication");
         let rep = indices[i];
         let rng = rng_from(replication_seed(base_seed, rep as u64));
         let r = f(rng, rep);
@@ -323,6 +326,11 @@ mod tests {
         assert_eq!(metrics.pool_batches.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert_eq!(metrics.pool_tasks.load(std::sync::atomic::Ordering::Relaxed), 16);
         assert_eq!(metrics.phases().len(), 1);
+        // One latency span per replication.
+        let spans = metrics.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "replication");
+        assert_eq!(spans[0].1.count(), 16);
     }
 
     #[test]

@@ -82,6 +82,61 @@ pub fn same_distribution(a: &[f64], b: &[f64], alpha: f64) -> bool {
     }
 }
 
+/// The outcome of comparing a current sample against a baseline: the
+/// relative change in medians plus whether a KS test rejects the two
+/// samples coming from the same distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MedianShift {
+    /// Median of the baseline sample.
+    pub baseline_median: f64,
+    /// Median of the current sample.
+    pub current_median: f64,
+    /// `(current − baseline) / baseline`; negative means the current
+    /// median is lower.
+    pub rel_change: f64,
+    /// Whether the KS test rejects a common distribution at the given
+    /// significance — i.e. the shift is not plausibly run-to-run noise.
+    pub distribution_shift: bool,
+}
+
+/// Compares `current` against `baseline` for a regression verdict: the
+/// relative median change, qualified by a two-sample KS test so tiny
+/// samples with large run-to-run noise don't produce false alarms.
+///
+/// Returns `None` if either sample is empty or non-finite, or the
+/// baseline median is zero (no meaningful relative change).
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1)`.
+#[must_use]
+pub fn median_shift(baseline: &[f64], current: &[f64], alpha: f64) -> Option<MedianShift> {
+    fn median(xs: &[f64]) -> Option<f64> {
+        if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        })
+    }
+    let baseline_median = median(baseline)?;
+    let current_median = median(current)?;
+    if baseline_median == 0.0 {
+        return None;
+    }
+    Some(MedianShift {
+        baseline_median,
+        current_median,
+        rel_change: (current_median - baseline_median) / baseline_median,
+        distribution_shift: !same_distribution(baseline, current, alpha),
+    })
+}
+
 /// Lag-`k` sample autocorrelation of a series (used to sanity-check the
 /// oscillation analysis of E12: a period-2 oscillation has lag-1
 /// autocorrelation near −1).
@@ -156,6 +211,27 @@ mod tests {
         let a: Vec<f64> = (0..500).map(|i| f64::from(i) / 500.0).collect();
         let b: Vec<f64> = a.iter().map(|x| x + 0.3).collect();
         assert!(!same_distribution(&a, &b, 0.01));
+    }
+
+    #[test]
+    fn median_shift_reports_relative_change() {
+        let base: Vec<f64> = (0..100).map(|i| 1000.0 + f64::from(i)).collect();
+        let current: Vec<f64> = base.iter().map(|x| x * 0.8).collect();
+        let shift = median_shift(&base, &current, 0.01).unwrap();
+        assert!((shift.rel_change + 0.2).abs() < 1e-9, "{shift:?}");
+        assert!(shift.distribution_shift);
+        // Identical samples: no change, no rejection.
+        let same = median_shift(&base, &base, 0.01).unwrap();
+        assert_eq!(same.rel_change, 0.0);
+        assert!(!same.distribution_shift);
+    }
+
+    #[test]
+    fn median_shift_degenerate_inputs() {
+        assert!(median_shift(&[], &[1.0], 0.05).is_none());
+        assert!(median_shift(&[1.0], &[], 0.05).is_none());
+        assert!(median_shift(&[f64::NAN], &[1.0], 0.05).is_none());
+        assert!(median_shift(&[0.0], &[1.0], 0.05).is_none()); // zero baseline
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Fixed-width histograms.
+//! Fixed-width and log-scale (exponential) histograms.
 
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +102,170 @@ impl Histogram {
     }
 }
 
+/// A histogram with geometrically spaced bin edges over `[lo, hi)` and
+/// explicit underflow/overflow bins.
+///
+/// Latency-style data spans orders of magnitude; fixed-width bins collapse
+/// it into one bin plus a long empty tail. Here bin `i` covers
+/// `[lo·r^i, lo·r^(i+1))` with `r = (hi/lo)^(1/bins)`, so every decade
+/// gets equal resolution. Samples below `lo` (including zero and negative
+/// values, which have no logarithm) land in the underflow bin; samples at
+/// or above `hi` land in the overflow bin — out-of-range data stays
+/// visible instead of silently distorting the edge bins.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_stats::histogram::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1.0, 1000.0, 3).unwrap();
+/// h.extend([0.5, 5.0, 50.0, 500.0, 5000.0]);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.bin_counts(), &[1, 1, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins` geometrically spaced bins over
+    /// `[lo, hi)`.
+    ///
+    /// Returns `None` if the bounds are non-finite, `lo <= 0` (log scale
+    /// needs a positive origin), `lo >= hi`, or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || lo >= hi || bins == 0 {
+            return None;
+        }
+        Some(Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 })
+    }
+
+    /// Adds a sample. Values below `lo` count as underflow, values at or
+    /// above `hi` as overflow; non-finite samples are ignored.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let nbins = self.bins.len();
+            let frac = (v / self.lo).ln() / (self.hi / self.lo).ln();
+            // frac is in [0, 1); clamp guards the rounding edge where a
+            // value just under `hi` computes frac == 1.0.
+            let idx = ((frac * nbins as f64) as usize).min(nbins - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Adds every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+
+    /// Total samples recorded, including under- and overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bin counts for the in-range bins.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples that fell below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` bounds of in-range bin `i`: geometric edges
+    /// `lo·r^i` with `r = (hi/lo)^(1/bins)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let ratio = (self.hi / self.lo).powf(1.0 / self.bins.len() as f64);
+        (self.lo * ratio.powi(i as i32), self.lo * ratio.powi(i as i32 + 1))
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated as the upper edge of the
+    /// bin holding the target rank; underflow resolves to `lo`, overflow
+    /// to `hi`. Returns `None` on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bin_bounds(i).1);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Renders a compact ASCII bar chart: underflow, each bin, overflow.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let max =
+            self.bins.iter().copied().chain([self.underflow, self.overflow]).max().unwrap_or(0);
+        let max = max.max(1);
+        let bar = |c: u64| "#".repeat((c as usize * width) / max as usize);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "[{:>12}, {:>12.3}) {:>8} {}\n",
+            "-inf",
+            self.lo,
+            self.underflow,
+            bar(self.underflow)
+        ));
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            out.push_str(&format!("[{lo:>12.3}, {hi:>12.3}) {c:>8} {}\n", bar(c)));
+        }
+        out.push_str(&format!(
+            "[{:>12.3}, {:>12}) {:>8} {}\n",
+            self.hi,
+            "+inf",
+            self.overflow,
+            bar(self.overflow)
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +320,91 @@ mod tests {
     fn bin_bounds_out_of_range() {
         let h = Histogram::new(0.0, 1.0, 2).unwrap();
         let _ = h.bin_bounds(5);
+    }
+
+    #[test]
+    fn log_construction_validation() {
+        assert!(LogHistogram::new(0.0, 10.0, 4).is_none()); // lo must be > 0
+        assert!(LogHistogram::new(-1.0, 10.0, 4).is_none());
+        assert!(LogHistogram::new(10.0, 1.0, 4).is_none());
+        assert!(LogHistogram::new(1.0, 10.0, 0).is_none());
+        assert!(LogHistogram::new(1.0, f64::INFINITY, 4).is_none());
+        assert!(LogHistogram::new(1.0, 10.0, 4).is_some());
+    }
+
+    #[test]
+    fn log_bin_edges_are_geometric() {
+        // [1, 1000) over 3 bins: edges at 1, 10, 100, 1000.
+        let h = LogHistogram::new(1.0, 1000.0, 3).unwrap();
+        for (i, (lo, hi)) in [(1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)].iter().enumerate() {
+            let (blo, bhi) = h.bin_bounds(i);
+            assert!((blo - lo).abs() < 1e-9, "bin {i} lo: {blo} vs {lo}");
+            assert!((bhi - hi).abs() < 1e-9, "bin {i} hi: {bhi} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn log_binning_is_by_magnitude() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3).unwrap();
+        h.extend([1.0, 2.0, 9.9, 10.0, 99.0, 100.0, 999.0]);
+        assert_eq!(h.bin_counts(), &[3, 2, 2]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn log_underflow_and_overflow_bins() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2).unwrap();
+        h.add(0.0); // no logarithm: underflow, not a crash
+        h.add(-5.0);
+        h.add(0.999);
+        h.add(100.0); // hi itself is exclusive
+        h.add(1e12);
+        assert_eq!(h.underflow(), 3);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bin_counts(), &[0, 0]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn log_nonfinite_values_ignored() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2).unwrap();
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        h.add(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn log_quantiles_resolve_to_bin_edges() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3).unwrap();
+        assert_eq!(h.quantile(0.5), None);
+        h.extend([2.0, 3.0, 20.0, 200.0]);
+        assert!((h.quantile(0.25).unwrap() - 10.0).abs() < 1e-9);
+        assert!((h.quantile(0.5).unwrap() - 10.0).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 1000.0).abs() < 1e-9);
+        // Underflow pins the low quantiles at lo, overflow the high at hi.
+        h.add(0.1);
+        h.add(5000.0);
+        assert!((h.quantile(0.0).unwrap() - 1.0).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_render_shows_underflow_bins_and_overflow() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2).unwrap();
+        h.extend([0.5, 5.0, 50.0, 500.0]);
+        let s = h.render(10);
+        assert_eq!(s.lines().count(), 4); // underflow + 2 bins + overflow
+        assert!(s.contains("-inf"));
+        assert!(s.contains("+inf"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_bin_bounds_out_of_range() {
+        let h = LogHistogram::new(1.0, 10.0, 2).unwrap();
+        let _ = h.bin_bounds(2);
     }
 }

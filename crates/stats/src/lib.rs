@@ -8,7 +8,8 @@
 //! * [`regression`] — ordinary least squares, log–log power-law fits, and
 //!   scaling-model comparison (`n^b` vs `n·log n` vs `log² n`), used to test
 //!   the *shape* predictions of the paper's theorems;
-//! * [`histogram`] — fixed-width histograms for distribution sanity checks;
+//! * [`histogram`] — fixed-width and log-scale histograms for
+//!   distribution sanity checks and latency data;
 //! * [`table`] — aligned plain-text and CSV rendering of result tables.
 //!
 //! # Example
@@ -30,6 +31,8 @@ pub mod regression;
 pub mod summary;
 pub mod table;
 
+pub use compare::{median_shift, MedianShift};
+pub use histogram::{Histogram, LogHistogram};
 pub use regression::{fit_power_law, LinearFit, ScalingModel};
 pub use summary::Summary;
 pub use table::Table;
