@@ -21,7 +21,12 @@
 //!   and optionally compare against a baseline for a regression verdict;
 //! * `trace <run.jsonl>` — offline analytics over a recorded trace:
 //!   consensus-time and latency summaries plus theory-conformance checks
-//!   (Proposition 4 jump bound, Proposition 5 drift band).
+//!   (Proposition 4 jump bound, Proposition 5 drift band);
+//! * `conform [--scale S] [--seed N] [--label L] [--out DIR]
+//!   [--skip-faults]` — the differential conformance matrix: every
+//!   simulator backend driven from identical grids, KS-gated against a
+//!   shared false-alarm budget, plus checkpoint fault-injection scenarios;
+//!   writes a schema-versioned `CONFORM_<label>.json`.
 //!
 //! All output goes through a returned `String` so the commands are unit
 //! testable.
@@ -36,6 +41,10 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
+use bitdissem_conformance::{
+    run_differential, run_fault_scenarios, ConformConfig, ConformReport, ConformScale,
+    CONFORM_SCHEMA_VERSION,
+};
 use bitdissem_core::dynamics::{self, BoxedProtocol};
 use bitdissem_core::Protocol;
 use bitdissem_experiments::bench::{run_all as bench_run_all, BenchCtx};
@@ -92,6 +101,16 @@ pub fn usage() -> String {
      \x20 bitdissem bench [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
      \x20\x20\x20\x20 [--max-workers W] [--compare BASELINE.json] [--check-only] [--metrics]\n\
      \x20 bitdissem trace <run.jsonl>\n\
+     \x20 bitdissem conform [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
+     \x20\x20\x20\x20 [--skip-faults]\n\
+     \n\
+     conformance (conform):\n\
+     \x20 drives every simulator backend (agent, aggregate, sequential, partial, dual) from\n\
+     \x20 identical grids and KS-gates their law equivalences against a 1e-9 false-alarm\n\
+     \x20 budget, then injects checkpoint I/O faults (torn lines, short writes, transient\n\
+     \x20 errors, worker kill) and verifies bit-identical resume. Writes CONFORM_<label>.json\n\
+     \x20 to --out (default: current directory); exit status 1 on any failed check.\n\
+     \x20 --skip-faults      run only the differential matrix (no scratch files)\n\
      \n\
      performance (bench):\n\
      \x20 --label L          name the output record BENCH_<L>.json (default: the scale name)\n\
@@ -168,6 +187,7 @@ pub fn dispatch_full(args: &Args) -> CommandOutput {
         Some("exact") => cmd_exact(args),
         Some("bench") => cmd_bench(args),
         Some("trace") => cmd_trace(args),
+        Some("conform") => cmd_conform(args),
         Some(other) => CommandOutput::ok(
             format!("unknown command '{other}'\n\n{}", usage()),
             Status::UsageError,
@@ -228,12 +248,12 @@ fn build_obs(args: &Args) -> Result<Obs, String> {
 
 /// Appends each run's manifest to `<dir>/manifests.jsonl`, giving a
 /// checkpointed sweep a durable provenance record alongside its results.
+/// The append is committed atomically (write-to-temp + rename) so a crash
+/// can never tear the ledger; manifests are low-frequency, so the
+/// read-rewrite cost is irrelevant.
 fn append_manifest(dir: &str, manifest: &bitdissem_obs::RunManifest) {
-    use std::io::Write as _;
     let path = std::path::Path::new(dir).join("manifests.jsonl");
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
-        let _ = writeln!(f, "{}", manifest.to_json());
-    }
+    let _ = bitdissem_obs::durable::atomic_append_line(&path, &manifest.to_json());
 }
 
 fn cmd_run(args: &Args) -> CommandOutput {
@@ -421,6 +441,63 @@ fn cmd_bench(args: &Args) -> CommandOutput {
     CommandOutput { stdout: out, stderr, status }
 }
 
+fn cmd_conform(args: &Args) -> CommandOutput {
+    let scale = match args.get("scale").map(ConformScale::from_str).transpose() {
+        Ok(s) => s.unwrap_or(ConformScale::Smoke),
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let seed = match args.get_parsed("seed", 42u64) {
+        Ok(s) => s,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let label = args.get("label").unwrap_or(scale.name()).to_string();
+    let out_dir = args.get("out").unwrap_or(".").to_string();
+
+    let cfg = ConformConfig::for_scale(scale);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "running conformance matrix at scale {} (seed {seed}): {} KS checks at per-test alpha {:.2e}",
+        scale.name(),
+        cfg.num_checks(),
+        cfg.per_test_alpha()
+    );
+    let checks = run_differential(&cfg, seed);
+
+    let faults = if args.flag("skip-faults") {
+        Vec::new()
+    } else {
+        let fault_dir = std::path::Path::new(&out_dir).join("conform-faults");
+        if let Err(e) = std::fs::create_dir_all(&fault_dir) {
+            return usage_error(format!(
+                "cannot create fault-scenario directory '{}': {e}\n",
+                fault_dir.display()
+            ));
+        }
+        run_fault_scenarios(&fault_dir, seed)
+    };
+
+    let report = ConformReport {
+        schema_version: CONFORM_SCHEMA_VERSION,
+        label,
+        scale: scale.name().to_string(),
+        seed,
+        alpha_budget: cfg.alpha_budget,
+        checks,
+        faults,
+    };
+    out.push_str(&report.render());
+    let path = match report.save(std::path::Path::new(&out_dir)) {
+        Ok(p) => p,
+        Err(e) => {
+            return usage_error(format!("cannot write conformance report in '{out_dir}': {e}\n"))
+        }
+    };
+    let _ = writeln!(out, "wrote {} (schema v{})", path.display(), report.schema_version);
+    let status = if report.pass() { Status::Ok } else { Status::CheckFailed };
+    CommandOutput::ok(out, status)
+}
+
 fn cmd_trace(args: &Args) -> CommandOutput {
     let Some(path) = args.positional.first() else {
         return usage_error("missing trace path (a JSONL file recorded with --trace-out)\n");
@@ -429,9 +506,18 @@ fn cmd_trace(args: &Args) -> CommandOutput {
         Ok(r) => r,
         Err(e) => return usage_error(format!("cannot read trace '{path}': {e}\n")),
     };
+    let mut out = String::new();
+    if read.torn_tail {
+        let _ = writeln!(
+            out,
+            "note: trace ends in a torn line (the writer was cut off mid-record); \
+             analytics cover the complete prefix"
+        );
+    }
     let analysis = trace_analyze(&read.events, read.skipped);
+    out.push_str(&analysis.render());
     let status = if analysis.has_violations() { Status::CheckFailed } else { Status::Ok };
-    CommandOutput::ok(analysis.render(), status)
+    CommandOutput::ok(out, status)
 }
 
 fn cmd_analyze(args: &Args) -> CommandOutput {
@@ -1118,6 +1204,24 @@ mod tests {
         assert!(report.contains("VIOLATION rep=0 round=5->6"), "{report}");
         assert!(report.contains("VIOLATIONS FOUND"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conform_rejects_bad_arguments() {
+        let (out, status) = run_cli(&["conform", "--scale", "enormous"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("unknown scale"), "{out}");
+        let (out, status) = run_cli(&["conform", "--seed", "not-a-number"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("seed"), "{out}");
+    }
+
+    #[test]
+    fn usage_documents_conform() {
+        let (out, status) = run_cli(&["help"]);
+        assert_eq!(status, Status::Ok);
+        assert!(out.contains("conform"), "{out}");
+        assert!(out.contains("--skip-faults"), "{out}");
     }
 
     #[test]

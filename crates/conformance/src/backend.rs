@@ -1,0 +1,330 @@
+//! Uniform sampling drivers over the simulator backends.
+//!
+//! Every driver takes the same `(table, start, reps, budget, seed)` grid
+//! cell and returns, per replication, the censored consensus time plus the
+//! state `X_t` at a fixed set of early checkpoints — the two observables
+//! the differential harness compares across backends. Replication `rep`
+//! always derives its RNG from `replication_seed(seed, rep)`, so a cell is
+//! reproducible in isolation; callers give each backend a *distinct* base
+//! seed so the two samples entering a KS test are independent.
+
+use bitdissem_core::{Configuration, GTable};
+use bitdissem_sim::agent::AgentSim;
+use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::dual::CoalescingDual;
+use bitdissem_sim::partial::PartialSim;
+use bitdissem_sim::rng::{replication_seed, rng_from, SimRng};
+use bitdissem_sim::run::Simulator;
+use bitdissem_sim::sequential::SequentialSim;
+
+/// A backend of the *parallel* law: all `n − 1` non-source agents update
+/// each round. The three are distributionally identical by construction
+/// (the aggregate chain is the exact conditional law of the agent
+/// simulator; `m = n − 1` partial synchrony is one full round per step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelBackend {
+    /// The literal agent-level simulator (ground truth).
+    Agent,
+    /// The aggregate exact chain (two binomials per round).
+    Aggregate,
+    /// [`PartialSim`] with a full batch `m = n − 1`.
+    PartialFull,
+}
+
+impl ParallelBackend {
+    /// Display name used in check labels and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelBackend::Agent => "agent",
+            ParallelBackend::Aggregate => "aggregate",
+            ParallelBackend::PartialFull => "partial(n-1)",
+        }
+    }
+}
+
+/// A backend of the *per-activation* law: one uniformly random non-source
+/// agent updates per step. Compared in **activations**, never rounds — the
+/// two backends normalize rounds differently (`n` activations per
+/// [`Simulator::step_round`] for the sequential simulator, `n − 1` steps
+/// per round for `PartialSim(m = 1)`), so a round-based comparison would
+/// reject two correct implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationBackend {
+    /// The sequential-setting simulator.
+    Sequential,
+    /// [`PartialSim`] with a singleton batch `m = 1`.
+    PartialOne,
+}
+
+impl ActivationBackend {
+    /// Display name used in check labels and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ActivationBackend::Sequential => "sequential",
+            ActivationBackend::PartialOne => "partial(1)",
+        }
+    }
+}
+
+/// The observables a driver collects for one grid cell: `marginals[c]`
+/// holds the `reps` values of `X_t` at the `c`-th checkpoint, and `times`
+/// the `reps` right-censored consensus times (in rounds or activations,
+/// matching the driver).
+#[derive(Debug, Clone)]
+pub struct RunSamples {
+    /// One vector per checkpoint, each of length `reps`.
+    pub marginals: Vec<Vec<f64>>,
+    /// Censored consensus times, one per replication.
+    pub times: Vec<f64>,
+}
+
+/// Advances one replication to consensus or `budget` time units, recording
+/// `X_t` at each checkpoint. `step` advances the simulation by one time
+/// unit; consensus is absorbing for the protocols under test (Prop. 3), so
+/// once reached the state is held without further stepping.
+fn run_one<S, F>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    budget: u64,
+    checkpoints: &[u64],
+    mut step: F,
+) -> (Vec<u64>, u64)
+where
+    S: ?Sized,
+    F: FnMut(&mut S, &mut SimRng) -> Configuration,
+    S: HasConfiguration,
+{
+    let mut marginals = Vec::with_capacity(checkpoints.len());
+    let mut converged_at: Option<u64> = None;
+    let last_cp = checkpoints.last().copied().unwrap_or(0);
+    let mut config = sim.current_configuration();
+    for t in 0..=budget {
+        if converged_at.is_none() && config.is_correct_consensus() {
+            converged_at = Some(t);
+        }
+        if checkpoints.contains(&t) {
+            marginals.push(config.ones());
+        }
+        if t == budget || (converged_at.is_some() && t >= last_cp) {
+            break;
+        }
+        if converged_at.is_none() {
+            config = step(sim, rng);
+        }
+        // Once absorbed the configuration is constant; later checkpoints
+        // reuse it without burning randomness.
+    }
+    (marginals, converged_at.unwrap_or(budget))
+}
+
+/// Internal accessor so [`run_one`] works over both trait objects and the
+/// activation-level wrapper.
+trait HasConfiguration {
+    fn current_configuration(&self) -> Configuration;
+}
+
+impl HasConfiguration for dyn Simulator + '_ {
+    fn current_configuration(&self) -> Configuration {
+        self.configuration()
+    }
+}
+
+/// Samples `reps` replications of `backend` on the parallel law. Times and
+/// checkpoints are in rounds.
+///
+/// # Panics
+///
+/// Panics if the table cannot be materialized for `start.n()` (invalid
+/// grid cell).
+#[must_use]
+pub fn sample_parallel(
+    backend: ParallelBackend,
+    table: &GTable,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RunSamples {
+    let mut marginals = vec![Vec::with_capacity(reps); checkpoints.len()];
+    let mut times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(seed, rep as u64));
+        let mut sim: Box<dyn Simulator> = match backend {
+            ParallelBackend::Agent => {
+                Box::new(AgentSim::new(table, start).expect("valid grid cell"))
+            }
+            ParallelBackend::Aggregate => {
+                Box::new(AggregateSim::new(table, start).expect("valid grid cell"))
+            }
+            ParallelBackend::PartialFull => {
+                Box::new(PartialSim::new(table, start, start.n() - 1).expect("valid grid cell"))
+            }
+        };
+        let (ms, time) = run_one(&mut *sim, &mut rng, budget, checkpoints, |s, rng| {
+            s.step_round(rng);
+            s.configuration()
+        });
+        for (slot, m) in marginals.iter_mut().zip(ms) {
+            slot.push(m as f64);
+        }
+        times.push(time as f64);
+    }
+    RunSamples { marginals, times }
+}
+
+enum ActSim {
+    Seq(SequentialSim),
+    Part(PartialSim),
+}
+
+impl HasConfiguration for ActSim {
+    fn current_configuration(&self) -> Configuration {
+        match self {
+            ActSim::Seq(s) => s.configuration(),
+            ActSim::Part(s) => s.configuration(),
+        }
+    }
+}
+
+impl ActSim {
+    fn step_activation(&mut self, rng: &mut SimRng) -> Configuration {
+        match self {
+            ActSim::Seq(s) => {
+                s.step_activation(rng);
+                s.configuration()
+            }
+            ActSim::Part(s) => {
+                s.step_batch(rng);
+                s.configuration()
+            }
+        }
+    }
+}
+
+/// Samples `reps` replications of `backend` on the per-activation law.
+/// Times and checkpoints are in **activations**.
+///
+/// # Panics
+///
+/// Panics if the table cannot be materialized for `start.n()` (invalid
+/// grid cell).
+#[must_use]
+pub fn sample_activation(
+    backend: ActivationBackend,
+    table: &GTable,
+    start: Configuration,
+    reps: usize,
+    budget_activations: u64,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RunSamples {
+    let mut marginals = vec![Vec::with_capacity(reps); checkpoints.len()];
+    let mut times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(seed, rep as u64));
+        let mut sim = match backend {
+            ActivationBackend::Sequential => {
+                ActSim::Seq(SequentialSim::new(table, start).expect("valid grid cell"))
+            }
+            ActivationBackend::PartialOne => {
+                ActSim::Part(PartialSim::new(table, start, 1).expect("valid grid cell"))
+            }
+        };
+        let (ms, time) =
+            run_one(&mut sim, &mut rng, budget_activations, checkpoints, ActSim::step_activation);
+        for (slot, m) in marginals.iter_mut().zip(ms) {
+            slot.push(m as f64);
+        }
+        times.push(time as f64);
+    }
+    RunSamples { marginals, times }
+}
+
+/// Samples `reps` absorption times of the Voter `ℓ = 1` coalescing dual on
+/// `n` agents, right-censored at `budget` backward rounds. By the duality
+/// of Appendix B this is the distribution of the forward Voter consensus
+/// time from the all-wrong start.
+#[must_use]
+pub fn sample_dual(n: u64, reps: usize, budget: u64, seed: u64) -> Vec<f64> {
+    (0..reps)
+        .map(|rep| {
+            let mut rng = rng_from(replication_seed(seed, rep as u64));
+            let mut dual = CoalescingDual::new(n);
+            dual.run_to_absorption(&mut rng, budget).unwrap_or(budget) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitdissem_core::dynamics::Voter;
+    use bitdissem_core::{Opinion, ProtocolExt};
+
+    fn voter_table(n: u64) -> GTable {
+        Voter::new(1).unwrap().to_table(n).unwrap()
+    }
+
+    #[test]
+    fn parallel_driver_shapes_and_determinism() {
+        let table = voter_table(16);
+        let start = Configuration::all_wrong(16, Opinion::One);
+        let a = sample_parallel(ParallelBackend::Aggregate, &table, start, 5, 500, &[1, 2, 4], 9);
+        assert_eq!(a.marginals.len(), 3);
+        assert!(a.marginals.iter().all(|m| m.len() == 5));
+        assert_eq!(a.times.len(), 5);
+        // X_1 ≥ 1 always (the source), and each marginal is ≤ n.
+        assert!(a.marginals[0].iter().all(|&x| (1.0..=16.0).contains(&x)));
+        let b = sample_parallel(ParallelBackend::Aggregate, &table, start, 5, 500, &[1, 2, 4], 9);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.marginals, b.marginals);
+    }
+
+    #[test]
+    fn all_parallel_backends_run_the_same_cell() {
+        let table = voter_table(12);
+        let start = Configuration::all_wrong(12, Opinion::One);
+        for backend in
+            [ParallelBackend::Agent, ParallelBackend::Aggregate, ParallelBackend::PartialFull]
+        {
+            let s = sample_parallel(backend, &table, start, 3, 2000, &[1], 4);
+            assert_eq!(s.times.len(), 3, "{}", backend.name());
+            assert!(s.times.iter().all(|&t| t <= 2000.0));
+        }
+    }
+
+    #[test]
+    fn activation_driver_counts_activations_not_rounds() {
+        let table = voter_table(8);
+        let start = Configuration::all_wrong(8, Opinion::One);
+        for backend in [ActivationBackend::Sequential, ActivationBackend::PartialOne] {
+            let s = sample_activation(backend, &table, start, 4, 5000, &[8, 16], 3);
+            assert_eq!(s.marginals.len(), 2);
+            assert_eq!(s.times.len(), 4);
+            // The budget is in activations: a censored value sits at 5000,
+            // far beyond any plausible round count for n = 8.
+            assert!(s.times.iter().all(|&t| t <= 5000.0));
+        }
+    }
+
+    #[test]
+    fn dual_times_are_positive_and_deterministic() {
+        let a = sample_dual(16, 6, 100_000, 7);
+        let b = sample_dual(16, 6, 100_000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn consensus_start_reports_time_zero_and_full_marginals() {
+        let table = voter_table(10);
+        let start = Configuration::correct_consensus(10, Opinion::One);
+        let s = sample_parallel(ParallelBackend::Aggregate, &table, start, 2, 50, &[1, 4], 1);
+        assert!(s.times.iter().all(|&t| t == 0.0));
+        // Absorbed at n for every checkpoint.
+        assert!(s.marginals.iter().flatten().all(|&x| x == 10.0));
+    }
+}

@@ -25,6 +25,17 @@ pub enum ProtocolError {
         /// The offending value.
         value: f64,
     },
+    /// An Eq.-4 adoption probability `P_b(p) = Σ_k Bin(ℓ,p)(k)·g^[b](k)`
+    /// evaluated outside `[0, 1]` by more than floating-point tolerance —
+    /// the table or the binomial-weight computation is corrupt.
+    InvalidAdoptionProbability {
+        /// Own-opinion branch whose adoption probability is invalid.
+        own: u8,
+        /// The fraction of ones `p` at which the probability was evaluated.
+        p: f64,
+        /// The offending pre-clamp value.
+        value: f64,
+    },
     /// The protocol violates Proposition 3 (`g⁰(0) = 0` and `g¹(ℓ) = 1` are
     /// necessary for solving bit dissemination): consensus would not be
     /// maintained.
@@ -47,6 +58,13 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::InvalidProbability { own, k, value } => {
                 write!(f, "g^[{own}]({k}) = {value} is not a probability in [0, 1]")
+            }
+            ProtocolError::InvalidAdoptionProbability { own, p, value } => {
+                write!(
+                    f,
+                    "adoption probability P_{own}({p}) = {value} lies outside [0, 1] \
+                     beyond floating-point tolerance (corrupt g-table or pmf)"
+                )
             }
             ProtocolError::ConsensusNotAbsorbing { g0_at_0, g1_at_ell } => {
                 write!(
@@ -73,6 +91,9 @@ mod tests {
         assert!(e.to_string().contains("1.5"));
         let e = ProtocolError::ConsensusNotAbsorbing { g0_at_0: 0.1, g1_at_ell: 1.0 };
         assert!(e.to_string().contains("Proposition 3"));
+        let e = ProtocolError::InvalidAdoptionProbability { own: 0, p: 0.5, value: 1.2 };
+        assert!(e.to_string().contains("adoption probability"));
+        assert!(e.to_string().contains("1.2"));
         assert!(ProtocolError::ZeroSampleSize.to_string().contains("at least 1"));
     }
 

@@ -67,6 +67,27 @@ impl GTable {
         Ok(Self { g0, g1, name: format!("gtable(l={ell})") })
     }
 
+    /// Creates a table **without validating** the entries.
+    ///
+    /// This exists solely so tests and the conformance fault-injection
+    /// harness can build deliberately invalid tables (out-of-range or
+    /// non-finite `g` values) and verify that downstream validation — e.g.
+    /// [`crate::ProtocolError::InvalidAdoptionProbability`] from the
+    /// adoption-probability computation — actually catches them. Production
+    /// code must use [`GTable::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are shorter than two entries or differ in length
+    /// (shape errors are never injectable faults).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new_unchecked(g0: Vec<f64>, g1: Vec<f64>) -> Self {
+        assert!(g0.len() >= 2 && g0.len() == g1.len(), "rows must share a length >= 2");
+        let ell = g0.len() - 1;
+        Self { g0, g1, name: format!("gtable-unchecked(l={ell})") }
+    }
+
     /// Creates an own-opinion-independent table (`g⁰ = g¹ = g`).
     ///
     /// # Errors

@@ -15,7 +15,20 @@
 //! exactly the case where reusing the stored result *is* correct (see the
 //! determinism contract in `bitdissem-pool`). Payloads are equally opaque;
 //! the caller owns their encoding.
+//!
+//! # Crash safety
+//!
+//! Each record is written to completion (short writes resumed, transient
+//! `Interrupted`/`WouldBlock` retried with backoff — see
+//! [`crate::durable`]) and flushed before [`CheckpointLog::record`]
+//! returns. A crash can still tear the *final* line; on
+//! [`CheckpointLog::open`] a torn tail is **detected, counted and
+//! truncated away** via an atomic rewrite (write-to-temp + rename), never
+//! silently skipped — so the on-disk log always ends on a record
+//! boundary after a resume, and [`CheckpointLog::resume_stats`] reports
+//! exactly what recovery did.
 
+use crate::durable::{atomic_replace, flush_retry, write_all_retry};
 use crate::json::{self, Value};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -23,44 +36,102 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+/// What [`CheckpointLog::open`] found (and repaired) while loading an
+/// existing log — the resume-time damage report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeStats {
+    /// Entries recovered from complete, parseable lines.
+    pub recovered: usize,
+    /// Complete lines that did not parse as checkpoint records (foreign
+    /// or corrupt); they are preserved on disk but carry no entries.
+    pub skipped_lines: usize,
+    /// Whether a torn final line (no trailing newline) was found and the
+    /// file truncated back to the last record boundary.
+    pub torn_tail_repaired: bool,
+}
+
 struct Inner {
     done: HashMap<String, String>,
-    writer: Option<BufWriter<File>>,
+    writer: Option<Box<dyn Write + Send>>,
 }
 
 /// A thread-safe checkpoint log: an in-memory `key → payload` map mirrored
 /// to an append-only JSONL file (when opened with a path).
 pub struct CheckpointLog {
     inner: Mutex<Inner>,
+    resume_stats: ResumeStats,
 }
 
 impl CheckpointLog {
     /// An in-memory log with no backing file (tests, opt-out runs).
     #[must_use]
     pub fn in_memory() -> Self {
-        CheckpointLog { inner: Mutex::new(Inner { done: HashMap::new(), writer: None }) }
+        CheckpointLog {
+            inner: Mutex::new(Inner { done: HashMap::new(), writer: None }),
+            resume_stats: ResumeStats::default(),
+        }
+    }
+
+    /// A log appending through an arbitrary writer, with no entries
+    /// pre-loaded. This is the fault-injection seam: wrap a real file in a
+    /// [`crate::fault::FaultyWriter`] to exercise the durability machinery
+    /// against torn lines, short writes and transient errors.
+    #[must_use]
+    pub fn with_writer(writer: Box<dyn Write + Send>) -> Self {
+        CheckpointLog {
+            inner: Mutex::new(Inner { done: HashMap::new(), writer: Some(writer) }),
+            resume_stats: ResumeStats::default(),
+        }
     }
 
     /// Opens (or creates) the log at `path`. Existing entries are loaded
     /// and new entries are appended, so an interrupted run can resume.
-    /// Unparseable lines (e.g. a torn final line after a crash) are
-    /// skipped, not fatal.
+    ///
+    /// A torn final line (crash mid-write) is detected and truncated away
+    /// with an atomic rewrite; complete lines that fail to parse are
+    /// skipped but preserved. Both are reported in
+    /// [`CheckpointLog::resume_stats`].
     ///
     /// # Errors
     ///
-    /// Propagates the I/O error if the file cannot be opened or read.
+    /// Propagates the I/O error if the file cannot be opened, read, or
+    /// repaired.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref();
         let mut done = HashMap::new();
+        let mut stats = ResumeStats::default();
         if path.exists() {
-            for line in std::fs::read_to_string(path)?.lines() {
+            let text = std::fs::read_to_string(path)?;
+            // Complete lines end in '\n'; whatever follows the last
+            // newline is a torn tail from an interrupted write.
+            let (complete, tail) = match text.rfind('\n') {
+                Some(pos) => text.split_at(pos + 1),
+                None => ("", text.as_str()),
+            };
+            for line in complete.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
                 if let Some((key, payload)) = Self::parse_line(line) {
                     done.insert(key, payload);
+                    stats.recovered += 1;
+                } else {
+                    stats.skipped_lines += 1;
                 }
+            }
+            if !tail.is_empty() {
+                // Truncate back to the last record boundary, atomically:
+                // a crash during the repair leaves either the damaged file
+                // (repaired again next open) or the clean one.
+                stats.torn_tail_repaired = true;
+                atomic_replace(path, complete.as_bytes())?;
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(CheckpointLog { inner: Mutex::new(Inner { done, writer: Some(BufWriter::new(file)) }) })
+        Ok(CheckpointLog {
+            inner: Mutex::new(Inner { done, writer: Some(Box::new(BufWriter::new(file))) }),
+            resume_stats: stats,
+        })
     }
 
     /// Creates the log at `path`, discarding any previous contents (a
@@ -72,8 +143,19 @@ impl CheckpointLog {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(CheckpointLog {
-            inner: Mutex::new(Inner { done: HashMap::new(), writer: Some(BufWriter::new(file)) }),
+            inner: Mutex::new(Inner {
+                done: HashMap::new(),
+                writer: Some(Box::new(BufWriter::new(file))),
+            }),
+            resume_stats: ResumeStats::default(),
         })
+    }
+
+    /// What [`CheckpointLog::open`] recovered, skipped and repaired.
+    /// All-default for logs not opened from a file.
+    #[must_use]
+    pub fn resume_stats(&self) -> ResumeStats {
+        self.resume_stats
     }
 
     fn parse_line(line: &str) -> Option<(String, String)> {
@@ -97,7 +179,8 @@ impl CheckpointLog {
         self.inner.lock().expect("checkpoint log poisoned").done.get(key).cloned()
     }
 
-    /// Records a completed unit of work and flushes the line to disk, so
+    /// Records a completed unit of work: the line is written to
+    /// completion (transient errors retried with backoff) and flushed, so
     /// the entry survives an interruption right after the call.
     ///
     /// # Panics
@@ -110,17 +193,18 @@ impl CheckpointLog {
         }
         inner.done.insert(key.to_string(), payload.to_string());
         if let Some(writer) = inner.writer.as_mut() {
-            let line = Value::Obj(vec![
+            let mut line = Value::Obj(vec![
                 ("type".to_string(), Value::Str("checkpoint".to_string())),
                 ("key".to_string(), Value::Str(key.to_string())),
                 ("payload".to_string(), Value::Str(payload.to_string())),
             ])
             .render();
-            // An I/O error (e.g. disk full) must not abort the sweep; the
-            // run degrades to non-checkpointed.
-            let _ = writer.write_all(line.as_bytes());
-            let _ = writer.write_all(b"\n");
-            let _ = writer.flush();
+            line.push('\n');
+            // A *persistent* I/O error (e.g. disk full) must not abort the
+            // sweep; the run degrades to non-checkpointed. Transient errors
+            // and short writes are absorbed by the retry loop, and the
+            // flush makes the record durable before we return.
+            let _ = write_all_retry(writer, line.as_bytes()).and_then(|()| flush_retry(writer));
         }
     }
 
@@ -143,13 +227,17 @@ impl CheckpointLog {
 
 impl std::fmt::Debug for CheckpointLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CheckpointLog").field("entries", &self.len()).finish()
+        f.debug_struct("CheckpointLog")
+            .field("entries", &self.len())
+            .field("resume_stats", &self.resume_stats)
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultyWriter;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("obs_ckpt_{}_{}.jsonl", name, std::process::id()))
@@ -163,6 +251,7 @@ mod tests {
         log.record("a", "payload-1");
         assert_eq!(log.lookup("a").as_deref(), Some("payload-1"));
         assert_eq!(log.len(), 1);
+        assert_eq!(log.resume_stats(), ResumeStats::default());
     }
 
     #[test]
@@ -185,6 +274,7 @@ mod tests {
         }
         let log = CheckpointLog::open(&path).unwrap();
         assert_eq!(log.len(), 2);
+        assert_eq!(log.resume_stats().recovered, 2);
         assert_eq!(log.lookup("e2/conv#0").as_deref(), Some("c:12"));
         log.record("e2/conv#2", "c:5");
         drop(log);
@@ -207,12 +297,14 @@ mod tests {
     }
 
     #[test]
-    fn torn_final_line_is_skipped() {
+    fn torn_final_line_is_detected_and_truncated() {
         let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
         {
             let log = CheckpointLog::open(&path).unwrap();
             log.record("good", "v");
         }
+        let clean = std::fs::read_to_string(&path).unwrap();
         {
             use std::io::Write as _;
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -221,6 +313,41 @@ mod tests {
         let log = CheckpointLog::open(&path).unwrap();
         assert_eq!(log.len(), 1);
         assert_eq!(log.lookup("good").as_deref(), Some("v"));
+        // The damage is reported, not papered over...
+        let stats = log.resume_stats();
+        assert!(stats.torn_tail_repaired);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.skipped_lines, 0);
+        drop(log);
+        // ...and the file is physically truncated back to the last record
+        // boundary, so the next reader sees a clean log.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+        let log = CheckpointLog::open(&path).unwrap();
+        assert!(!log.resume_stats().torn_tail_repaired);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn complete_foreign_lines_are_preserved_but_skipped() {
+        let path = tmp("foreign");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = CheckpointLog::open(&path).unwrap();
+            log.record("mine", "v");
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{{\"type\":\"manifest\",\"id\":\"other-writer\"}}").unwrap();
+        }
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1);
+        let stats = log.resume_stats();
+        assert_eq!(stats.skipped_lines, 1);
+        assert!(!stats.torn_tail_repaired);
+        drop(log);
+        // Complete lines survive the repair pass verbatim.
+        assert!(std::fs::read_to_string(&path).unwrap().contains("other-writer"));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -235,6 +362,52 @@ mod tests {
         }
         let log = CheckpointLog::open(&path).unwrap();
         assert_eq!(log.lookup(key).as_deref(), Some("p\"x\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_land_through_short_and_transient_writes() {
+        use std::io::ErrorKind;
+        let path = tmp("faulty_ok");
+        let _ = std::fs::remove_file(&path);
+        {
+            let file = File::create(&path).unwrap();
+            let writer = FaultyWriter::new(file).with_short_writes(5).with_transient_errors(vec![
+                ErrorKind::Interrupted,
+                ErrorKind::WouldBlock,
+                ErrorKind::Interrupted,
+            ]);
+            let log = CheckpointLog::with_writer(Box::new(writer));
+            log.record("a", "c:10");
+            log.record("b", "t:20");
+        }
+        // Despite the injected faults every record is complete on disk.
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.lookup("a").as_deref(), Some("c:10"));
+        assert_eq!(log.lookup("b").as_deref(), Some("t:20"));
+        let stats = log.resume_stats();
+        assert_eq!(stats.recovered, 2);
+        assert!(!stats.torn_tail_repaired);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_mid_record_loses_only_that_record() {
+        let path = tmp("faulty_tear");
+        let _ = std::fs::remove_file(&path);
+        {
+            let file = File::create(&path).unwrap();
+            // Enough budget for the first record, dies inside the second.
+            let writer = FaultyWriter::new(file).with_tear_after(60);
+            let log = CheckpointLog::with_writer(Box::new(writer));
+            log.record("a", "c:10");
+            log.record("b", "t:20");
+        }
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.lookup("a").as_deref(), Some("c:10"));
+        assert_eq!(log.lookup("b"), None);
+        assert!(log.resume_stats().torn_tail_repaired);
         let _ = std::fs::remove_file(&path);
     }
 }

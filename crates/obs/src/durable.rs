@@ -1,0 +1,276 @@
+//! Durable write primitives: retry-with-backoff and atomic
+//! rename-on-commit.
+//!
+//! The checkpoint log and the manifest ledger are the only state that
+//! survives a crash, so their writes get stronger guarantees than the
+//! best-effort trace sink:
+//!
+//! * [`write_all_retry`] / [`flush_retry`] absorb *transient* failures —
+//!   short writes, `ErrorKind::Interrupted`, `ErrorKind::WouldBlock` —
+//!   with a bounded exponential backoff, so a record either lands in full
+//!   or the caller learns about a persistent failure;
+//! * [`atomic_replace`] / [`atomic_append_line`] commit a whole file via
+//!   write-to-temp + `sync_all` + rename, so readers (and a resumed run)
+//!   never observe a half-written file even if the process dies
+//!   mid-commit.
+
+use std::io::{ErrorKind, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Maximum number of transient-error retries before a write is reported
+/// as failed. Short writes do not count against this budget — only actual
+/// `Interrupted`/`WouldBlock` errors do.
+const MAX_TRANSIENT_RETRIES: u32 = 64;
+
+/// Initial backoff between transient-error retries; doubles up to
+/// [`MAX_BACKOFF`].
+const INITIAL_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Backoff ceiling.
+const MAX_BACKOFF: Duration = Duration::from_millis(5);
+
+fn is_transient(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Interrupted | ErrorKind::WouldBlock)
+}
+
+/// Writes all of `buf`, resuming short writes and retrying transient
+/// errors (`Interrupted`, `WouldBlock`) with exponential backoff.
+///
+/// # Errors
+///
+/// Returns the last error once the retry budget is exhausted, or
+/// immediately for non-transient errors. `WriteZero` is reported if the
+/// writer keeps accepting zero bytes.
+pub fn write_all_retry<W: Write + ?Sized>(w: &mut W, mut buf: &[u8]) -> std::io::Result<()> {
+    let mut retries = 0u32;
+    let mut backoff = INITIAL_BACKOFF;
+    let mut zero_writes = 0u32;
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => {
+                // A compliant writer making no progress: bounded patience,
+                // then report, mirroring std's write_all.
+                zero_writes += 1;
+                if zero_writes > MAX_TRANSIENT_RETRIES {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "writer accepted no bytes",
+                    ));
+                }
+            }
+            Ok(n) => {
+                buf = &buf[n..];
+                zero_writes = 0;
+            }
+            Err(e) if is_transient(e.kind()) => {
+                retries += 1;
+                if retries > MAX_TRANSIENT_RETRIES {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Flushes `w`, retrying transient errors with the same policy as
+/// [`write_all_retry`].
+///
+/// # Errors
+///
+/// Returns the last error once the retry budget is exhausted, or
+/// immediately for non-transient errors.
+pub fn flush_retry<W: Write + ?Sized>(w: &mut W) -> std::io::Result<()> {
+    let mut retries = 0u32;
+    let mut backoff = INITIAL_BACKOFF;
+    loop {
+        match w.flush() {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(e.kind()) => {
+                retries += 1;
+                if retries > MAX_TRANSIENT_RETRIES {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Atomically replaces the contents of `path` with `bytes`: the data is
+/// written to a sibling temp file, synced to disk, then renamed over
+/// `path`. A crash at any point leaves either the old or the new file —
+/// never a torn mixture.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the temp-file write, sync, or rename.
+///
+/// # Panics
+///
+/// Panics if `path` has no file name component.
+pub fn atomic_replace(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let file_name = path.file_name().expect("atomic_replace target must be a file path");
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        write_all_retry(&mut f, bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Appends `line` (a newline is added) to the JSONL file at `path` with
+/// rename-on-commit semantics: the existing content plus the new line is
+/// committed atomically, so a crash mid-append can never leave a torn
+/// final record for a resumed run to trip over.
+///
+/// The read-rewrite cost is linear in the file size, which is fine for
+/// low-frequency ledgers (run manifests); high-frequency appenders like
+/// the checkpoint log instead use flushed appends plus torn-tail repair
+/// on open.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the existing file (except
+/// `NotFound`) or committing the new one.
+pub fn atomic_append_line(path: &Path, line: &str) -> std::io::Result<()> {
+    let mut bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    // Repair a torn tail left by a non-atomic writer before appending.
+    if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+        bytes.push(b'\n');
+    }
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    atomic_replace(path, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("obs_durable_{}_{}.jsonl", name, std::process::id()))
+    }
+
+    #[test]
+    fn atomic_replace_round_trips() {
+        let path = tmp("replace");
+        atomic_replace(&path, b"first\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first\n");
+        atomic_replace(&path, b"second\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second\n");
+        let mut tmp_name = path.file_name().unwrap().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!path.with_file_name(tmp_name).exists(), "temp file must not linger");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_append_line_builds_a_ledger() {
+        let path = tmp("append");
+        let _ = std::fs::remove_file(&path);
+        atomic_append_line(&path, "{\"a\":1}").unwrap();
+        atomic_append_line(&path, "{\"b\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_append_line_repairs_torn_tail() {
+        let path = tmp("append_torn");
+        std::fs::write(&path, "{\"ok\":1}\n{\"torn").unwrap();
+        atomic_append_line(&path, "{\"next\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":1}\n{\"torn\n{\"next\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_all_retry_handles_short_writes() {
+        struct Short(Vec<u8>);
+        impl Write for Short {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = Short(Vec::new());
+        write_all_retry(&mut w, b"hello durable world").unwrap();
+        assert_eq!(w.0, b"hello durable world");
+    }
+
+    #[test]
+    fn write_all_retry_absorbs_transient_errors() {
+        struct Flaky {
+            out: Vec<u8>,
+            failures: u32,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.failures > 0 {
+                    self.failures -= 1;
+                    let kind = if self.failures.is_multiple_of(2) {
+                        ErrorKind::Interrupted
+                    } else {
+                        ErrorKind::WouldBlock
+                    };
+                    return Err(std::io::Error::new(kind, "transient"));
+                }
+                self.out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = Flaky { out: Vec::new(), failures: 5 };
+        write_all_retry(&mut w, b"record").unwrap();
+        assert_eq!(w.out, b"record");
+    }
+
+    #[test]
+    fn write_all_retry_gives_up_on_persistent_transients() {
+        struct AlwaysBusy;
+        impl Write for AlwaysBusy {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "busy forever"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_all_retry(&mut AlwaysBusy, b"x").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn hard_errors_are_immediate() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::new(ErrorKind::BrokenPipe, "gone"))
+            }
+        }
+        assert_eq!(write_all_retry(&mut Broken, b"x").unwrap_err().kind(), ErrorKind::BrokenPipe);
+        assert_eq!(flush_retry(&mut Broken).unwrap_err().kind(), ErrorKind::BrokenPipe);
+    }
+}

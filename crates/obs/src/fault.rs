@@ -1,0 +1,189 @@
+//! Fault injection for the durable-write path.
+//!
+//! [`FaultyWriter`] wraps any [`Write`] and injects the failure modes a
+//! real deployment sees — torn final writes (crash / `kill -9` mid-line),
+//! short writes, transient `Interrupted`/`WouldBlock` errors — so the
+//! conformance harness can prove that the checkpoint/manifest machinery
+//! recovers from each of them. It lives in the obs crate (rather than the
+//! conformance crate) so the crate's own durability tests can use it
+//! without a dependency cycle.
+//!
+//! The wrapper is deterministic: faults fire according to the configured
+//! schedule, never randomly, so every scenario is reproducible.
+
+use std::io::{ErrorKind, Write};
+
+/// Deterministic fault-injecting [`Write`] wrapper.
+///
+/// Configure with the builder methods, then hand it to the component
+/// under test (e.g. via `CheckpointLog::with_writer`). Faults compose:
+/// the transient-error queue is consumed first, then the tear budget and
+/// the short-write cap apply to the bytes actually written.
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    /// Error kinds returned (in order) by successive `write` calls before
+    /// any bytes are accepted again.
+    transient: Vec<ErrorKind>,
+    /// Per-call ceiling on accepted bytes (a "short write"); `None` means
+    /// unlimited.
+    short_write_cap: Option<usize>,
+    /// Total bytes accepted before the writer "dies" (simulated crash
+    /// mid-write): the final write is torn and every later call fails
+    /// hard. `None` means immortal.
+    tear_after: Option<usize>,
+    written: usize,
+    injected_transients: usize,
+    dead: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with no faults configured (a transparent writer).
+    pub fn new(inner: W) -> Self {
+        FaultyWriter {
+            inner,
+            transient: Vec::new(),
+            short_write_cap: None,
+            tear_after: None,
+            written: 0,
+            injected_transients: 0,
+            dead: false,
+        }
+    }
+
+    /// Queue transient errors: the next `kinds.len()` write calls return
+    /// these kinds in order (use `ErrorKind::Interrupted` /
+    /// `ErrorKind::WouldBlock`), after which writes proceed normally.
+    #[must_use]
+    pub fn with_transient_errors(mut self, kinds: Vec<ErrorKind>) -> Self {
+        // Stored reversed so firing is a cheap pop.
+        self.transient = kinds.into_iter().rev().collect();
+        self
+    }
+
+    /// Accept at most `cap` bytes per `write` call (forces callers to
+    /// handle short writes).
+    #[must_use]
+    pub fn with_short_writes(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "a zero cap would starve compliant callers");
+        self.short_write_cap = Some(cap);
+        self
+    }
+
+    /// Die after accepting `budget` total bytes: the write that crosses
+    /// the budget is torn (its prefix reaches the inner writer) and all
+    /// subsequent writes fail with `BrokenPipe` — a crash mid-record.
+    #[must_use]
+    pub fn with_tear_after(mut self, budget: usize) -> Self {
+        self.tear_after = Some(budget);
+        self
+    }
+
+    /// Number of transient errors injected so far.
+    pub fn injected_transients(&self) -> usize {
+        self.injected_transients
+    }
+
+    /// Total bytes accepted by the inner writer.
+    pub fn bytes_written(&self) -> usize {
+        self.written
+    }
+
+    /// Whether the simulated crash has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if let Some(kind) = self.transient.pop() {
+            self.injected_transients += 1;
+            return Err(std::io::Error::new(kind, "injected transient fault"));
+        }
+        if self.dead {
+            return Err(std::io::Error::new(ErrorKind::BrokenPipe, "writer died (injected)"));
+        }
+        let mut allowed = buf.len();
+        if let Some(cap) = self.short_write_cap {
+            allowed = allowed.min(cap);
+        }
+        if let Some(budget) = self.tear_after {
+            let remaining = budget.saturating_sub(self.written);
+            if remaining == 0 {
+                self.dead = true;
+                return Err(std::io::Error::new(ErrorKind::BrokenPipe, "writer died (injected)"));
+            }
+            if allowed >= remaining {
+                // The torn write: deliver the prefix, then die.
+                allowed = remaining;
+                self.dead = true;
+            }
+        }
+        let n = self.inner.write(&buf[..allowed])?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::new(ErrorKind::BrokenPipe, "writer died (injected)"));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: Write> std::fmt::Debug for FaultyWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyWriter")
+            .field("pending_transients", &self.transient.len())
+            .field("short_write_cap", &self.short_write_cap)
+            .field("tear_after", &self.tear_after)
+            .field("written", &self.written)
+            .field("dead", &self.dead)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_by_default() {
+        let mut w = FaultyWriter::new(Vec::new());
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.inner, b"hello");
+        assert_eq!(w.bytes_written(), 5);
+        assert!(!w.is_dead());
+    }
+
+    #[test]
+    fn transient_errors_fire_in_order_then_clear() {
+        let mut w = FaultyWriter::new(Vec::new())
+            .with_transient_errors(vec![ErrorKind::Interrupted, ErrorKind::WouldBlock]);
+        assert_eq!(w.write(b"x").unwrap_err().kind(), ErrorKind::Interrupted);
+        assert_eq!(w.write(b"x").unwrap_err().kind(), ErrorKind::WouldBlock);
+        assert_eq!(w.write(b"x").unwrap(), 1);
+        assert_eq!(w.injected_transients(), 2);
+    }
+
+    #[test]
+    fn short_writes_cap_each_call() {
+        let mut w = FaultyWriter::new(Vec::new()).with_short_writes(4);
+        assert_eq!(w.write(b"longer than four").unwrap(), 4);
+        assert_eq!(w.inner, b"long");
+    }
+
+    #[test]
+    fn tear_kills_mid_write() {
+        let mut w = FaultyWriter::new(Vec::new()).with_tear_after(7);
+        assert_eq!(w.write(b"first").unwrap(), 5);
+        // This write crosses the budget: only 2 more bytes land.
+        assert_eq!(w.write(b"second-record").unwrap(), 2);
+        assert!(w.is_dead());
+        assert_eq!(w.inner, b"firstse");
+        assert_eq!(w.write(b"more").unwrap_err().kind(), ErrorKind::BrokenPipe);
+        assert_eq!(w.flush().unwrap_err().kind(), ErrorKind::BrokenPipe);
+    }
+}

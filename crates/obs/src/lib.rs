@@ -32,7 +32,9 @@
 
 pub mod bench_record;
 pub mod checkpoint;
+pub mod durable;
 pub mod event;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod manifest;
@@ -44,8 +46,9 @@ pub mod sink;
 pub mod time;
 
 pub use bench_record::{BenchEntry, BenchRecord, BENCH_SCHEMA_VERSION};
-pub use checkpoint::CheckpointLog;
+pub use checkpoint::{CheckpointLog, ResumeStats};
 pub use event::{Event, ReplicationOutcome};
+pub use fault::FaultyWriter;
 pub use hist::LogHistogram;
 pub use manifest::RunManifest;
 pub use metrics::{Metrics, PhaseStat};

@@ -21,10 +21,16 @@ pub struct TraceRead {
     /// types from a newer writer, stray garbage). Blank lines are not
     /// counted.
     pub skipped: usize,
+    /// Whether the trace ends in a torn final line — text after the last
+    /// newline that does not decode as an event. Such a trace was cut off
+    /// mid-write (crash, kill, full disk) and the caller should report it
+    /// as truncated rather than merely containing skipped lines.
+    pub torn_tail: bool,
 }
 
 /// Decodes a trace from in-memory JSONL text. Undecodable lines are
-/// skipped and counted, never fatal.
+/// skipped and counted, never fatal; a torn final line is additionally
+/// flagged as [`TraceRead::torn_tail`].
 #[must_use]
 pub fn parse_trace(text: &str) -> TraceRead {
     let mut events = Vec::new();
@@ -38,7 +44,14 @@ pub fn parse_trace(text: &str) -> TraceRead {
             Err(_) => skipped += 1,
         }
     }
-    TraceRead { events, skipped }
+    let torn_tail = match text.rfind('\n') {
+        Some(pos) => {
+            let tail = &text[pos + 1..];
+            !tail.trim().is_empty() && Event::from_json(tail).is_err()
+        }
+        None => !text.trim().is_empty() && Event::from_json(text).is_err(),
+    };
+    TraceRead { events, skipped, torn_tail }
 }
 
 /// Reads and decodes the JSONL trace at `path`.
@@ -78,6 +91,7 @@ mod tests {
         let trace = parse_trace(&render(&events()));
         assert_eq!(trace.events, events());
         assert_eq!(trace.skipped, 0);
+        assert!(!trace.torn_tail);
     }
 
     #[test]
@@ -88,6 +102,7 @@ mod tests {
         let trace = parse_trace(&text);
         assert_eq!(trace.events, events());
         assert_eq!(trace.skipped, 1);
+        assert!(trace.torn_tail, "an undecodable unterminated tail marks the trace torn");
     }
 
     #[test]
@@ -103,6 +118,20 @@ mod tests {
         assert_eq!(trace.events, all);
         // The blank line is ignored; the garbage line is counted.
         assert_eq!(trace.skipped, 1);
+        // Mid-file garbage is not a torn tail: the trace ends cleanly.
+        assert!(!trace.torn_tail);
+    }
+
+    #[test]
+    fn unterminated_but_decodable_final_line_is_not_torn() {
+        // A writer killed between the record and its newline: the event is
+        // complete, so nothing was lost.
+        let all = events();
+        let text = format!("{}\n{}", all[0].to_json(), all[1].to_json());
+        let trace = parse_trace(&text);
+        assert_eq!(trace.events, all[..2]);
+        assert_eq!(trace.skipped, 0);
+        assert!(!trace.torn_tail);
     }
 
     #[test]
@@ -115,6 +144,7 @@ mod tests {
         let trace = read_trace(&path).unwrap();
         assert_eq!(trace.events, events());
         assert_eq!(trace.skipped, 1);
+        assert!(trace.torn_tail);
         let _ = std::fs::remove_file(&path);
         assert!(read_trace(&path).is_err());
     }

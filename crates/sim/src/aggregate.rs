@@ -7,15 +7,31 @@ use crate::binomial::sample_binomial;
 use crate::rng::SimRng;
 use crate::run::Simulator;
 
+/// Slack allowed around `[0, 1]` for an adoption probability before it is
+/// treated as a genuine violation rather than floating-point summation
+/// noise. With validated `g` entries and pmf weights summing to `1 ± εℓ`,
+/// the true rounding error is orders of magnitude below this.
+const ADOPTION_PROB_TOL: f64 = 1e-9;
+
 /// Computes the one-round adoption probabilities of Eq. 4 at fraction `p`:
 /// `(P₀(p), P₁(p))` — the probability that a 0-holder (resp. 1-holder)
 /// adopts opinion 1 next round.
 ///
+/// Values within [`ADOPTION_PROB_TOL`] of `[0, 1]` are clamped (summation
+/// noise); anything further out means the table or the pmf computation is
+/// corrupt and is surfaced as
+/// [`ProtocolError::InvalidAdoptionProbability`] instead of being silently
+/// clamped into range.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidAdoptionProbability`] if a pre-clamp
+/// probability is non-finite or outside `[−1e-9, 1 + 1e-9]`.
+///
 /// # Panics
 ///
 /// Panics if `p` is not in `[0, 1]`.
-#[must_use]
-pub fn adoption_probs(table: &GTable, p: f64) -> (f64, f64) {
+pub fn try_adoption_probs(table: &GTable, p: f64) -> Result<(f64, f64), ProtocolError> {
     let ell = table.sample_size();
     let weights = binomial_pmf_vec(ell as u64, p);
     let mut p0 = 0.0;
@@ -24,7 +40,33 @@ pub fn adoption_probs(table: &GTable, p: f64) -> (f64, f64) {
         p0 += w * table.g(Opinion::Zero, k);
         p1 += w * table.g(Opinion::One, k);
     }
-    (p0.clamp(0.0, 1.0), p1.clamp(0.0, 1.0))
+    // The pre-clamp check is enforced in every build profile (two compares
+    // per round, negligible next to the pmf evaluation), which is strictly
+    // stronger than a debug_assert — release sweeps are where corruption
+    // matters most.
+    for (own, v) in [(0u8, p0), (1u8, p1)] {
+        if !v.is_finite() || !(-ADOPTION_PROB_TOL..=1.0 + ADOPTION_PROB_TOL).contains(&v) {
+            return Err(ProtocolError::InvalidAdoptionProbability { own, p, value: v });
+        }
+    }
+    Ok((p0.clamp(0.0, 1.0), p1.clamp(0.0, 1.0)))
+}
+
+/// Infallible wrapper over [`try_adoption_probs`] for the simulator hot
+/// paths, where an out-of-tolerance adoption probability is a programming
+/// error (tables are validated at construction).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`, or with the
+/// [`ProtocolError::InvalidAdoptionProbability`] message on a genuine
+/// violation.
+#[must_use]
+pub fn adoption_probs(table: &GTable, p: f64) -> (f64, f64) {
+    match try_adoption_probs(table, p) {
+        Ok(probs) => probs,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Simulates the parallel-setting process on its aggregate state `(z, X_t)`.
@@ -140,6 +182,34 @@ mod tests {
             assert!((p0 - expect).abs() < 1e-12, "p={p}");
             assert_eq!(p0, p1);
         }
+    }
+
+    #[test]
+    fn corrupt_table_surfaces_invalid_adoption_probability() {
+        // An out-of-range g entry (injectable only via the unchecked
+        // constructor) must surface as a ProtocolError, not be clamped away.
+        let table = GTable::new_unchecked(vec![0.0, 2.0, 2.0, 2.0], vec![0.0, 2.0, 2.0, 2.0]);
+        let err = try_adoption_probs(&table, 0.4).unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidAdoptionProbability { own: 0, .. }), "{err}");
+        let table = GTable::new_unchecked(vec![0.0, f64::NAN], vec![0.0, 1.0]);
+        assert!(try_adoption_probs(&table, 0.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn adoption_probs_panics_on_genuine_violation() {
+        let table = GTable::new_unchecked(vec![0.0, -1.5], vec![0.0, 1.0]);
+        let _ = adoption_probs(&table, 0.5);
+    }
+
+    #[test]
+    fn fp_noise_within_tolerance_is_clamped_not_fatal() {
+        // Entries a hair outside [0,1] model accumulated summation noise:
+        // within 1e-9 the result is clamped, beyond it is an error.
+        let eps = 1e-12;
+        let table = GTable::new_unchecked(vec![0.0, 1.0 + eps], vec![0.0, 1.0 + eps]);
+        let (p0, p1) = adoption_probs(&table, 1.0);
+        assert_eq!((p0, p1), (1.0, 1.0));
     }
 
     #[test]

@@ -75,6 +75,15 @@ pub fn sample_binomial_naive(rng: &mut SimRng, n: u64, p: f64) -> u64 {
 ///
 /// Expects `p ≤ 1/2` (callers reflect). Exposed for the A2 ablation.
 ///
+/// When `n·|ln(1−p)| ≳ 745` the starting mass `f = P(X = 0) = q^n`
+/// underflows `f64`; the recurrence then restarts in log space and only
+/// materializes `f` once it becomes representable. The mass skipped while
+/// `f` is subnormal is below the resolution of the uniform deviate, so the
+/// returned distribution is unaffected. (The in-regime dispatch from
+/// [`sample_binomial`] has `n·p < 10` and never underflows; direct callers
+/// with large `n·p` get correct draws at `O(n·p)` cost instead of the
+/// silently biased `k = n` the naive recurrence degraded to.)
+///
 /// # Panics
 ///
 /// Panics if `p` is not in `(0, 1)`.
@@ -83,8 +92,18 @@ pub fn binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
     assert!(p > 0.0 && p < 1.0, "binv requires p in (0,1), got {p}");
     let q = 1.0 - p;
     let s = p / q;
-    // f = P(X = 0) = q^n, computed in log space to survive large n.
-    let mut f = ((n as f64) * q.ln()).exp();
+    // f = P(X = 0) = q^n, computed in log space to survive large n. For
+    // n·ln q below LN_NORMAL_MIN the recurrence is carried additively on
+    // ln_f and f is pinned to 0: materializing through a *subnormal* exp
+    // would seed the whole recurrence with a few-bit mantissa and bias
+    // every subsequent probability. Only once ln_f re-enters the normal
+    // range is f materialized (at full precision) and the recurrence
+    // switches back to the cheap multiplicative form. The mass skipped
+    // while f is pinned at 0 is below 2^-1022 per term — invisible at the
+    // 2^-53 resolution of the uniform deviate.
+    const LN_NORMAL_MIN: f64 = -700.0;
+    let mut ln_f = (n as f64) * q.ln();
+    let mut f = if ln_f >= LN_NORMAL_MIN { ln_f.exp() } else { 0.0 };
     let mut u: f64 = rng.random();
     let mut k: u64 = 0;
     // In the (astronomically unlikely) event of accumulated rounding pushing
@@ -92,7 +111,15 @@ pub fn binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
     while u > f && k < n {
         u -= f;
         k += 1;
-        f *= s * ((n - k + 1) as f64) / (k as f64);
+        let ratio = s * ((n - k + 1) as f64) / (k as f64);
+        if f > 0.0 {
+            f *= ratio;
+        } else {
+            ln_f += ratio.ln();
+            if ln_f >= LN_NORMAL_MIN {
+                f = ln_f.exp();
+            }
+        }
     }
     k
 }
@@ -237,6 +264,34 @@ mod tests {
             counts.iter().zip(&pmf).map(|(&c, &q)| (c as f64 / reps as f64 - q).abs()).sum::<f64>()
                 / 2.0;
         assert!(tv < 0.02, "total variation {tv}");
+    }
+
+    #[test]
+    fn extreme_regime_moments() {
+        // n = 10⁸, p = 10⁻⁶: n·p = 100 dispatches to BTRS; the huge-n /
+        // tiny-p corner that motivated the log-space BINV restart.
+        check_moments(100_000_000, 1e-6, 20_000, 20);
+        // n = 10⁸, p = 5·10⁻⁸: n·p = 5 dispatches to BINV at extreme n.
+        check_moments(100_000_000, 5e-8, 20_000, 21);
+    }
+
+    #[test]
+    fn binv_survives_q_pow_n_underflow() {
+        // Direct BINV call where f₀ = 0.6^5000 = e^-2554 underflows f64.
+        // The un-fixed recurrence kept f = 0 forever and returned k = n on
+        // every draw; the log-space restart must recover the true moments.
+        let n = 5_000u64;
+        let p = 0.4;
+        let reps = 2_000usize;
+        let mut rng = rng_from(22);
+        let samples: Vec<u64> = (0..reps).map(|_| binv(&mut rng, n, p)).collect();
+        assert!(samples.iter().all(|&k| k < n), "draws collapsed to k = n");
+        let (mean, var) = empirical_moments(&samples);
+        let true_mean = binomial_mean(n, p);
+        let true_var = binomial_variance(n, p);
+        let se_mean = (true_var / reps as f64).sqrt();
+        assert!((mean - true_mean).abs() < 5.0 * se_mean, "mean {mean} vs {true_mean}");
+        assert!((var - true_var).abs() < 0.2 * true_var, "var {var} vs {true_var}");
     }
 
     #[test]
