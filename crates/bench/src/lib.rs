@@ -21,7 +21,7 @@ use bitdissem_experiments::{registry, RunConfig};
 ///
 /// Panics if `id` is not a registered experiment.
 pub fn bench_experiment(c: &mut Criterion, bench_name: &str, id: &str) {
-    let cfg = RunConfig { scale: bitdissem_experiments::Scale::Smoke, seed: 99, threads: Some(1) };
+    let cfg = RunConfig { threads: Some(1), ..RunConfig::smoke(99) };
     // Validate the id once, eagerly.
     assert!(registry::all().iter().any(|e| e.id == id), "unknown experiment id {id}");
     c.bench_function(bench_name, |b| {

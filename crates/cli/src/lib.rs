@@ -3,7 +3,7 @@
 //! Subcommands:
 //!
 //! * `list` — the experiment registry;
-//! * `run <id> [--scale smoke|standard|full] [--seed N] [--threads T]
+//! * `run <id> [--scale smoke|standard|full] [--seed N] [--threads T] [--engine E]
 //!   [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]
 //!   [--checkpoint-dir DIR] [--resume]` — run an experiment and print its
 //!   report, optionally writing a JSONL trace, printing run metrics to
@@ -49,7 +49,7 @@ use bitdissem_core::dynamics::{self, BoxedProtocol};
 use bitdissem_core::Protocol;
 use bitdissem_experiments::bench::{run_all as bench_run_all, BenchCtx};
 use bitdissem_experiments::trace::analyze as trace_analyze;
-use bitdissem_experiments::{registry, RunConfig, Scale};
+use bitdissem_experiments::{registry, ReplicationEngine, RunConfig, Scale};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
 use bitdissem_obs::{read_trace, BenchRecord, CheckpointLog, JsonlSink, Obs, Progress};
@@ -93,8 +93,8 @@ pub fn usage() -> String {
      usage:\n\
      \x20 bitdissem list\n\
      \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N]\n\
-     \x20\x20\x20\x20 [--threads T] [--csv] [--trace-out PATH] [--trace-every N] [--metrics] [--progress]\n\
-     \x20\x20\x20\x20 [--checkpoint-dir DIR] [--resume]\n\
+     \x20\x20\x20\x20 [--threads T] [--engine batched|per-replica] [--csv] [--trace-out PATH]\n\
+     \x20\x20\x20\x20 [--trace-every N] [--metrics] [--progress] [--checkpoint-dir DIR] [--resume]\n\
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
@@ -131,6 +131,8 @@ pub fn usage() -> String {
      \x20 --progress         live replication meter on stderr\n\
      \x20 --checkpoint-dir D persist per-replication results to D/checkpoint.jsonl and\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run manifests to D/manifests.jsonl\n\
+     \x20 --engine E         replication engine: 'batched' (lock-step fast path, default)\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 or 'per-replica' (reference; outcomes are bit-identical)\n\
      \x20 --resume           skip replications already in the checkpoint log\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (requires --checkpoint-dir; results stay bit-identical)\n\
      \n\
@@ -274,7 +276,11 @@ fn cmd_run(args: &Args) -> CommandOutput {
         Ok(t) => Some(t),
         Err(e) => return usage_error(format!("{e}\n")),
     };
-    let cfg = RunConfig { scale, seed, threads };
+    let engine = match args.get("engine").map(ReplicationEngine::from_str).transpose() {
+        Ok(e) => e.unwrap_or_default(),
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let cfg = RunConfig { scale, seed, threads, engine };
     let obs = match build_obs(args) {
         Ok(obs) => obs,
         Err(e) => return usage_error(format!("{e}\n")),

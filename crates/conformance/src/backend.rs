@@ -8,9 +8,12 @@
 //! reproducible in isolation; callers give each backend a *distinct* base
 //! seed so the two samples entering a KS test are independent.
 
+use std::sync::Arc;
+
 use bitdissem_core::{Configuration, GTable};
 use bitdissem_sim::agent::AgentSim;
 use bitdissem_sim::aggregate::AggregateSim;
+use bitdissem_sim::batched::BatchedAggregateSim;
 use bitdissem_sim::dual::CoalescingDual;
 use bitdissem_sim::partial::PartialSim;
 use bitdissem_sim::rng::{replication_seed, rng_from, SimRng};
@@ -18,9 +21,11 @@ use bitdissem_sim::run::Simulator;
 use bitdissem_sim::sequential::SequentialSim;
 
 /// A backend of the *parallel* law: all `n − 1` non-source agents update
-/// each round. The three are distributionally identical by construction
+/// each round. The four are distributionally identical by construction
 /// (the aggregate chain is the exact conditional law of the agent
-/// simulator; `m = n − 1` partial synchrony is one full round per step).
+/// simulator; `m = n − 1` partial synchrony is one full round per step;
+/// the batched engine steps the aggregate chain lock-step with per-replica
+/// index-derived streams).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParallelBackend {
     /// The literal agent-level simulator (ground truth).
@@ -29,6 +34,9 @@ pub enum ParallelBackend {
     Aggregate,
     /// [`PartialSim`] with a full batch `m = n − 1`.
     PartialFull,
+    /// [`BatchedAggregateSim`]: all replications of the cell advance
+    /// lock-step through a shared compiled kernel.
+    Batched,
 }
 
 impl ParallelBackend {
@@ -39,6 +47,7 @@ impl ParallelBackend {
             ParallelBackend::Agent => "agent",
             ParallelBackend::Aggregate => "aggregate",
             ParallelBackend::PartialFull => "partial(n-1)",
+            ParallelBackend::Batched => "batched",
         }
     }
 }
@@ -148,6 +157,9 @@ pub fn sample_parallel(
     checkpoints: &[u64],
     seed: u64,
 ) -> RunSamples {
+    if backend == ParallelBackend::Batched {
+        return sample_parallel_batched(table, start, reps, budget, checkpoints, seed);
+    }
     let mut marginals = vec![Vec::with_capacity(reps); checkpoints.len()];
     let mut times = Vec::with_capacity(reps);
     for rep in 0..reps {
@@ -162,6 +174,7 @@ pub fn sample_parallel(
             ParallelBackend::PartialFull => {
                 Box::new(PartialSim::new(table, start, start.n() - 1).expect("valid grid cell"))
             }
+            ParallelBackend::Batched => unreachable!("handled above"),
         };
         let (ms, time) = run_one(&mut *sim, &mut rng, budget, checkpoints, |s, rng| {
             s.step_round(rng);
@@ -172,6 +185,49 @@ pub fn sample_parallel(
         }
         times.push(time as f64);
     }
+    RunSamples { marginals, times }
+}
+
+/// The [`ParallelBackend::Batched`] driver: one lock-step batch holds all
+/// `reps` replications of the cell, and the observables are read from the
+/// batch as its shared clock passes each checkpoint. Mirrors [`run_one`]'s
+/// conventions exactly — consensus is checked at `t` before stepping, a
+/// converged replication holds its absorbed state for later checkpoints
+/// without burning randomness (the engine retires it), and times are
+/// right-censored at `budget`.
+fn sample_parallel_batched(
+    table: &GTable,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RunSamples {
+    let kernel = Arc::new(table.compile().expect("valid grid cell"));
+    let seeds: Vec<u64> = (0..reps).map(|rep| replication_seed(seed, rep as u64)).collect();
+    let mut batch = BatchedAggregateSim::new(kernel, start, &seeds);
+
+    let last_cp = checkpoints.last().copied().unwrap_or(0);
+    // Rows are filled in visit order; checkpoints beyond the budget leave
+    // their row empty, the same shape the per-replication drivers produce.
+    let mut marginals = vec![Vec::new(); checkpoints.len()];
+    let mut next_row = 0;
+    let mut t: u64 = 0;
+    loop {
+        if checkpoints.contains(&t) {
+            marginals[next_row] = (0..reps).map(|rep| batch.ones_of(rep) as f64).collect();
+            next_row += 1;
+        }
+        if t == budget || (batch.live() == 0 && t >= last_cp) {
+            break;
+        }
+        if batch.live() > 0 {
+            batch.step_round();
+        }
+        t += 1;
+    }
+    let times =
+        (0..reps).map(|rep| batch.converged_at(rep).unwrap_or(budget) as f64).collect::<Vec<_>>();
     RunSamples { marginals, times }
 }
 
@@ -287,13 +343,61 @@ mod tests {
     fn all_parallel_backends_run_the_same_cell() {
         let table = voter_table(12);
         let start = Configuration::all_wrong(12, Opinion::One);
-        for backend in
-            [ParallelBackend::Agent, ParallelBackend::Aggregate, ParallelBackend::PartialFull]
-        {
+        for backend in [
+            ParallelBackend::Agent,
+            ParallelBackend::Aggregate,
+            ParallelBackend::PartialFull,
+            ParallelBackend::Batched,
+        ] {
             let s = sample_parallel(backend, &table, start, 3, 2000, &[1], 4);
             assert_eq!(s.times.len(), 3, "{}", backend.name());
             assert!(s.times.iter().all(|&t| t <= 2000.0));
         }
+    }
+
+    #[test]
+    fn batched_backend_is_bit_identical_to_aggregate() {
+        // Stronger than the KS gate: with the *same* base seed the batched
+        // driver must reproduce the aggregate driver's samples exactly —
+        // both observables, every replication, both starts.
+        use bitdissem_core::dynamics::Minority;
+        let n = 20u64;
+        for table in [voter_table(n), Minority::new(3).unwrap().to_table(n).unwrap()] {
+            for start in [
+                Configuration::all_wrong(n, Opinion::One),
+                Configuration::new(n, Opinion::One, n / 2).unwrap(),
+            ] {
+                let agg = sample_parallel(
+                    ParallelBackend::Aggregate,
+                    &table,
+                    start,
+                    40,
+                    600,
+                    &[1, 2, 4],
+                    77,
+                );
+                let bat = sample_parallel(
+                    ParallelBackend::Batched,
+                    &table,
+                    start,
+                    40,
+                    600,
+                    &[1, 2, 4],
+                    77,
+                );
+                assert_eq!(agg.times, bat.times);
+                assert_eq!(agg.marginals, bat.marginals);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backend_handles_consensus_start() {
+        let table = voter_table(10);
+        let start = Configuration::correct_consensus(10, Opinion::One);
+        let s = sample_parallel(ParallelBackend::Batched, &table, start, 2, 50, &[1, 4], 1);
+        assert!(s.times.iter().all(|&t| t == 0.0));
+        assert!(s.marginals.iter().flatten().all(|&x| x == 10.0));
     }
 
     #[test]

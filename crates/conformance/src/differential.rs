@@ -4,9 +4,10 @@
 //! samples every backend with its own independent seed stream and compares
 //! backend pairs that are equal in law:
 //!
-//! * parallel law — `agent` vs `aggregate` and `aggregate` vs
-//!   `partial(n−1)`: censored consensus-time distribution (in rounds) plus
-//!   the marginal `X_r` at each early checkpoint round;
+//! * parallel law — `agent` vs `aggregate`, `aggregate` vs `partial(n−1)`
+//!   and `partial(n−1)` vs `batched` (the lock-step replication engine):
+//!   censored consensus-time distribution (in rounds) plus the marginal
+//!   `X_r` at each early checkpoint round;
 //! * per-activation law — `sequential` vs `partial(1)`: censored
 //!   consensus-time distribution **in activations** plus marginals at
 //!   activation checkpoints (multiples of `n`);
@@ -190,7 +191,9 @@ impl ConformConfig {
     #[must_use]
     pub fn num_checks(&self) -> usize {
         let per_parallel_pair = 1 + self.checkpoints.len();
-        let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 2 * per_parallel_pair;
+        // Three adjacent parallel-law pairs: agent~aggregate,
+        // aggregate~partial(n−1), partial(n−1)~batched.
+        let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 3 * per_parallel_pair;
         let activation = self.cells.len() * self.ns.len() * (1 + self.act_checkpoint_mults.len());
         let dual = self.ns.len();
         parallel + activation + dual
@@ -286,7 +289,7 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
         for &n in &cfg.ns {
             let table = cell.table(n);
 
-            // Parallel law: agent ≡ aggregate ≡ partial(n−1).
+            // Parallel law: agent ≡ aggregate ≡ partial(n−1) ≡ batched.
             for &start_kind in &cfg.starts {
                 let start = start_kind.configuration(n);
                 let prefix = format!("{}/n{}/{}", cell.label(), n, start_kind.label());
@@ -294,6 +297,7 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
                     ParallelBackend::Agent,
                     ParallelBackend::Aggregate,
                     ParallelBackend::PartialFull,
+                    ParallelBackend::Batched,
                 ];
                 let samples: Vec<RunSamples> = backends
                     .iter()
@@ -309,7 +313,7 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
                         )
                     })
                     .collect();
-                for (i, j) in [(0usize, 1usize), (1, 2)] {
+                for (i, j) in [(0usize, 1usize), (1, 2), (2, 3)] {
                     pair_checks(
                         &prefix,
                         (backends[i].name(), backends[j].name()),

@@ -44,6 +44,7 @@ pub mod protocol;
 pub mod stateful;
 pub mod table;
 
+pub use bitdissem_poly::kernel::Kernel;
 pub use config::Configuration;
 pub use error::ProtocolError;
 pub use opinion::Opinion;

@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use bitdissem_poly::kernel::{Kernel, KernelError};
+
 use crate::error::ProtocolError;
 use crate::opinion::Opinion;
 use crate::protocol::Protocol;
@@ -108,6 +110,31 @@ impl GTable {
     #[must_use]
     pub fn sample_size(&self) -> usize {
         self.g0.len() - 1
+    }
+
+    /// Compiles the table into an adoption-probability [`Kernel`]
+    /// (precomputed Eq.-4 polynomial coefficients, evaluated by an
+    /// allocation-free Horner pass — the simulator fast path).
+    ///
+    /// Validation happens here, once: a kernel obtained from this method
+    /// can be evaluated per round with nothing more than a `[0, 1]` clamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ProtocolError`] variants as [`GTable::new`] — a
+    /// table built by `new` always compiles, but tables from
+    /// [`GTable::new_unchecked`] (fault injection) surface their corrupt
+    /// entries here instead of mid-simulation.
+    pub fn compile(&self) -> Result<Kernel, ProtocolError> {
+        Kernel::compile(&self.g0, &self.g1).map_err(|e| match e {
+            KernelError::RowLengthMismatch { g0, g1 } => {
+                ProtocolError::TableLength { expected: g0, actual: g1 }
+            }
+            KernelError::TooShort { .. } => ProtocolError::ZeroSampleSize,
+            KernelError::InvalidEntry { own, k, value } => {
+                ProtocolError::InvalidProbability { own, k, value }
+            }
+        })
     }
 
     /// Table lookup: `g^[own](k)`.
@@ -215,6 +242,28 @@ mod tests {
     fn lookup_out_of_range_panics() {
         let t = GTable::symmetric(vec![0.0, 1.0]).unwrap();
         let _ = t.g(Opinion::Zero, 5);
+    }
+
+    #[test]
+    fn validated_tables_always_compile() {
+        let t = GTable::new(vec![0.0, 0.3, 1.0], vec![0.2, 0.8, 1.0]).unwrap();
+        let kernel = t.compile().expect("validated table compiles");
+        assert_eq!(kernel.sample_size(), t.sample_size());
+        // P_b(0) = g_b[0] and P_b(1) = g_b[ℓ], exactly.
+        assert_eq!(kernel.eval(0.0), (0.0, 0.2));
+        assert_eq!(kernel.eval(1.0), (1.0, 1.0));
+    }
+
+    #[test]
+    fn corrupt_unchecked_tables_fail_to_compile() {
+        let t = GTable::new_unchecked(vec![0.0, 2.0], vec![0.0, 1.0]);
+        let err = t.compile().unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::InvalidProbability { own: 0, k: 1, .. }),
+            "corruption surfaces with row and index: {err}"
+        );
+        let t = GTable::new_unchecked(vec![0.0, f64::NAN], vec![0.0, 1.0]);
+        assert!(t.compile().is_err());
     }
 
     proptest! {

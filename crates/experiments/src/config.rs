@@ -60,6 +60,53 @@ impl std::str::FromStr for Scale {
     }
 }
 
+/// Which engine drives replicated aggregate-chain convergence batches.
+///
+/// Both engines are bit-identical per replication (each replication's RNG
+/// derives from its index alone), so the choice affects throughput only —
+/// `workload::tests::engines_agree_bit_for_bit` pins the equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ReplicationEngine {
+    /// Lock-step batched simulation: chunks of replicas advance round by
+    /// round through a shared kernel and sampler-setup memo. The fast
+    /// default.
+    #[default]
+    Batched,
+    /// One simulator per replication over the generic pool path. Kept as
+    /// the executable reference the batched engine is proven against.
+    PerReplica,
+}
+
+impl ReplicationEngine {
+    /// The lowercase engine name, as accepted by
+    /// [`ReplicationEngine::from_str`] and recorded in run output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicationEngine::Batched => "batched",
+            ReplicationEngine::PerReplica => "per-replica",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ReplicationEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "batched" => Ok(ReplicationEngine::Batched),
+            "per-replica" | "per_replica" | "perreplica" => Ok(ReplicationEngine::PerReplica),
+            other => Err(format!("unknown engine '{other}' (batched|per-replica)")),
+        }
+    }
+}
+
 /// Configuration of one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -69,25 +116,35 @@ pub struct RunConfig {
     pub seed: u64,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Replication engine for aggregate convergence batches.
+    #[serde(default)]
+    pub engine: ReplicationEngine,
 }
 
 impl RunConfig {
     /// A smoke-scale configuration.
     #[must_use]
     pub fn smoke(seed: u64) -> Self {
-        Self { scale: Scale::Smoke, seed, threads: None }
+        Self { scale: Scale::Smoke, seed, threads: None, engine: ReplicationEngine::default() }
     }
 
     /// A standard-scale configuration.
     #[must_use]
     pub fn standard(seed: u64) -> Self {
-        Self { scale: Scale::Standard, seed, threads: None }
+        Self { scale: Scale::Standard, seed, threads: None, engine: ReplicationEngine::default() }
     }
 
     /// A full-scale configuration.
     #[must_use]
     pub fn full(seed: u64) -> Self {
-        Self { scale: Scale::Full, seed, threads: None }
+        Self { scale: Scale::Full, seed, threads: None, engine: ReplicationEngine::default() }
+    }
+
+    /// Switches the replication engine (builder-style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: ReplicationEngine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -123,5 +180,23 @@ mod tests {
         assert_eq!(RunConfig::smoke(7).scale, Scale::Smoke);
         assert_eq!(RunConfig::standard(7).scale, Scale::Standard);
         assert_eq!(RunConfig::full(7).seed, 7);
+        assert_eq!(RunConfig::smoke(7).engine, ReplicationEngine::Batched);
+        assert_eq!(
+            RunConfig::smoke(7).with_engine(ReplicationEngine::PerReplica).engine,
+            ReplicationEngine::PerReplica
+        );
+    }
+
+    #[test]
+    fn engine_parses_and_round_trips() {
+        for engine in [ReplicationEngine::Batched, ReplicationEngine::PerReplica] {
+            assert_eq!(ReplicationEngine::from_str(engine.name()).unwrap(), engine);
+            assert_eq!(engine.to_string(), engine.name());
+        }
+        assert_eq!(
+            ReplicationEngine::from_str("per_replica").unwrap(),
+            ReplicationEngine::PerReplica
+        );
+        assert!(ReplicationEngine::from_str("bogus").is_err());
     }
 }

@@ -42,5 +42,5 @@ pub mod report;
 pub mod trace;
 pub mod workload;
 
-pub use config::{RunConfig, Scale};
+pub use config::{ReplicationEngine, RunConfig, Scale};
 pub use report::ExperimentReport;

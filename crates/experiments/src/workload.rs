@@ -8,15 +8,19 @@
 //! every replication derives its RNG from its index alone, splicing cached
 //! and fresh results is bit-identical to an uninterrupted run.
 
+use std::sync::Arc;
+
 use bitdissem_analysis::LowerBoundWitness;
-use bitdissem_core::{Configuration, GTable, Opinion, Protocol, ProtocolExt};
+use bitdissem_core::{Configuration, GTable, Kernel, Opinion, Protocol, ProtocolExt};
 use bitdissem_obs::Obs;
 use bitdissem_sim::aggregate::AggregateSim;
-use bitdissem_sim::rng::SimRng;
+use bitdissem_sim::batched::replicate_batched_observed;
 use bitdissem_sim::run::{run_to_consensus_observed, Outcome, Simulator};
-use bitdissem_sim::runner::{replicate_indices_observed, replicate_observed};
+use bitdissem_sim::runner::replicate_indices_observed;
 use bitdissem_sim::sequential::SequentialSim;
 use bitdissem_stats::Summary;
+
+use crate::config::ReplicationEngine;
 
 /// A batch of replicated convergence outcomes.
 #[derive(Debug, Clone)]
@@ -183,25 +187,26 @@ fn decode_outcome(payload: &str) -> Option<Outcome> {
     }
 }
 
-/// Replicates `f` with checkpointing when the handle carries a log:
-/// cached replications are loaded (counted as `checkpoint_hits` and
-/// ticked on the progress meter), only the missing indices run on the
-/// pool, and fresh outcomes are recorded under `<key_base()>#<rep>`.
-/// Without a log this is exactly [`replicate_observed`].
-fn replicate_checkpointed<F, K>(
-    obs: &Obs,
-    key_base: K,
-    reps: usize,
-    seed: u64,
-    threads: Option<usize>,
-    f: F,
-) -> Vec<Outcome>
+/// Replicates with checkpointing when the handle carries a log: cached
+/// replications are loaded (counted as `checkpoint_hits` and ticked on the
+/// progress meter), only the missing indices go through `run_missing`, and
+/// fresh outcomes are recorded under `<key_base()>#<rep>`. Without a log
+/// the whole index range runs through `run_missing` directly.
+///
+/// `run_missing` receives replication indices and must return their
+/// outcomes **in the order of the indices** — both replication engines
+/// (the per-replica pool path and the lock-step batched path) satisfy
+/// this, and both derive every replication's RNG from its index alone, so
+/// splicing cached and fresh results is bit-identical to an uninterrupted
+/// run.
+fn replicate_checkpointed<K, R>(obs: &Obs, key_base: K, reps: usize, run_missing: R) -> Vec<Outcome>
 where
-    F: Fn(SimRng, usize) -> Outcome + Sync,
     K: FnOnce() -> String,
+    R: FnOnce(&[usize]) -> Vec<Outcome>,
 {
     let Some(log) = obs.checkpoint().cloned() else {
-        return replicate_observed(reps, seed, threads, obs, f);
+        let all: Vec<usize> = (0..reps).collect();
+        return run_missing(&all);
     };
     let key_base = key_base();
     let keys: Vec<String> =
@@ -220,12 +225,24 @@ where
     }
 
     let missing: Vec<usize> = (0..reps).filter(|&rep| slots[rep].is_none()).collect();
-    let fresh = replicate_indices_observed(&missing, seed, threads, obs, f);
+    let fresh = run_missing(&missing);
     for (&rep, &outcome) in missing.iter().zip(&fresh) {
         log.record(&keys[rep], &encode_outcome(outcome));
         slots[rep] = Some(outcome);
     }
     slots.into_iter().map(|s| s.expect("every replication slot is filled")).collect()
+}
+
+/// Compiles the protocol's decision table into the shared adoption kernel
+/// once per batch — both engines evaluate the same kernel, and no
+/// replication re-materializes the table.
+fn compile_kernel<P>(protocol: &P, n: u64) -> Arc<Kernel>
+where
+    P: Protocol + ?Sized,
+{
+    Arc::new(
+        protocol.to_table(n).expect("valid protocol").compile().expect("validated table compiles"),
+    )
 }
 
 /// Measures convergence times of `protocol` from `start` over `reps`
@@ -249,7 +266,8 @@ where
 /// [`measure_convergence`] with an observability handle: each replication
 /// emits per-round and per-replication trace events and contributes to the
 /// run counters. Outcomes are identical to the unobserved call for the
-/// same seed.
+/// same seed. Runs on the default (batched) engine; use
+/// [`measure_convergence_engine_observed`] to select explicitly.
 #[must_use]
 pub fn measure_convergence_observed<P>(
     obs: &Obs,
@@ -263,18 +281,54 @@ pub fn measure_convergence_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    emit_batch_started(obs, "conv", protocol, start, reps, budget, seed);
-    let outcomes = replicate_checkpointed(
+    measure_convergence_engine_observed(
         obs,
-        || batch_key("conv", protocol, start, budget, seed),
+        ReplicationEngine::default(),
+        protocol,
+        start,
         reps,
+        budget,
         seed,
         threads,
-        |mut rng, rep| {
-            let mut sim = AggregateSim::new(protocol, start).expect("valid protocol");
-            run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
-        },
-    );
+    )
+}
+
+/// [`measure_convergence_observed`] with an explicit replication engine.
+///
+/// Both engines share one compiled adoption [`Kernel`] (no per-replica
+/// table materialization) and derive each replication's RNG from its index
+/// alone, so the outcome vector is bit-identical across engines, thread
+/// counts, and checkpoint splicing — engine choice is purely a throughput
+/// knob.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn measure_convergence_engine_observed<P>(
+    obs: &Obs,
+    engine: ReplicationEngine,
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    emit_batch_started(obs, "conv", protocol, start, reps, budget, seed);
+    let kernel = compile_kernel(protocol, start.n());
+    let key_base = || batch_key("conv", protocol, start, budget, seed);
+    let outcomes = match engine {
+        ReplicationEngine::Batched => replicate_checkpointed(obs, key_base, reps, |missing| {
+            replicate_batched_observed(&kernel, start, missing, seed, threads, budget, obs)
+        }),
+        ReplicationEngine::PerReplica => replicate_checkpointed(obs, key_base, reps, |missing| {
+            replicate_indices_observed(missing, seed, threads, obs, |mut rng, rep| {
+                let mut sim = AggregateSim::with_kernel(Arc::clone(&kernel), start);
+                run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
+            })
+        }),
+    };
     OutcomeBatch::new(outcomes, budget)
 }
 
@@ -322,11 +376,11 @@ where
         obs,
         || batch_key("seqconv", protocol, start, budget_rounds, seed),
         reps,
-        seed,
-        threads,
-        |mut rng, rep| {
-            let mut sim = SequentialSim::new(protocol, start).expect("valid protocol");
-            run_to_consensus_observed(&mut sim, &mut rng, budget_rounds, obs, rep as u64)
+        |missing| {
+            replicate_indices_observed(missing, seed, threads, obs, |mut rng, rep| {
+                let mut sim = SequentialSim::new(protocol, start).expect("valid protocol");
+                run_to_consensus_observed(&mut sim, &mut rng, budget_rounds, obs, rep as u64)
+            })
         },
     );
     OutcomeBatch::new(outcomes, budget_rounds)
@@ -368,24 +422,25 @@ where
     P: Protocol + Sync + ?Sized,
 {
     emit_batch_started(obs, "cross", protocol, witness.start(), reps, budget, seed);
+    let kernel = compile_kernel(protocol, witness.start().n());
     replicate_checkpointed(
         obs,
         || batch_key("cross", protocol, witness.start(), budget, seed),
         reps,
-        seed,
-        threads,
-        |mut rng, _| {
-            let mut sim = AggregateSim::new(protocol, witness.start()).expect("valid protocol");
-            for t in 0..=budget {
-                if witness.crossed(sim.configuration().ones()) {
-                    return Outcome::Converged { rounds: t };
+        |missing| {
+            replicate_indices_observed(missing, seed, threads, obs, |mut rng, _| {
+                let mut sim = AggregateSim::with_kernel(Arc::clone(&kernel), witness.start());
+                for t in 0..=budget {
+                    if witness.crossed(sim.configuration().ones()) {
+                        return Outcome::Converged { rounds: t };
+                    }
+                    if t == budget {
+                        break;
+                    }
+                    sim.step_round(&mut rng);
                 }
-                if t == budget {
-                    break;
-                }
-                sim.step_round(&mut rng);
-            }
-            Outcome::TimedOut { rounds: budget }
+                Outcome::TimedOut { rounds: budget }
+            })
         },
     )
 }
@@ -579,6 +634,78 @@ mod tests {
         let conf = batch.conformance.as_ref().expect("conv batch is checkable");
         assert!(conf.adjacent_pairs > 0);
         assert!(!analysis.has_violations(), "{}", analysis.render());
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        // The batched default and the per-replica reference engine must
+        // produce identical outcome vectors — the engine is a throughput
+        // knob, never a semantics knob.
+        use bitdissem_core::dynamics::Minority;
+        let minority = Minority::new(3).unwrap();
+        let start = Configuration::new(128, Opinion::One, 40).unwrap();
+        let obs = Obs::none();
+        let batched = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &minority,
+            start,
+            12,
+            200_000,
+            21,
+            Some(3),
+        );
+        let reference = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::PerReplica,
+            &minority,
+            start,
+            12,
+            200_000,
+            21,
+            Some(2),
+        );
+        assert_eq!(batched.outcomes(), reference.outcomes());
+    }
+
+    #[test]
+    fn batched_checkpointing_splices_against_per_replica_cache() {
+        // A sweep checkpointed under one engine must resume correctly
+        // under the other: cached outcomes splice with freshly batched
+        // ones because both derive each replication from its index alone.
+        use bitdissem_obs::CheckpointLog;
+        use std::sync::Arc as StdArc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let full = measure_convergence(&voter, start, 10, 100_000, 7, Some(2));
+
+        let log = StdArc::new(CheckpointLog::in_memory());
+        let obs = Obs::none().with_metrics().with_checkpoint(StdArc::clone(&log));
+        let _ = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::PerReplica,
+            &voter,
+            start,
+            4,
+            100_000,
+            7,
+            Some(2),
+        );
+        assert_eq!(log.len(), 4);
+
+        let resumed = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &voter,
+            start,
+            10,
+            100_000,
+            7,
+            Some(3),
+        );
+        assert_eq!(resumed.outcomes(), full.outcomes());
+        assert_eq!(obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert_eq!(log.len(), 10);
     }
 
     #[test]

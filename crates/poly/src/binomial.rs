@@ -160,16 +160,32 @@ pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
 /// Panics if `p` is not in `[0, 1]`.
 #[must_use]
 pub fn binomial_pmf_vec(n: u64, p: f64) -> Vec<f64> {
-    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
     let len = usize::try_from(n).expect("n fits in usize") + 1;
     let mut pmf = vec![0.0; len];
+    binomial_pmf_into(n, p, &mut pmf);
+    pmf
+}
+
+/// Fills `pmf` (length exactly `n + 1`) with the PMF of `Binomial(n, p)`
+/// using the same two-sided recurrence as [`binomial_pmf_vec`], without
+/// allocating. Callers with a reusable scratch buffer (e.g. the simulator
+/// hot path) get bit-identical values to the allocating variant.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `pmf.len() != n + 1`.
+pub fn binomial_pmf_into(n: u64, p: f64, pmf: &mut [f64]) {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let len = usize::try_from(n).expect("n fits in usize") + 1;
+    assert_eq!(pmf.len(), len, "pmf buffer must have length n + 1");
+    pmf.fill(0.0);
     if p == 0.0 {
         pmf[0] = 1.0;
-        return pmf;
+        return;
     }
     if p == 1.0 {
         pmf[len - 1] = 1.0;
-        return pmf;
+        return;
     }
     // Mode of the binomial.
     let mode = (((n + 1) as f64) * p).floor().min(n as f64) as usize;
@@ -183,7 +199,6 @@ pub fn binomial_pmf_vec(n: u64, p: f64) -> Vec<f64> {
     for k in mode..len - 1 {
         pmf[k + 1] = pmf[k] * ((n as usize - k) as f64) * p / (((k + 1) as f64) * q);
     }
-    pmf
 }
 
 /// Cumulative distribution function of `Binomial(n, p)`: `P(X <= k)`.

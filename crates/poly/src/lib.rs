@@ -38,9 +38,11 @@
 pub mod bernstein;
 pub mod binomial;
 pub mod gcd;
+pub mod kernel;
 pub mod polynomial;
 pub mod roots;
 pub mod sturm;
 
 pub use bernstein::Bernstein;
+pub use kernel::{Kernel, KernelError};
 pub use polynomial::Polynomial;

@@ -1,10 +1,14 @@
 //! The aggregate exact-chain simulator.
 
-use bitdissem_core::{Configuration, GTable, Opinion, Protocol, ProtocolError, ProtocolExt};
-use bitdissem_poly::binomial::binomial_pmf_vec;
+use std::sync::Arc;
 
-use crate::binomial::sample_binomial;
+use bitdissem_core::{
+    Configuration, GTable, Kernel, Opinion, Protocol, ProtocolError, ProtocolExt,
+};
+use bitdissem_poly::binomial::{binomial_pmf_into, binomial_pmf_vec};
+
 use crate::rng::SimRng;
+use crate::roundplan::RoundPlanCache;
 use crate::run::Simulator;
 
 /// Slack allowed around `[0, 1]` for an adoption probability before it is
@@ -33,7 +37,22 @@ const ADOPTION_PROB_TOL: f64 = 1e-9;
 /// Panics if `p` is not in `[0, 1]`.
 pub fn try_adoption_probs(table: &GTable, p: f64) -> Result<(f64, f64), ProtocolError> {
     let ell = table.sample_size();
-    let weights = binomial_pmf_vec(ell as u64, p);
+    // Realistic sample sizes fit a stack scratch buffer, so the per-call
+    // pmf evaluation allocates nothing; the (never-exercised in practice)
+    // ℓ > MAX_STACK_ELL fallback keeps the function total. Both paths run
+    // the same mode-centered recurrence, so values are identical to the
+    // historical `binomial_pmf_vec` implementation bit for bit.
+    const MAX_STACK_ELL: usize = 64;
+    let mut stack = [0.0f64; MAX_STACK_ELL + 1];
+    let heap: Vec<f64>;
+    let weights: &[f64] = if ell <= MAX_STACK_ELL {
+        let buf = &mut stack[..=ell];
+        binomial_pmf_into(ell as u64, p, buf);
+        buf
+    } else {
+        heap = binomial_pmf_vec(ell as u64, p);
+        &heap
+    };
     let mut p0 = 0.0;
     let mut p1 = 0.0;
     for (k, &w) in weights.iter().enumerate() {
@@ -93,28 +112,41 @@ pub fn adoption_probs(table: &GTable, p: f64) -> (f64, f64) {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AggregateSim {
-    table: GTable,
+    kernel: Arc<Kernel>,
     config: Configuration,
+    plans: RoundPlanCache,
 }
 
 impl AggregateSim {
     /// Creates a simulator for `protocol` starting from `start`.
     ///
+    /// Materializes the protocol's table and compiles it into a fresh
+    /// [`Kernel`]. Replicated drivers should compile once and share via
+    /// [`AggregateSim::with_kernel`] instead.
+    ///
     /// # Errors
     ///
-    /// Propagates table materialization errors from the protocol.
+    /// Propagates table materialization errors from the protocol, and
+    /// kernel compilation errors for corrupt (unchecked) tables.
     pub fn new<P: Protocol + ?Sized>(
         protocol: &P,
         start: Configuration,
     ) -> Result<Self, ProtocolError> {
         let table = protocol.to_table(start.n())?;
-        Ok(Self { table, config: start })
+        Ok(Self::with_kernel(Arc::new(table.compile()?), start))
     }
 
-    /// The materialized decision table.
+    /// Creates a simulator around an already-compiled kernel, shared
+    /// read-only with the caller (no per-replica table materialization).
     #[must_use]
-    pub fn table(&self) -> &GTable {
-        &self.table
+    pub fn with_kernel(kernel: Arc<Kernel>, start: Configuration) -> Self {
+        Self { kernel, config: start, plans: RoundPlanCache::new() }
+    }
+
+    /// The compiled adoption-probability kernel.
+    #[must_use]
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
     }
 
     /// Resets the state to a new configuration (same protocol and `n`).
@@ -124,6 +156,11 @@ impl AggregateSim {
     /// Panics if the new configuration has a different population size.
     pub fn reset(&mut self, start: Configuration) {
         assert_eq!(start.n(), self.config.n(), "population size is fixed at construction");
+        // Cached round plans are keyed by the ones-count for a fixed source
+        // opinion; a different source invalidates them.
+        if start.correct() != self.config.correct() {
+            self.plans.clear();
+        }
         self.config = start;
     }
 }
@@ -137,20 +174,16 @@ impl Simulator for AggregateSim {
         let n = self.config.n();
         let x = self.config.ones();
         let z = u64::from(self.config.correct().as_bit());
-        let (p0, p1) = adoption_probs(&self.table, x as f64 / n as f64);
-        let ones_nonsource = x - z;
-        let zeros_nonsource = n - x - (1 - z);
-        let keep = sample_binomial(rng, ones_nonsource, p1);
-        let flip = sample_binomial(rng, zeros_nonsource, p0);
-        let next = z + keep + flip;
+        let next = self.plans.step(&self.kernel, n, z, x, rng);
         self.config = self.config.with_ones(next).expect("next state is always consistent");
     }
 
     /// The aggregate chain is distributionally equivalent to every agent
     /// drawing `ℓ` samples per round, so the nominal sample count is `ℓ·n`
-    /// even though only two binomial draws are performed.
+    /// even though only two binomial draws are performed. Saturates
+    /// instead of overflowing for extreme-`n` nominal accounting.
     fn opinion_samples_per_round(&self) -> u64 {
-        self.table.sample_size() as u64 * self.config.n()
+        (self.kernel.sample_size() as u64).saturating_mul(self.config.n())
     }
 }
 
@@ -248,6 +281,55 @@ mod tests {
         let start = Configuration::all_wrong(10, Opinion::One);
         let mut sim = AggregateSim::new(&Voter::new(1).unwrap(), start).unwrap();
         sim.reset(Configuration::all_wrong(20, Opinion::One));
+    }
+
+    #[test]
+    fn kernel_matches_legacy_adoption_probs() {
+        // The compiled fast path and the pmf-summation legacy path agree
+        // within 1e-12 on a dense grid (including endpoints) for every
+        // named protocol shape that reaches the hot loop.
+        for table in [
+            Voter::new(1).unwrap().to_table(100).unwrap(),
+            Voter::new(5).unwrap().to_table(100).unwrap(),
+            Minority::new(3).unwrap().to_table(100).unwrap(),
+            Minority::new(9).unwrap().to_table(100).unwrap(),
+        ] {
+            let kernel = table.compile().unwrap();
+            for i in 0..=400 {
+                let p = f64::from(i) / 400.0;
+                let (l0, l1) = adoption_probs(&table, p);
+                let (k0, k1) = kernel.eval(p);
+                assert!((k0 - l0).abs() < 1e-12, "P0 at p={p}: {k0} vs {l0}");
+                assert!((k1 - l1).abs() < 1e-12, "P1 at p={p}: {k1} vs {l1}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_kernel_is_bit_identical_to_owned() {
+        use std::sync::Arc;
+        let start = Configuration::new(500, Opinion::One, 140).unwrap();
+        let minority = Minority::new(5).unwrap();
+        let kernel = Arc::new(minority.to_table(500).unwrap().compile().unwrap());
+        let trace = |mut sim: AggregateSim| {
+            let mut rng = rng_from(17);
+            (0..200)
+                .map(|_| {
+                    sim.step_round(&mut rng);
+                    sim.configuration().ones()
+                })
+                .collect::<Vec<_>>()
+        };
+        let owned = trace(AggregateSim::new(&minority, start).unwrap());
+        let shared = trace(AggregateSim::with_kernel(Arc::clone(&kernel), start));
+        assert_eq!(owned, shared);
+    }
+
+    #[test]
+    fn opinion_samples_saturate_instead_of_overflowing() {
+        let start = Configuration::all_wrong(u64::MAX / 2, Opinion::One);
+        let sim = AggregateSim::new(&Minority::new(5).unwrap(), start).unwrap();
+        assert_eq!(sim.opinion_samples_per_round(), u64::MAX, "5 * (u64::MAX/2) saturates");
     }
 
     #[test]

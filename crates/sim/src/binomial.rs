@@ -15,11 +15,54 @@
 //! [`sample_binomial`] dispatches automatically and handles the `p > 1/2`
 //! reflection and the degenerate endpoints.
 
+use std::cell::RefCell;
+
 use rand::Rng;
 
 use bitdissem_poly::binomial::ln_gamma;
 
 use crate::rng::SimRng;
+
+/// Upper bound on the per-thread `ln(i!)` cache (512 KiB of `f64`s). Above
+/// it, lookups fall back to a live [`ln_gamma`] call.
+const LNFACT_CAP: usize = 1 << 16;
+
+thread_local! {
+    /// Per-thread cache of `ln(i!) = ln_gamma(i + 1)` at exact integer
+    /// arguments. The BTRS acceptance test spends most of its time in two
+    /// `ln_gamma` calls whose arguments are always integers `≤ n + 1`, so a
+    /// dense table keyed by the integer replaces the 9-term Lanczos sum
+    /// with a load. Each entry is produced by the *same* `ln_gamma` at the
+    /// *same* argument, so cached and uncached evaluation are bit-identical
+    /// and every accept/reject decision (hence every sampled value) is
+    /// unchanged. Thread-local so the fill cost (~30 ns/entry) is paid once
+    /// per worker thread, not once per simulator instance.
+    static LNFACT: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the `ln(i!)` table grown to cover `0..=min(upto, cap)`.
+pub(crate) fn with_lnfact<R>(upto: u64, f: impl FnOnce(&[f64]) -> R) -> R {
+    LNFACT.with(|cell| {
+        let mut table = cell.borrow_mut();
+        let need = ((upto as usize).saturating_add(1)).min(LNFACT_CAP);
+        for i in table.len()..need {
+            table.push(ln_gamma(i as f64 + 1.0));
+        }
+        f(&table)
+    })
+}
+
+/// `ln_gamma(x + 1)` for a non-negative integer-valued float `x`, via the
+/// table when `x` is in range (bit-identical — see [`LNFACT`]).
+#[inline]
+fn ln_fact(table: &[f64], x: f64) -> f64 {
+    let i = x as usize;
+    if i < table.len() {
+        table[i]
+    } else {
+        ln_gamma(x + 1.0)
+    }
+}
 
 /// Draws one `Binomial(n, p)` variate, auto-selecting BINV or BTRS.
 ///
@@ -90,38 +133,68 @@ pub fn sample_binomial_naive(rng: &mut SimRng, n: u64, p: f64) -> u64 {
 #[must_use]
 pub fn binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
     assert!(p > 0.0 && p < 1.0, "binv requires p in (0,1), got {p}");
-    let q = 1.0 - p;
-    let s = p / q;
-    // f = P(X = 0) = q^n, computed in log space to survive large n. For
-    // n·ln q below LN_NORMAL_MIN the recurrence is carried additively on
-    // ln_f and f is pinned to 0: materializing through a *subnormal* exp
-    // would seed the whole recurrence with a few-bit mantissa and bias
-    // every subsequent probability. Only once ln_f re-enters the normal
-    // range is f materialized (at full precision) and the recurrence
-    // switches back to the cheap multiplicative form. The mass skipped
-    // while f is pinned at 0 is below 2^-1022 per term — invisible at the
-    // 2^-53 resolution of the uniform deviate.
-    const LN_NORMAL_MIN: f64 = -700.0;
-    let mut ln_f = (n as f64) * q.ln();
-    let mut f = if ln_f >= LN_NORMAL_MIN { ln_f.exp() } else { 0.0 };
-    let mut u: f64 = rng.random();
-    let mut k: u64 = 0;
-    // In the (astronomically unlikely) event of accumulated rounding pushing
-    // u past the total mass, clamp at n.
-    while u > f && k < n {
-        u -= f;
-        k += 1;
-        let ratio = s * ((n - k + 1) as f64) / (k as f64);
-        if f > 0.0 {
-            f *= ratio;
-        } else {
-            ln_f += ratio.ln();
-            if ln_f >= LN_NORMAL_MIN {
-                f = ln_f.exp();
+    BinvSetup::new(n, p).draw(rng, n)
+}
+
+/// The deterministic per-`(n, p)` state of the BINV sampler — everything
+/// computed before the first uniform is drawn. Split out so the
+/// [`BinomialMemo`] can cache it; [`BinvSetup::draw`] consumes uniforms
+/// exactly like the historical monolithic `binv`, so memoized and fresh
+/// calls are bit-identical draw-for-draw.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BinvSetup {
+    /// Odds ratio `p / (1 − p)` driving the upward pmf recurrence.
+    s: f64,
+    /// `ln P(X = 0) = n·ln(1 − p)`.
+    ln_f0: f64,
+    /// `P(X = 0)`, or `0.0` when it underflows the normal f64 range.
+    f0: f64,
+}
+
+/// Floor of the f64 normal range used by the log-space BINV restart (see
+/// [`binv`]).
+const LN_NORMAL_MIN: f64 = -700.0;
+
+impl BinvSetup {
+    fn new(n: u64, p: f64) -> Self {
+        let q = 1.0 - p;
+        let s = p / q;
+        // f = P(X = 0) = q^n, computed in log space to survive large n. For
+        // n·ln q below LN_NORMAL_MIN the recurrence is carried additively on
+        // ln_f and f is pinned to 0: materializing through a *subnormal* exp
+        // would seed the whole recurrence with a few-bit mantissa and bias
+        // every subsequent probability. Only once ln_f re-enters the normal
+        // range is f materialized (at full precision) and the recurrence
+        // switches back to the cheap multiplicative form. The mass skipped
+        // while f is pinned at 0 is below 2^-1022 per term — invisible at
+        // the 2^-53 resolution of the uniform deviate.
+        let ln_f0 = (n as f64) * q.ln();
+        let f0 = if ln_f0 >= LN_NORMAL_MIN { ln_f0.exp() } else { 0.0 };
+        Self { s, ln_f0, f0 }
+    }
+
+    fn draw(&self, rng: &mut SimRng, n: u64) -> u64 {
+        let mut f = self.f0;
+        let mut ln_f = self.ln_f0;
+        let mut u: f64 = rng.random();
+        let mut k: u64 = 0;
+        // In the (astronomically unlikely) event of accumulated rounding
+        // pushing u past the total mass, clamp at n.
+        while u > f && k < n {
+            u -= f;
+            k += 1;
+            let ratio = self.s * ((n - k + 1) as f64) / (k as f64);
+            if f > 0.0 {
+                f *= ratio;
+            } else {
+                ln_f += ratio.ln();
+                if ln_f >= LN_NORMAL_MIN {
+                    f = ln_f.exp();
+                }
             }
         }
+        k
     }
-    k
 }
 
 /// BTRS: the transformed-rejection sampler of Hörmann (1993). `O(1)`
@@ -136,37 +209,214 @@ pub fn binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
 pub fn btrs(rng: &mut SimRng, n: u64, p: f64) -> u64 {
     assert!(p > 0.0 && p <= 0.5, "btrs requires p in (0, 1/2], got {p}");
     assert!((n as f64) * p >= 10.0, "btrs requires n*p >= 10");
-    let nf = n as f64;
-    let q = 1.0 - p;
-    let spq = (nf * p * q).sqrt();
+    with_lnfact(n, |lnfact| BtrsSetup::new(n, p, lnfact).draw(rng, lnfact))
+}
 
-    let b = 1.15 + 2.53 * spq;
-    let a = -0.0873 + 0.0248 * b + 0.01 * p;
-    let c = nf * p + 0.5;
-    let v_r = 0.92 - 4.2 / b;
+/// The deterministic per-`(n, p)` state of the BTRS sampler (Hörmann's
+/// constants, including the two setup `ln_gamma` calls). Split out so the
+/// [`BinomialMemo`] can cache it; [`BtrsSetup::draw`] consumes uniforms
+/// exactly like the historical monolithic `btrs`, so memoized and fresh
+/// calls are bit-identical draw-for-draw.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BtrsSetup {
+    nf: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    v_r: f64,
+    alpha: f64,
+    lpq: f64,
+    m: f64,
+    h: f64,
+}
 
-    let alpha = (2.83 + 5.1 / b) * spq;
-    let lpq = (p / q).ln();
-    let m = ((nf + 1.0) * p).floor(); // mode
-    let h = ln_gamma(m + 1.0) + ln_gamma(nf - m + 1.0);
+impl BtrsSetup {
+    fn new(n: u64, p: f64, lnfact: &[f64]) -> Self {
+        let nf = n as f64;
+        let q = 1.0 - p;
+        let spq = (nf * p * q).sqrt();
 
-    loop {
-        let u: f64 = rng.random::<f64>() - 0.5;
-        let v: f64 = rng.random();
-        let us = 0.5 - u.abs();
-        let kf = ((2.0 * a / us + b) * u + c).floor();
-        if kf < 0.0 || kf > nf {
-            continue;
+        let b = 1.15 + 2.53 * spq;
+        let a = -0.0873 + 0.0248 * b + 0.01 * p;
+        let c = nf * p + 0.5;
+        let v_r = 0.92 - 4.2 / b;
+
+        let alpha = (2.83 + 5.1 / b) * spq;
+        let lpq = (p / q).ln();
+        let m = ((nf + 1.0) * p).floor(); // mode
+        let h = ln_fact(lnfact, m) + ln_fact(lnfact, nf - m);
+        Self { nf, a, b, c, v_r, alpha, lpq, m, h }
+    }
+
+    fn draw(&self, rng: &mut SimRng, lnfact: &[f64]) -> u64 {
+        loop {
+            let u: f64 = rng.random::<f64>() - 0.5;
+            let v: f64 = rng.random();
+            let us = 0.5 - u.abs();
+            let kf = ((2.0 * self.a / us + self.b) * u + self.c).floor();
+            if kf < 0.0 || kf > self.nf {
+                continue;
+            }
+            // Squeeze step: cheap unconditional acceptance region.
+            if us >= 0.07 && v <= self.v_r {
+                return kf as u64;
+            }
+            // Full acceptance test against the transformed density. The two
+            // log-factorials come from the per-thread table (bit-identical
+            // to live `ln_gamma` calls — see [`LNFACT`]).
+            let v2 = v * self.alpha / (self.a / (us * us) + self.b);
+            if v2.ln()
+                <= self.h - ln_fact(lnfact, kf) - ln_fact(lnfact, self.nf - kf)
+                    + (kf - self.m) * self.lpq
+            {
+                return kf as u64;
+            }
         }
-        // Squeeze step: cheap unconditional acceptance region.
-        if us >= 0.07 && v <= v_r {
-            return kf as u64;
+    }
+}
+
+/// A cached sampler plan for one exact `(n, p)` pair: the reflection
+/// decision plus the regime's precomputed setup.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Plan {
+    /// Degenerate `(n, p)`: the draw is a constant and consumes no
+    /// randomness (mirrors [`sample_binomial`]'s early returns).
+    Const(u64),
+    Binv {
+        flipped: bool,
+        setup: BinvSetup,
+    },
+    Btrs {
+        flipped: bool,
+        setup: BtrsSetup,
+    },
+}
+
+impl Plan {
+    /// Mirrors the [`sample_binomial`] dispatch, degenerate cases included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub(crate) fn build(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        if n == 0 || p == 0.0 {
+            return Plan::Const(0);
         }
-        // Full acceptance test against the transformed density.
-        let v2 = v * alpha / (a / (us * us) + b);
-        if v2.ln() <= h - ln_gamma(kf + 1.0) - ln_gamma(nf - kf + 1.0) + (kf - m) * lpq {
-            return kf as u64;
+        if p == 1.0 {
+            return Plan::Const(n);
         }
+        let (q, flipped) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+        if (n as f64) * q < 10.0 {
+            Plan::Binv { flipped, setup: BinvSetup::new(n, q) }
+        } else {
+            Plan::Btrs { flipped, setup: with_lnfact(n, |lnfact| BtrsSetup::new(n, q, lnfact)) }
+        }
+    }
+
+    fn sample(&self, rng: &mut SimRng, n: u64) -> u64 {
+        if let Plan::Btrs { .. } = self {
+            with_lnfact(n, |lnfact| self.sample_with(rng, n, lnfact))
+        } else {
+            self.sample_with(rng, n, &[])
+        }
+    }
+
+    /// Like `sample`, with the `ln(i!)` table supplied by the caller (one
+    /// thread-local access can then serve several draws).
+    #[inline]
+    pub(crate) fn sample_with(&self, rng: &mut SimRng, n: u64, lnfact: &[f64]) -> u64 {
+        let (k, flipped) = match self {
+            Plan::Const(k) => return *k,
+            Plan::Binv { flipped, setup } => (setup.draw(rng, n), *flipped),
+            Plan::Btrs { flipped, setup } => (setup.draw(rng, lnfact), *flipped),
+        };
+        if flipped {
+            n - k
+        } else {
+            k
+        }
+    }
+}
+
+/// Number of direct-mapped memo slots. The aggregate chain revisits a
+/// `O(√n)`-wide band of states (near its drift fixed point, or near
+/// absorption), and each state contributes two `(count, p)` setups, so a
+/// few hundred slots give a near-perfect hit rate on realistic runs while
+/// keeping a memo cheap enough to embed per simulator (~12 KiB).
+const MEMO_SLOTS: usize = 256;
+
+/// A small direct-mapped memo for binomial sampler setups, keyed by the
+/// exact `(n, p)` pair (bit pattern of `p`).
+///
+/// The aggregate hot loop repeatedly draws with recurring setups — the
+/// state revisits the same `X_t` values near absorption and around drift
+/// fixed points, and every revisit re-derived the full BINV/BTRS setup
+/// (logs, square roots, two `ln_gamma` calls). The memo caches that
+/// deterministic setup; the *draw* path is untouched, so for any seed the
+/// sampled values are **bit-identical** to [`sample_binomial`] — a
+/// collision merely recomputes.
+///
+/// # Examples
+///
+/// ```
+/// use bitdissem_sim::binomial::{sample_binomial, BinomialMemo};
+/// use bitdissem_sim::rng::rng_from;
+///
+/// let mut memo = BinomialMemo::new();
+/// let mut a = rng_from(7);
+/// let mut b = rng_from(7);
+/// for _ in 0..100 {
+///     assert_eq!(memo.sample(&mut a, 512, 0.37), sample_binomial(&mut b, 512, 0.37));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinomialMemo {
+    slots: Box<[Option<(u64, u64, Plan)>]>,
+}
+
+impl Default for BinomialMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BinomialMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { slots: vec![None; MEMO_SLOTS].into_boxed_slice() }
+    }
+
+    /// Draws one `Binomial(n, p)` variate, reusing the cached setup when
+    /// this exact `(n, p)` pair was seen before. Identical draws to
+    /// [`sample_binomial`] for the same rng state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn sample(&mut self, rng: &mut SimRng, n: u64, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        let bits = p.to_bits();
+        // Fibonacci hashing over the pair; the slot count is a power of 2.
+        let idx =
+            ((n ^ bits).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (MEMO_SLOTS - 1);
+        let plan = match self.slots[idx] {
+            Some((sn, sbits, plan)) if sn == n && sbits == bits => plan,
+            _ => {
+                let plan = Plan::build(n, p);
+                self.slots[idx] = Some((n, bits, plan));
+                plan
+            }
+        };
+        plan.sample(rng, n)
     }
 }
 
@@ -327,6 +577,62 @@ mod tests {
     fn rejects_invalid_p() {
         let mut rng = rng_from(0);
         let _ = sample_binomial(&mut rng, 10, 1.5);
+    }
+
+    #[test]
+    fn memo_is_bit_identical_to_plain_sampler() {
+        // Identical rng streams through memoized and fresh paths, across
+        // every regime: degenerate, BINV, BTRS, and the p > 1/2 reflection.
+        // Interleave (n, p) pairs so the memo both hits and misses.
+        let cases: Vec<(u64, f64)> = vec![
+            (0, 0.5),
+            (100, 0.0),
+            (100, 1.0),
+            (512, 0.003), // BINV
+            (512, 0.37),  // BTRS
+            (512, 0.82),  // reflected BTRS
+            (512, 0.999), // reflected BINV
+            (7, 0.4),     // BINV small n
+        ];
+        let mut memo = BinomialMemo::new();
+        let mut a = rng_from(42);
+        let mut b = rng_from(42);
+        for round in 0..200 {
+            let (n, p) = cases[round % cases.len()];
+            assert_eq!(
+                memo.sample(&mut a, n, p),
+                sample_binomial(&mut b, n, p),
+                "round {round}: n={n} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_collisions_are_correct() {
+        // More distinct (n, p) pairs than slots: every lookup that evicts
+        // or misses must still draw the exact sample_binomial value.
+        let mut memo = BinomialMemo::new();
+        let mut a = rng_from(7);
+        let mut b = rng_from(7);
+        for i in 0..2000u64 {
+            let n = 200 + (i % 700);
+            let p = 0.05 + 0.9 * ((i % 101) as f64 / 101.0);
+            assert_eq!(memo.sample(&mut a, n, p), sample_binomial(&mut b, n, p), "i={i}");
+        }
+    }
+
+    #[test]
+    fn memo_moments_in_every_regime() {
+        let mut memo = BinomialMemo::new();
+        for (n, p, seed) in [(50u64, 0.05, 31u64), (1000, 0.3, 32), (1000, 0.9, 33)] {
+            let mut rng = rng_from(seed);
+            let reps = 20_000;
+            let samples: Vec<u64> = (0..reps).map(|_| memo.sample(&mut rng, n, p)).collect();
+            let (mean, _) = empirical_moments(&samples);
+            let true_mean = binomial_mean(n, p);
+            let se = (binomial_variance(n, p) / reps as f64).sqrt();
+            assert!((mean - true_mean).abs() < 5.0 * se + 1e-9, "n={n} p={p}: {mean}");
+        }
     }
 
     #[test]

@@ -40,12 +40,14 @@
 
 pub mod agent;
 pub mod aggregate;
+pub mod batched;
 pub mod binomial;
 pub mod consensus;
 pub mod dual;
 pub mod hypergeometric;
 pub mod partial;
 pub mod rng;
+mod roundplan;
 pub mod run;
 pub mod runner;
 pub mod sequential;
@@ -54,6 +56,7 @@ pub mod trajectory;
 
 pub use agent::AgentSim;
 pub use aggregate::AggregateSim;
+pub use batched::{replicate_batched_observed, BatchedAggregateSim};
 pub use rng::{rng_from, SimRng};
 pub use run::{
     run_to_consensus, run_to_consensus_observed, run_with_exit_detection,

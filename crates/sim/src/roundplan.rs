@@ -1,0 +1,181 @@
+//! Per-state round-plan cache for the aggregate hot loop.
+//!
+//! For a fixed `(kernel, n, z)` everything a round needs — the adoption
+//! probabilities `(P₀(x/n), P₁(x/n))`, the two binomial counts, and both
+//! sampler setups — is a pure function of the current ones-count `x`. The
+//! chain revisits a narrow contiguous band of states (hovering around its
+//! drift fixed point, or drifting toward absorption), so a direct-mapped
+//! cache indexed by the low bits of `x` is collision-free whenever the
+//! band is narrower than the slot count, unlike a `(count, p)`-keyed memo
+//! where unrelated keys can hash to the same slot and evict each other
+//! every round.
+//!
+//! A hit skips the kernel evaluation *and* both sampler setups; the draw
+//! code itself is byte-for-byte the one behind
+//! [`sample_binomial`](crate::binomial::sample_binomial), so sampled
+//! values are bit-identical for any rng state.
+
+use bitdissem_core::Kernel;
+
+use crate::binomial::{with_lnfact, Plan};
+use crate::rng::SimRng;
+
+/// Slot count (power of two). The visited band is `O(√n)` wide, so 512
+/// slots are collision-free for populations up to the hundreds of
+/// thousands; beyond that the cache degrades gracefully (distant states
+/// that alias simply rebuild on revisit).
+const SLOTS: usize = 512;
+
+/// Everything needed to advance one replica from ones-count `x`.
+#[derive(Debug, Clone, Copy)]
+struct RoundPlan {
+    /// The state this plan was built for (the slot tag).
+    x: u64,
+    /// Non-source agents currently holding the correct opinion.
+    keep_n: u64,
+    /// Non-source agents currently holding the wrong opinion.
+    flip_n: u64,
+    /// Sampler for `Binomial(keep_n, P_z)`.
+    keep: Plan,
+    /// Sampler for `Binomial(flip_n, P_{1−z})`.
+    flip: Plan,
+}
+
+/// Direct-mapped cache of [`RoundPlan`]s, indexed by `x & (SLOTS − 1)`.
+///
+/// **Invariant:** one cache instance serves one `(kernel, n, z)` triple;
+/// owners must [`clear`](RoundPlanCache::clear) it if the source opinion
+/// changes (the kernel and `n` are fixed at simulator construction).
+#[derive(Debug, Clone)]
+pub(crate) struct RoundPlanCache {
+    slots: Vec<Option<RoundPlan>>,
+}
+
+impl Default for RoundPlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundPlanCache {
+    /// Allocates the (empty) slot array up front, so the first simulated
+    /// round pays only its own plan build, not a ~90 KiB memset.
+    pub(crate) fn new() -> Self {
+        Self { slots: vec![None; SLOTS] }
+    }
+
+    /// Drops all cached plans (subsequent steps rebuild on demand).
+    pub(crate) fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// Advances one replica by one aggregate round: draws the keep/flip
+    /// binomials for state `x` and returns the next ones-count.
+    ///
+    /// Draws are bit-identical to two
+    /// [`sample_binomial`](crate::binomial::sample_binomial) calls with
+    /// `(keep_n, P_z)` then `(flip_n, P_{1−z})` on the same rng.
+    #[inline]
+    pub(crate) fn step(
+        &mut self,
+        kernel: &Kernel,
+        n: u64,
+        z: u64,
+        x: u64,
+        rng: &mut SimRng,
+    ) -> u64 {
+        let slot = &mut self.slots[(x as usize) & (SLOTS - 1)];
+        let plan = match slot {
+            Some(plan) if plan.x == x => plan,
+            _ => {
+                let (p0, p1) = kernel.eval(x as f64 / n as f64);
+                let keep_n = x - z;
+                let flip_n = n - x - (1 - z);
+                slot.insert(RoundPlan {
+                    x,
+                    keep_n,
+                    flip_n,
+                    keep: Plan::build(keep_n, p1),
+                    flip: Plan::build(flip_n, p0),
+                })
+            }
+        };
+        with_lnfact(n, |lnfact| {
+            let keep = plan.keep.sample_with(rng, plan.keep_n, lnfact);
+            let flip = plan.flip.sample_with(rng, plan.flip_n, lnfact);
+            z + keep + flip
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::sample_binomial;
+    use crate::rng::rng_from;
+    use bitdissem_core::dynamics::Minority;
+    use bitdissem_core::ProtocolExt;
+    use rand::Rng;
+
+    /// The cache's draws must be bit-identical to two `sample_binomial`
+    /// calls, across repeated visits (cache hits) and band wanderings
+    /// (misses and rebuilds).
+    #[test]
+    fn step_matches_plain_sampling_bit_for_bit() {
+        let n = 256u64;
+        let z = 1u64;
+        let kernel = Minority::new(5).unwrap().to_table(n).unwrap().compile().unwrap();
+        let mut cache = RoundPlanCache::new();
+        let mut a = rng_from(42);
+        let mut b = rng_from(42);
+        let mut x = n / 2;
+        for _ in 0..2000 {
+            let next = cache.step(&kernel, n, z, x, &mut a);
+            let (p0, p1) = kernel.eval(x as f64 / n as f64);
+            let keep = sample_binomial(&mut b, x - z, p1);
+            let flip = sample_binomial(&mut b, n - x - (1 - z), p0);
+            assert_eq!(next, z + keep + flip);
+            x = next;
+        }
+    }
+
+    /// Absorbing states (p exactly 0 or 1, empty counts) must be handled
+    /// without burning randomness, like `sample_binomial`'s early returns.
+    #[test]
+    fn absorbing_states_are_fixed_points_and_draw_free() {
+        let n = 64u64;
+        let kernel = Minority::new(3).unwrap().to_table(n).unwrap().compile().unwrap();
+        for z in [0u64, 1] {
+            let mut cache = RoundPlanCache::new();
+            // Visit twice: once through the miss path, once through a hit.
+            for _ in 0..2 {
+                let x = z * n;
+                let mut rng = rng_from(5);
+                let mut probe = rng_from(5);
+                let next = cache.step(&kernel, n, z, x, &mut rng);
+                assert_eq!(next, x, "consensus is absorbing");
+                assert_eq!(rng.random::<u64>(), probe.random::<u64>(), "no randomness consumed");
+            }
+        }
+    }
+
+    /// States further apart than the slot count alias the same slot; the
+    /// cache must rebuild rather than reuse a stale plan.
+    #[test]
+    fn aliasing_states_rebuild_instead_of_reusing() {
+        let n = 2048u64;
+        let z = 1u64;
+        let kernel = Minority::new(3).unwrap().to_table(n).unwrap().compile().unwrap();
+        let mut cache = RoundPlanCache::new();
+        // x and x + 512 share a slot.
+        for &x in &[700u64, 700 + 512, 700, 700 + 512] {
+            let mut a = rng_from(9);
+            let mut b = rng_from(9);
+            let next = cache.step(&kernel, n, z, x, &mut a);
+            let (p0, p1) = kernel.eval(x as f64 / n as f64);
+            let keep = sample_binomial(&mut b, x - z, p1);
+            let flip = sample_binomial(&mut b, n - x - (1 - z), p0);
+            assert_eq!(next, z + keep + flip, "x={x}");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 use bitdissem_experiments::{registry, RunConfig, Scale};
 
 fn render(id: &str, threads: Option<usize>, seed: u64) -> String {
-    let cfg = RunConfig { scale: Scale::Smoke, seed, threads };
+    let cfg = RunConfig { scale: Scale::Smoke, seed, threads, engine: Default::default() };
     registry::run(id, &cfg).expect("known id").render()
 }
 
