@@ -9,7 +9,7 @@ use bitdissem_core::dynamics::{Minority, Voter};
 use bitdissem_core::{Configuration, Opinion};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
-use bitdissem_obs::Obs;
+use bitdissem_obs::{ColumnarSink, Event, EventSink, JsonlSink, Obs};
 use bitdissem_sim::agent::AgentSim;
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::binomial::{sample_binomial, sample_binomial_naive};
@@ -110,6 +110,22 @@ fn bench_obs_overhead(c: &mut Criterion) {
             std::hint::black_box(run_to_consensus_observed(&mut sim, &mut rng, 1 << 20, &obs, 0))
         });
     });
+    // Per-event emit cost of the two persistent sinks, against real
+    // files: `columnar_sink` is expected at or below `jsonl_sink` (it
+    // skips the JSON text encode and amortizes I/O into block flushes).
+    let event = Event::RoundCompleted { rep: 3, round: 17, ones: 511, source_opinion: 1 };
+    let jsonl_path = std::env::temp_dir().join(format!("micro-jsonl-{}.jsonl", std::process::id()));
+    group.bench_function("jsonl_sink_emit", |b| {
+        let sink = JsonlSink::create(&jsonl_path).unwrap();
+        b.iter(|| sink.emit(std::hint::black_box(&event)));
+    });
+    let _ = std::fs::remove_file(&jsonl_path);
+    let columnar_path = std::env::temp_dir().join(format!("micro-col-{}.bct", std::process::id()));
+    group.bench_function("columnar_sink_emit", |b| {
+        let sink = ColumnarSink::create(&columnar_path).unwrap();
+        b.iter(|| sink.emit(std::hint::black_box(&event)));
+    });
+    let _ = std::fs::remove_file(&columnar_path);
     group.finish();
 }
 

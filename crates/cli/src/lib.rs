@@ -48,11 +48,14 @@ use bitdissem_conformance::{
 use bitdissem_core::dynamics::{self, BoxedProtocol};
 use bitdissem_core::Protocol;
 use bitdissem_experiments::bench::{run_all as bench_run_all, BenchCtx};
-use bitdissem_experiments::trace::analyze as trace_analyze;
+use bitdissem_experiments::trace::TraceAccumulator;
 use bitdissem_experiments::{registry, ReplicationEngine, RunConfig, Scale};
 use bitdissem_markov::absorbing::expected_hitting_times;
 use bitdissem_markov::AggregateChain;
-use bitdissem_obs::{read_trace, BenchRecord, CheckpointLog, JsonlSink, Obs, Progress};
+use bitdissem_obs::{
+    detect_format, stream_trace, BenchRecord, CheckpointLog, ColumnarReader, ColumnarSink,
+    EventSink, JsonlSink, Obs, Progress, TraceFormat,
+};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::rng::rng_from;
 use bitdissem_sim::run::{Outcome, Simulator};
@@ -100,7 +103,8 @@ pub fn usage() -> String {
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem bench [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
      \x20\x20\x20\x20 [--max-workers W] [--compare BASELINE.json] [--check-only] [--metrics]\n\
-     \x20 bitdissem trace <run.jsonl>\n\
+     \x20 bitdissem trace <run.jsonl|run.bct>\n\
+     \x20 bitdissem trace convert <in> <out>\n\
      \x20 bitdissem conform [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
      \x20\x20\x20\x20 [--skip-faults]\n\
      \n\
@@ -122,10 +126,14 @@ pub fn usage() -> String {
      \n\
      trace analytics (trace):\n\
      \x20 exit status 1 when a recorded trajectory violates the paper's Prop-4 jump\n\
-     \x20 bound or Prop-5 drift band; requires a trace recorded with --trace-out\n\
+     \x20 bound or Prop-5 drift band; requires a trace recorded with --trace-out.\n\
+     \x20 The input format (JSONL or binary columnar) is detected from the file's\n\
+     \x20 leading bytes; 'trace convert' rewrites a trace in the other format\n\
      \n\
      observability (run):\n\
-     \x20 --trace-out PATH   write one JSON event per line (rounds, replications, manifest)\n\
+     \x20 --trace-out PATH   record a trace (rounds, replications, manifest)\n\
+     \x20 --trace-format F   trace encoding: 'jsonl' (one JSON event per line, default,\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 debuggable) or 'columnar' (binary columns, for large runs)\n\
      \x20 --trace-every N    thin per-round events to every N-th round (default 1)\n\
      \x20 --metrics          print counters and per-phase timings to stderr\n\
      \x20 --progress         live replication meter on stderr\n\
@@ -211,13 +219,30 @@ fn usage_error(msg: impl Into<String>) -> CommandOutput {
 
 fn build_obs(args: &Args) -> Result<Obs, String> {
     let mut obs = Obs::none();
+    let format = match args.get("trace-format") {
+        None | Some("jsonl") => TraceFormat::Jsonl,
+        Some("columnar") => TraceFormat::Columnar,
+        Some(other) => {
+            return Err(format!("unknown --trace-format '{other}' (expected jsonl or columnar)"))
+        }
+    };
     if let Some(path) = args.get("trace-out") {
         if path.is_empty() {
             return Err("--trace-out needs a file path".to_string());
         }
-        let sink = JsonlSink::create(path)
-            .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
-        obs = obs.with_sink(Arc::new(sink));
+        let sink: Arc<dyn EventSink> = match format {
+            TraceFormat::Jsonl => Arc::new(
+                JsonlSink::create(path)
+                    .map_err(|e| format!("cannot create trace file '{path}': {e}"))?,
+            ),
+            TraceFormat::Columnar => Arc::new(
+                ColumnarSink::create(path)
+                    .map_err(|e| format!("cannot create trace file '{path}': {e}"))?,
+            ),
+        };
+        obs = obs.with_sink(sink);
+    } else if args.get("trace-format").is_some() {
+        return Err("--trace-format requires --trace-out".to_string());
     }
     if args.flag("metrics") {
         obs = obs.with_metrics();
@@ -329,6 +354,19 @@ fn cmd_run(args: &Args) -> CommandOutput {
     CommandOutput { stdout: out, stderr, status }
 }
 
+/// Whether the first line of the file at `path` decodes as a trace
+/// [`bitdissem_obs::Event`] — used to improve the error when a JSONL
+/// trace is handed to `bench --compare`.
+fn looks_like_jsonl_trace(path: &str) -> bool {
+    use std::io::BufRead as _;
+    let Ok(file) = std::fs::File::open(path) else { return false };
+    let mut line = String::new();
+    if std::io::BufReader::new(file).read_line(&mut line).is_err() {
+        return false;
+    }
+    bitdissem_obs::Event::from_json(line.trim()).is_ok()
+}
+
 /// Relative median drop below which a benchmark is considered regressed
 /// (when the KS test also confirms the distributions differ).
 const BENCH_REGRESSION_DROP: f64 = -0.25;
@@ -360,10 +398,30 @@ fn cmd_bench(args: &Args) -> CommandOutput {
     // --compare path must fail fast, before anything is written.
     let baseline = match args.get("compare") {
         None => None,
-        Some(p) => match BenchRecord::load(std::path::Path::new(p)) {
-            Ok(b) => Some((p, b)),
-            Err(e) => return usage_error(format!("cannot load baseline: {e}\n")),
-        },
+        Some(p) => {
+            // Catch a trace handed to --compare up front: a clear
+            // message beats a JSON-schema parse cascade.
+            if let Ok(Some(TraceFormat::Columnar)) = detect_format(std::path::Path::new(p)) {
+                return usage_error(format!(
+                    "cannot load baseline: '{p}' is a columnar trace, not a BENCH record \
+                     (run 'bitdissem trace' on it instead)\n"
+                ));
+            }
+            match BenchRecord::load(std::path::Path::new(p)) {
+                Ok(b) => Some((p, b)),
+                Err(e) => {
+                    let hint = if looks_like_jsonl_trace(p) {
+                        format!(
+                            " ('{p}' looks like a JSONL trace — run 'bitdissem trace' on it \
+                             instead)"
+                        )
+                    } else {
+                        String::new()
+                    };
+                    return usage_error(format!("cannot load baseline: {e}{hint}\n"));
+                }
+            }
+        }
     };
 
     let ctx = BenchCtx::new(scale, seed, max_workers);
@@ -504,26 +562,138 @@ fn cmd_conform(args: &Args) -> CommandOutput {
     CommandOutput::ok(out, status)
 }
 
+/// Sniffs the trace format at `path`, mapping both I/O failures and
+/// unrecognized contents to a user-facing error string.
+fn sniff_trace(path: &str) -> Result<TraceFormat, String> {
+    match detect_format(std::path::Path::new(path)) {
+        Ok(Some(f)) => Ok(f),
+        Ok(None) => Err(format!(
+            "cannot read trace '{path}': not a trace file \
+             (expected the columnar BDCT magic or JSONL events)\n"
+        )),
+        Err(e) => Err(format!("cannot read trace '{path}': {e}\n")),
+    }
+}
+
 fn cmd_trace(args: &Args) -> CommandOutput {
+    if args.positional.first().map(String::as_str) == Some("convert") {
+        return cmd_trace_convert(args);
+    }
     let Some(path) = args.positional.first() else {
-        return usage_error("missing trace path (a JSONL file recorded with --trace-out)\n");
+        return usage_error(
+            "missing trace path (a JSONL or columnar file recorded with --trace-out)\n",
+        );
     };
-    let read = match read_trace(std::path::Path::new(path)) {
-        Ok(r) => r,
-        Err(e) => return usage_error(format!("cannot read trace '{path}': {e}\n")),
+    let format = match sniff_trace(path) {
+        Ok(f) => f,
+        Err(e) => return usage_error(e),
+    };
+    let mut acc = TraceAccumulator::new();
+    let (skipped, torn_tail) = match format {
+        TraceFormat::Jsonl => {
+            // One buffered pass, events pushed straight into the
+            // accumulator — O(line) memory.
+            match stream_trace(std::path::Path::new(path), |ev| acc.push(&ev)) {
+                Ok(stats) => (stats.skipped, stats.torn_tail),
+                Err(e) => return usage_error(format!("cannot read trace '{path}': {e}\n")),
+            }
+        }
+        TraceFormat::Columnar => match ColumnarReader::open(std::path::Path::new(path)) {
+            Ok(reader) => {
+                // Zero-copy pass: typed column views feed the
+                // accumulator without materializing events.
+                for block in reader.blocks() {
+                    acc.ingest_block(&block);
+                }
+                (0, reader.torn_tail())
+            }
+            Err(e) => return usage_error(format!("cannot read trace '{path}': {e}\n")),
+        },
     };
     let mut out = String::new();
-    if read.torn_tail {
+    if torn_tail {
         let _ = writeln!(
             out,
-            "note: trace ends in a torn line (the writer was cut off mid-record); \
-             analytics cover the complete prefix"
+            "note: trace ends in a torn {} (the writer was cut off mid-record); \
+             analytics cover the complete prefix",
+            match format {
+                TraceFormat::Jsonl => "line",
+                TraceFormat::Columnar => "block",
+            }
         );
     }
-    let analysis = trace_analyze(&read.events, read.skipped);
+    let analysis = acc.finish(skipped);
     out.push_str(&analysis.render());
     let status = if analysis.has_violations() { Status::CheckFailed } else { Status::Ok };
     CommandOutput::ok(out, status)
+}
+
+/// `trace convert <in> <out>`: rewrites a trace in the other format
+/// (JSONL → columnar, columnar → JSONL), preserving event order.
+fn cmd_trace_convert(args: &Args) -> CommandOutput {
+    let (Some(input), Some(output)) = (args.positional.get(1), args.positional.get(2)) else {
+        return usage_error("usage: bitdissem trace convert <in> <out>\n");
+    };
+    let format = match sniff_trace(input) {
+        Ok(f) => f,
+        Err(e) => return usage_error(e),
+    };
+    let target = match format {
+        TraceFormat::Jsonl => TraceFormat::Columnar,
+        TraceFormat::Columnar => TraceFormat::Jsonl,
+    };
+    let sink: Arc<dyn EventSink> = match target {
+        TraceFormat::Jsonl => match JsonlSink::create(output) {
+            Ok(s) => Arc::new(s),
+            Err(e) => return usage_error(format!("cannot create trace file '{output}': {e}\n")),
+        },
+        TraceFormat::Columnar => match ColumnarSink::create(output) {
+            Ok(s) => Arc::new(s),
+            Err(e) => return usage_error(format!("cannot create trace file '{output}': {e}\n")),
+        },
+    };
+    let mut events = 0usize;
+    let (skipped, torn_tail) = match format {
+        TraceFormat::Jsonl => {
+            match stream_trace(std::path::Path::new(input), |ev| {
+                events += 1;
+                sink.emit(&ev);
+            }) {
+                Ok(stats) => (stats.skipped, stats.torn_tail),
+                Err(e) => return usage_error(format!("cannot read trace '{input}': {e}\n")),
+            }
+        }
+        TraceFormat::Columnar => match ColumnarReader::open(std::path::Path::new(input)) {
+            Ok(reader) => {
+                for ev in reader.events() {
+                    events += 1;
+                    sink.emit(&ev);
+                }
+                (0, reader.torn_tail())
+            }
+            Err(e) => return usage_error(format!("cannot read trace '{input}': {e}\n")),
+        },
+    };
+    sink.flush();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "converted {events} events: {} ({}) -> {} ({})",
+        input,
+        format.name(),
+        output,
+        target.name()
+    );
+    if skipped > 0 {
+        let _ = writeln!(out, "note: {skipped} undecodable lines skipped");
+    }
+    if torn_tail {
+        let _ = writeln!(
+            out,
+            "note: input ends in a torn record; the conversion covers the complete prefix"
+        );
+    }
+    CommandOutput::ok(out, Status::Ok)
 }
 
 fn cmd_analyze(args: &Args) -> CommandOutput {
@@ -1238,5 +1408,179 @@ mod tests {
         let (out, status) = run_cli(&["trace", "/nonexistent/run.jsonl"]);
         assert_eq!(status, Status::UsageError);
         assert!(out.contains("cannot read trace"), "{out}");
+    }
+
+    #[test]
+    fn trace_rejects_non_trace_files_with_a_clear_error() {
+        let dir = temp_dir("trace_nontrace");
+        let path = dir.join("not-a-trace.txt");
+        std::fs::write(&path, "schema_version,label\n1,x\n").unwrap();
+        let (out, status) = run_cli(&["trace", path.to_str().unwrap()]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("not a trace file"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_compare_rejects_a_trace_with_a_clear_error() {
+        use bitdissem_obs::Event;
+        let dir = temp_dir("bench_trace_guard");
+        // Columnar trace handed to --compare.
+        let cpath = dir.join("run.bct");
+        let sink = ColumnarSink::create(&cpath).unwrap();
+        sink.emit(&Event::RoundCompleted { rep: 0, round: 1, ones: 1, source_opinion: 1 });
+        drop(sink);
+        let (out, status) =
+            run_cli(&["bench", "--scale", "smoke", "--compare", cpath.to_str().unwrap()]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("columnar trace, not a BENCH record"), "{out}");
+        // JSONL trace handed to --compare.
+        let jpath = dir.join("run.jsonl");
+        let ev = Event::RoundCompleted { rep: 0, round: 1, ones: 1, source_opinion: 1 };
+        std::fs::write(&jpath, format!("{}\n", ev.to_json())).unwrap();
+        let (out, status) =
+            run_cli(&["bench", "--scale", "smoke", "--compare", jpath.to_str().unwrap()]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("looks like a JSONL trace"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_trace_format_columnar_matches_jsonl_analytics_exactly() {
+        // The acceptance contract at CLI level: the same run recorded in
+        // both formats must produce byte-identical `trace` reports
+        // (summaries, conformance verdicts, exit status).
+        let dir = temp_dir("trace_xfmt");
+        let jpath = dir.join("run.jsonl");
+        let cpath = dir.join("run.bct");
+        let (out, status) = run_cli(&[
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "13",
+            "--trace-out",
+            jpath.to_str().unwrap(),
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        // The same event stream in columnar form (converted, so the two
+        // files describe the identical run — wall-clock latencies
+        // included).
+        let (out, status) =
+            run_cli(&["trace", "convert", jpath.to_str().unwrap(), cpath.to_str().unwrap()]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert_eq!(
+            detect_format(&cpath).unwrap(),
+            Some(TraceFormat::Columnar),
+            "convert from jsonl must write the binary format"
+        );
+        // A direct `--trace-format columnar` run also writes the binary
+        // format (its analytics differ only by wall-clock latencies, so
+        // the byte-for-byte comparison below uses the converted file).
+        let direct = dir.join("direct.bct");
+        let (out, status) = run_cli(&[
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "13",
+            "--trace-out",
+            direct.to_str().unwrap(),
+            "--trace-format",
+            "columnar",
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert_eq!(detect_format(&direct).unwrap(), Some(TraceFormat::Columnar));
+        let (jreport, jstatus) = run_cli(&["trace", jpath.to_str().unwrap()]);
+        let (creport, cstatus) = run_cli(&["trace", cpath.to_str().unwrap()]);
+        assert_eq!(jstatus, Status::Ok, "{jreport}");
+        assert_eq!(jreport, creport, "jsonl and columnar analytics must agree");
+        assert_eq!(jstatus, cstatus);
+        assert!(jreport.contains("conforms"), "{jreport}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_convert_round_trips_both_directions() {
+        use bitdissem_obs::read_trace;
+        let dir = temp_dir("trace_convert");
+        let jpath = dir.join("run.jsonl");
+        let cpath = dir.join("run.bct");
+        let back = dir.join("back.jsonl");
+        let (out, status) = run_cli(&[
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "21",
+            "--trace-out",
+            jpath.to_str().unwrap(),
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        let (out, status) =
+            run_cli(&["trace", "convert", jpath.to_str().unwrap(), cpath.to_str().unwrap()]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("jsonl) ->"), "{out}");
+        let (out, status) =
+            run_cli(&["trace", "convert", cpath.to_str().unwrap(), back.to_str().unwrap()]);
+        assert_eq!(status, Status::Ok, "{out}");
+        // Full fidelity: the round-tripped JSONL decodes to the exact
+        // original event stream.
+        let original = read_trace(&jpath).unwrap();
+        let round_tripped = read_trace(&back).unwrap();
+        assert_eq!(original.events, round_tripped.events);
+        assert_eq!(round_tripped.skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_convert_rejects_bad_usage() {
+        let (out, status) = run_cli(&["trace", "convert", "/only-one-arg"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("usage: bitdissem trace convert"), "{out}");
+    }
+
+    #[test]
+    fn trace_format_flag_is_validated() {
+        let dir = temp_dir("trace_fmt_flag");
+        let path = dir.join("x.trace");
+        let (out, status) = run_cli(&[
+            "run",
+            "e5",
+            "--scale",
+            "smoke",
+            "--trace-out",
+            path.to_str().unwrap(),
+            "--trace-format",
+            "parquet",
+        ]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("unknown --trace-format"), "{out}");
+        let (out, status) = run_cli(&["run", "e5", "--scale", "smoke", "--trace-format", "jsonl"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("--trace-format requires --trace-out"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_reports_a_torn_columnar_tail() {
+        use bitdissem_obs::Event;
+        let dir = temp_dir("trace_torn_col");
+        let path = dir.join("torn.bct");
+        let sink = ColumnarSink::create(&path).unwrap();
+        for r in 1..=5 {
+            sink.emit(&Event::RoundCompleted { rep: 0, round: r, ones: r, source_opinion: 1 });
+        }
+        drop(sink);
+        // Tear the final block mid-payload.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (out, status) = run_cli(&["trace", path.to_str().unwrap()]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("torn block"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -21,7 +21,7 @@
 use crate::config::Scale;
 use bitdissem_core::dynamics::{Minority, Voter};
 use bitdissem_core::{Configuration, Opinion, ProtocolExt};
-use bitdissem_obs::{CheckpointLog, Obs};
+use bitdissem_obs::{CheckpointLog, ColumnarSink, Event, EventSink, JsonlSink, Obs, TraceFormat};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::batched::BatchedAggregateSim;
 use bitdissem_sim::rng::{replication_seed, rng_from};
@@ -275,6 +275,61 @@ fn bench_checkpoint_write(ctx: &BenchCtx) -> BenchResult {
     BenchResult { id: "checkpoint_write".to_string(), unit: "records_per_sec", samples }
 }
 
+/// Trace-sink events per second against a real file: the per-event
+/// overhead a traced run pays on the emit path, for the JSONL debug sink
+/// and the binary columnar sink. The workload is a round-event stream
+/// punctuated by replication results — the shape a convergence sweep
+/// produces. Setup failures yield an empty sample list, like
+/// [`bench_checkpoint_write`].
+fn bench_sink_overhead(ctx: &BenchCtx, format: TraceFormat) -> BenchResult {
+    let events = ctx.scale.pick(50_000u64, 200_000, 1_000_000);
+    let id = match format {
+        TraceFormat::Jsonl => "jsonl_sink",
+        TraceFormat::Columnar => "columnar_sink",
+    };
+    let mut samples = Vec::with_capacity(ctx.samples());
+    for i in 0..ctx.samples() {
+        let path = std::env::temp_dir().join(format!(
+            "bitdissem-bench-sink-{id}-{}-{}-{i}",
+            std::process::id(),
+            ctx.seed
+        ));
+        let sink: Box<dyn EventSink> = match format {
+            TraceFormat::Jsonl => match JsonlSink::create(&path) {
+                Ok(s) => Box::new(s),
+                Err(_) => continue,
+            },
+            TraceFormat::Columnar => match ColumnarSink::create(&path) {
+                Ok(s) => Box::new(s),
+                Err(_) => continue,
+            },
+        };
+        samples.push(throughput(events as f64, || {
+            for e in 0..events {
+                if e % 512 == 511 {
+                    sink.emit(&Event::ReplicationFinished {
+                        rep: e / 512,
+                        outcome: bitdissem_obs::ReplicationOutcome::Converged,
+                        rounds: 511,
+                        elapsed_us: e,
+                    });
+                } else {
+                    sink.emit(&Event::RoundCompleted {
+                        rep: e / 512,
+                        round: e % 512,
+                        ones: e % 97,
+                        source_opinion: 1,
+                    });
+                }
+            }
+            sink.flush();
+        }));
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+    BenchResult { id: id.to_string(), unit: "events_per_sec", samples }
+}
+
 /// Runs the full benchmark suite, in a stable order. Each benchmark runs
 /// under an [`Obs::span`] so `--metrics` surfaces its wall-clock share.
 #[must_use]
@@ -307,6 +362,10 @@ pub fn run_all(ctx: &BenchCtx, obs: &Obs) -> Vec<BenchResult> {
     {
         let _span = obs.span("bench/checkpoint_write");
         results.push(bench_checkpoint_write(ctx));
+    }
+    for format in [TraceFormat::Jsonl, TraceFormat::Columnar] {
+        let _span = obs.span("bench/sink_overhead");
+        results.push(bench_sink_overhead(ctx, format));
     }
     if let Some(progress) = obs.progress() {
         progress.tick(results.len() as u64);
@@ -350,7 +409,9 @@ mod tests {
                 "batched_rounds",
                 "pool_scaling_w1",
                 "pool_scaling_w2",
-                "checkpoint_write"
+                "checkpoint_write",
+                "jsonl_sink",
+                "columnar_sink"
             ]
         );
         for r in &results {

@@ -32,6 +32,7 @@
 use bitdissem_analysis::jump::y_constant;
 use bitdissem_analysis::BiasPolynomial;
 use bitdissem_core::GTable;
+use bitdissem_obs::columnar::Block;
 use bitdissem_obs::Event;
 use bitdissem_stats::{LogHistogram, Summary};
 use std::collections::BTreeMap;
@@ -311,12 +312,49 @@ fn latency_hist(samples: &[f64]) -> Option<LogHistogram> {
     Some(h)
 }
 
-/// Groups a decoded event stream into batches and analyzes each.
-#[must_use]
-pub fn analyze(events: &[Event], skipped_lines: usize) -> TraceAnalysis {
-    let mut accums: Vec<BatchAccum> = Vec::new();
-    let mut current = BatchAccum::default();
-    for ev in events {
+/// Streaming trace analyzer: feed events (or whole columnar blocks) in
+/// file order, then [`TraceAccumulator::finish`] to get the
+/// [`TraceAnalysis`]. This is the single grouping engine behind both
+/// trace formats — the JSONL path pushes decoded [`Event`]s one at a
+/// time, the columnar path ingests typed column views without ever
+/// materializing events.
+#[derive(Debug, Default)]
+pub struct TraceAccumulator {
+    accums: Vec<BatchAccum>,
+    current: BatchAccum,
+    events: usize,
+}
+
+impl TraceAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new batch (closing the current one, if it holds anything).
+    pub fn start_batch(&mut self, meta: BatchMeta) {
+        if !self.current.is_empty() {
+            self.accums.push(std::mem::take(&mut self.current));
+        }
+        self.current.meta = Some(meta);
+    }
+
+    /// Records one `RoundCompleted` observation in the current batch.
+    pub fn add_round(&mut self, rep: u64, round: u64, ones: u64) {
+        self.current.rounds.entry(rep).or_default().insert(round, ones);
+    }
+
+    /// Records one `ReplicationFinished` result in the current batch.
+    pub fn add_finished(&mut self, rep: u64, converged: bool, rounds: u64, elapsed_us: u64) {
+        self.current.finished.push((rep, converged, rounds, elapsed_us));
+    }
+
+    /// Consumes one decoded event — the JSONL streaming path. Events
+    /// that don't affect batch grouping (experiment brackets, manifests,
+    /// stability events) still count toward the event total.
+    pub fn push(&mut self, ev: &Event) {
+        self.events += 1;
         match ev {
             Event::BatchStarted {
                 kind,
@@ -331,10 +369,7 @@ pub fn analyze(events: &[Event], skipped_lines: usize) -> TraceAnalysis {
                 g0,
                 g1,
             } => {
-                if !current.is_empty() {
-                    accums.push(std::mem::take(&mut current));
-                }
-                current.meta = Some(BatchMeta {
+                self.start_batch(BatchMeta {
                     kind: kind.clone(),
                     protocol: protocol.clone(),
                     n: *n,
@@ -348,29 +383,90 @@ pub fn analyze(events: &[Event], skipped_lines: usize) -> TraceAnalysis {
                 });
             }
             Event::RoundCompleted { rep, round, ones, .. } => {
-                current.rounds.entry(*rep).or_default().insert(*round, *ones);
+                self.add_round(*rep, *round, *ones);
             }
             Event::ReplicationFinished { rep, outcome, rounds, elapsed_us } => {
-                current.finished.push((
+                self.add_finished(
                     *rep,
                     matches!(outcome, bitdissem_obs::ReplicationOutcome::Converged),
                     *rounds,
                     *elapsed_us,
-                ));
+                );
             }
-            // Experiment brackets, manifests and stability events don't
-            // affect batch grouping.
             _ => {}
         }
     }
-    if !current.is_empty() {
-        accums.push(current);
+
+    /// Consumes one columnar block — the zero-copy path. Hot blocks
+    /// (`RoundCompleted`, `ReplicationFinished`) stream straight off the
+    /// column views; rare blocks decode their few rows.
+    pub fn ingest_block(&mut self, block: &Block<'_>) {
+        match block {
+            Block::RoundCompleted(c) => {
+                self.events += c.len;
+                for ((rep, round), ones) in c.rep.iter().zip(c.round.iter()).zip(c.ones.iter()) {
+                    self.add_round(rep, round, ones);
+                }
+            }
+            Block::ReplicationFinished(c) => {
+                self.events += c.len;
+                for (((rep, converged), rounds), elapsed_us) in c
+                    .rep
+                    .iter()
+                    .zip(c.converged.iter())
+                    .zip(c.rounds.iter())
+                    .zip(c.elapsed_us.iter())
+                {
+                    self.add_finished(rep, converged != 0, rounds, elapsed_us);
+                }
+            }
+            Block::BatchStarted(headers) => {
+                self.events += headers.len();
+                for h in headers {
+                    self.start_batch(BatchMeta {
+                        kind: h.kind.to_string(),
+                        protocol: h.protocol.to_string(),
+                        n: h.n,
+                        ell: h.ell,
+                        x0: h.x0,
+                        reps: h.reps,
+                        budget: h.budget,
+                        seed: h.seed,
+                        g0: h.g0.clone(),
+                        g1: h.g1.clone(),
+                    });
+                }
+            }
+            Block::ExperimentStarted(rows) => self.events += rows.len(),
+            Block::ExperimentFinished(rows) => self.events += rows.len(),
+            Block::ConsensusExited(rows) => self.events += rows.len(),
+            Block::Manifest(rows) => self.events += rows.len(),
+        }
     }
-    TraceAnalysis {
-        batches: accums.iter().map(analyze_batch).collect(),
-        events: events.len(),
-        skipped_lines,
+
+    /// Closes the stream and analyzes every batch.
+    #[must_use]
+    pub fn finish(mut self, skipped_lines: usize) -> TraceAnalysis {
+        if !self.current.is_empty() {
+            self.accums.push(self.current);
+        }
+        TraceAnalysis {
+            batches: self.accums.iter().map(analyze_batch).collect(),
+            events: self.events,
+            skipped_lines,
+        }
     }
+}
+
+/// Groups a decoded event stream into batches and analyzes each —
+/// convenience wrapper over [`TraceAccumulator`] for in-memory slices.
+#[must_use]
+pub fn analyze(events: &[Event], skipped_lines: usize) -> TraceAnalysis {
+    let mut acc = TraceAccumulator::new();
+    for ev in events {
+        acc.push(ev);
+    }
+    acc.finish(skipped_lines)
 }
 
 fn analyze_batch(accum: &BatchAccum) -> BatchAnalysis {

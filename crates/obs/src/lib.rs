@@ -32,6 +32,7 @@
 
 pub mod bench_record;
 pub mod checkpoint;
+pub mod columnar;
 pub mod durable;
 pub mod event;
 pub mod fault;
@@ -47,6 +48,7 @@ pub mod time;
 
 pub use bench_record::{BenchEntry, BenchRecord, BENCH_SCHEMA_VERSION};
 pub use checkpoint::{CheckpointLog, ResumeStats};
+pub use columnar::{detect_format, ColumnarReader, ColumnarSink, TraceFormat};
 pub use event::{Event, ReplicationOutcome};
 pub use fault::FaultyWriter;
 pub use hist::LogHistogram;
@@ -54,7 +56,7 @@ pub use manifest::RunManifest;
 pub use metrics::{Metrics, PhaseStat};
 pub use profile::SpanGuard;
 pub use progress::Progress;
-pub use reader::{parse_trace, read_trace, TraceRead};
+pub use reader::{parse_trace, read_trace, stream_trace, StreamStats, TraceRead};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink};
 pub use time::{Scope, Timer};
 

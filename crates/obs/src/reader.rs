@@ -9,6 +9,7 @@
 //! it can report the trace as truncated rather than silently shortened.
 
 use crate::event::Event;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 /// The result of reading a trace: the decoded events plus a tally of
@@ -54,14 +55,76 @@ pub fn parse_trace(text: &str) -> TraceRead {
     TraceRead { events, skipped, torn_tail }
 }
 
-/// Reads and decodes the JSONL trace at `path`.
+/// Per-file statistics from a streaming pass (the counts of
+/// [`TraceRead`] without the materialized events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Events that decoded cleanly and were handed to the callback.
+    pub events: usize,
+    /// Undecodable lines (see [`TraceRead::skipped`]).
+    pub skipped: usize,
+    /// Whether the trace ends in a torn final line (see
+    /// [`TraceRead::torn_tail`]).
+    pub torn_tail: bool,
+}
+
+/// Streams the JSONL trace at `path` line by line, invoking `visit` for
+/// every event that decodes — O(longest line) memory instead of O(file).
+/// Undecodable lines are counted, never fatal; a torn final line (no
+/// trailing newline, does not decode) is flagged in the returned stats,
+/// with the same semantics as [`parse_trace`].
+///
+/// # Errors
+///
+/// Propagates I/O errors, including invalid UTF-8 reported by the
+/// underlying reader.
+pub fn stream_trace(
+    path: impl AsRef<Path>,
+    mut visit: impl FnMut(Event),
+) -> std::io::Result<StreamStats> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let mut stats = StreamStats::default();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        let terminated = line.ends_with('\n');
+        let body = line.trim();
+        if body.is_empty() {
+            continue;
+        }
+        match Event::from_json(body) {
+            Ok(ev) => {
+                stats.events += 1;
+                visit(ev);
+            }
+            Err(_) => {
+                stats.skipped += 1;
+                // Only an *unterminated* undecodable final line is torn:
+                // mid-file garbage ends with a newline and clears this.
+                stats.torn_tail = !terminated;
+                continue;
+            }
+        }
+        stats.torn_tail = false;
+    }
+    Ok(stats)
+}
+
+/// Reads and decodes the JSONL trace at `path`, streaming lines through
+/// [`stream_trace`] (O(line) memory, not O(file)).
 ///
 /// # Errors
 ///
 /// Propagates the I/O error if the file cannot be read; decode failures
 /// within the file are tolerated (see [`parse_trace`]).
 pub fn read_trace(path: impl AsRef<Path>) -> std::io::Result<TraceRead> {
-    Ok(parse_trace(&std::fs::read_to_string(path)?))
+    let mut events = Vec::new();
+    let stats = stream_trace(path, |ev| events.push(ev))?;
+    Ok(TraceRead { events, skipped: stats.skipped, torn_tail: stats.torn_tail })
 }
 
 #[cfg(test)]
@@ -132,6 +195,38 @@ mod tests {
         assert_eq!(trace.events, all[..2]);
         assert_eq!(trace.skipped, 0);
         assert!(!trace.torn_tail);
+    }
+
+    #[test]
+    fn stream_trace_matches_parse_trace_on_every_shape() {
+        // The streaming pass must agree with the in-memory parser on
+        // events, skip counts and the torn-tail flag for every trace
+        // shape the tests above exercise.
+        let clean = render(&events());
+        let torn = format!("{clean}{{\"type\":\"round_completed\",\"rep\":0,\"rou");
+        let garbage = format!(
+            "{}\nnot json at all\n\n{}\n{}\n",
+            events()[0].to_json(),
+            events()[1].to_json(),
+            events()[2].to_json()
+        );
+        let unterminated = format!("{}\n{}", events()[0].to_json(), events()[1].to_json());
+        let terminated_garbage_tail = format!("{clean}garbage line\n");
+        for (i, text) in
+            [clean, torn, garbage, unterminated, terminated_garbage_tail].iter().enumerate()
+        {
+            let path = std::env::temp_dir()
+                .join(format!("obs_stream_test_{}_{i}.jsonl", std::process::id()));
+            std::fs::write(&path, text).unwrap();
+            let expected = parse_trace(text);
+            let mut streamed = Vec::new();
+            let stats = stream_trace(&path, |ev| streamed.push(ev)).unwrap();
+            assert_eq!(streamed, expected.events, "shape {i}");
+            assert_eq!(stats.events, expected.events.len(), "shape {i}");
+            assert_eq!(stats.skipped, expected.skipped, "shape {i}");
+            assert_eq!(stats.torn_tail, expected.torn_tail, "shape {i}");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

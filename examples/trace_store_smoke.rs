@@ -1,0 +1,94 @@
+//! Trace-store smoke: crash a columnar trace mid-block, recover, repair.
+//!
+//! Records a real smoke experiment, replays its event stream through a
+//! `ColumnarSink` whose writer injects short writes and dies mid-stream
+//! (the torn-tail scenario the format is designed for), then proves the
+//! recovery contract end to end:
+//!
+//! 1. the reader recovers every complete block and flags the torn tail,
+//! 2. `repair` truncates the file back to the recovered prefix, and
+//! 3. the repaired trace re-reads clean with the same event count.
+//!
+//! Usage: `cargo run --release --example trace_store_smoke [-- out.bct]`
+//!
+//! The repaired trace is left at the output path so CI can run
+//! `bitdissem trace` on it and archive the artifact. Exits non-zero if
+//! any step of the contract fails.
+
+use std::sync::Arc;
+
+use bitdissem_experiments::{registry, RunConfig};
+use bitdissem_obs::columnar::{repair, ColumnarReader, ColumnarSink};
+use bitdissem_obs::{EventSink, FaultyWriter, MemorySink, Obs};
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "trace_smoke.bct".to_string());
+
+    // Record a real experiment stream in memory first, so the torn file
+    // carries genuine batch headers, trajectories, and results.
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::none().with_sink(Arc::clone(&sink) as _);
+    let cfg = RunConfig::smoke(42);
+    registry::run_observed("e2", &cfg, &obs).expect("e2 is a registered experiment");
+    let stream = sink.events();
+    println!("recorded {} events from e2 (smoke, seed 42)", stream.len());
+
+    // First pass: measure the healthy encoding so the crash can be
+    // injected at ~80% of the file, guaranteed mid-stream.
+    let probe = std::env::temp_dir().join(format!("trace_smoke_probe_{}.bct", std::process::id()));
+    {
+        let healthy = ColumnarSink::create(&probe).expect("create probe sink");
+        for ev in &stream {
+            healthy.emit(ev);
+        }
+    }
+    let healthy_len = std::fs::metadata(&probe).expect("probe written").len() as usize;
+    let _ = std::fs::remove_file(&probe);
+    let tear_at = healthy_len * 4 / 5;
+    println!("healthy trace is {healthy_len} bytes; injecting writer death at byte {tear_at}");
+
+    // Crash pass: short writes (7-byte cap) plus a hard tear. The sink
+    // swallows the I/O errors by contract — the simulation never aborts —
+    // so the file on disk simply ends wherever the writer died.
+    let file = std::fs::File::create(&out).expect("create output trace");
+    let faulty = FaultyWriter::new(file).with_short_writes(7).with_tear_after(tear_at);
+    let sink = ColumnarSink::from_writer(Box::new(faulty)).expect("wrap faulty writer");
+    for ev in &stream {
+        sink.emit(ev);
+    }
+    drop(sink);
+
+    let torn = ColumnarReader::open(&out).expect("open torn trace");
+    println!(
+        "torn read: {} events in {} blocks, torn_tail={} (offset {:?})",
+        torn.event_count(),
+        torn.block_count(),
+        torn.torn_tail(),
+        torn.torn_offset()
+    );
+    if !torn.torn_tail() {
+        eprintln!("FAIL: injected crash did not leave a torn tail");
+        std::process::exit(1);
+    }
+    let recovered = torn.event_count();
+    if recovered == 0 || recovered >= stream.len() {
+        eprintln!("FAIL: expected a proper prefix, recovered {recovered}/{}", stream.len());
+        std::process::exit(1);
+    }
+
+    let stats = repair(std::path::Path::new(&out)).expect("repair torn trace");
+    println!(
+        "repair: kept {} blocks / {} events, truncated {} bytes",
+        stats.blocks_kept, stats.events_kept, stats.bytes_truncated
+    );
+    let clean = ColumnarReader::open(&out).expect("re-open repaired trace");
+    if clean.torn_tail() || clean.event_count() != recovered {
+        eprintln!(
+            "FAIL: repaired trace is not clean ({} events, torn_tail={})",
+            clean.event_count(),
+            clean.torn_tail()
+        );
+        std::process::exit(1);
+    }
+    println!("repaired trace at '{out}' re-reads clean: {recovered} events");
+}
