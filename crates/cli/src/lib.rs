@@ -96,7 +96,7 @@ pub fn usage() -> String {
      usage:\n\
      \x20 bitdissem list\n\
      \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N]\n\
-     \x20\x20\x20\x20 [--threads T] [--engine batched|per-replica] [--csv] [--trace-out PATH]\n\
+     \x20\x20\x20\x20 [--threads T] [--engine batched|per-replica|wide] [--csv] [--trace-out PATH]\n\
      \x20\x20\x20\x20 [--trace-every N] [--metrics] [--progress] [--checkpoint-dir DIR] [--resume]\n\
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
@@ -119,7 +119,8 @@ pub fn usage() -> String {
      performance (bench):\n\
      \x20 --label L          name the output record BENCH_<L>.json (default: the scale name)\n\
      \x20 --out DIR          directory for the record (default: current directory)\n\
-     \x20 --max-workers W    ceiling of the pool-scaling curve (default: available cores, max 8)\n\
+     \x20 --max-workers W    ceiling of the pool-scaling curve (default: the pool's\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 effective parallelism, same resolver as Pool::global)\n\
      \x20 --compare B.json   compare against a baseline record; a benchmark regresses when its\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 median throughput drops >25% and a KS test confirms the shift\n\
      \x20 --check-only       report regressions without failing the exit status\n\
@@ -139,8 +140,9 @@ pub fn usage() -> String {
      \x20 --progress         live replication meter on stderr\n\
      \x20 --checkpoint-dir D persist per-replication results to D/checkpoint.jsonl and\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run manifests to D/manifests.jsonl\n\
-     \x20 --engine E         replication engine: 'batched' (lock-step fast path, default)\n\
-     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 or 'per-replica' (reference; outcomes are bit-identical)\n\
+     \x20 --engine E         replication engine: 'batched' (lock-step fast path, default),\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 'per-replica' (reference; outcomes bit-identical to batched),\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 or 'wide' (counter-rng lanes; KS-gated vs the reference)\n\
      \x20 --resume           skip replications already in the checkpoint log\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (requires --checkpoint-dir; results stay bit-identical)\n\
      \n\
@@ -384,7 +386,7 @@ fn cmd_bench(args: &Args) -> CommandOutput {
         Err(e) => return usage_error(format!("{e}\n")),
     };
     let max_workers = match args.get_parsed("max-workers", 0usize) {
-        Ok(0) => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8),
+        Ok(0) => bitdissem_pool::effective_parallelism(),
         Ok(w) => w,
         Err(e) => return usage_error(format!("{e}\n")),
     };

@@ -19,13 +19,15 @@ use bitdissem_sim::partial::PartialSim;
 use bitdissem_sim::rng::{replication_seed, rng_from, SimRng};
 use bitdissem_sim::run::Simulator;
 use bitdissem_sim::sequential::SequentialSim;
+use bitdissem_sim::wide::WideBatchedSim;
 
 /// A backend of the *parallel* law: all `n − 1` non-source agents update
-/// each round. The four are distributionally identical by construction
+/// each round. The five are distributionally identical by construction
 /// (the aggregate chain is the exact conditional law of the agent
 /// simulator; `m = n − 1` partial synchrony is one full round per step;
 /// the batched engine steps the aggregate chain lock-step with per-replica
-/// index-derived streams).
+/// index-derived streams; the wide engine steps it on counter-based
+/// streams with fused convolution draws).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParallelBackend {
     /// The literal agent-level simulator (ground truth).
@@ -37,6 +39,10 @@ pub enum ParallelBackend {
     /// [`BatchedAggregateSim`]: all replications of the cell advance
     /// lock-step through a shared compiled kernel.
     Batched,
+    /// [`WideBatchedSim`]: the counter-rng lane engine. Same law, but a
+    /// different randomness stream than every other backend, so its
+    /// admission rests on these KS gates rather than bit equality.
+    Wide,
 }
 
 impl ParallelBackend {
@@ -48,6 +54,7 @@ impl ParallelBackend {
             ParallelBackend::Aggregate => "aggregate",
             ParallelBackend::PartialFull => "partial(n-1)",
             ParallelBackend::Batched => "batched",
+            ParallelBackend::Wide => "wide",
         }
     }
 }
@@ -160,6 +167,9 @@ pub fn sample_parallel(
     if backend == ParallelBackend::Batched {
         return sample_parallel_batched(table, start, reps, budget, checkpoints, seed);
     }
+    if backend == ParallelBackend::Wide {
+        return sample_parallel_wide(table, start, reps, budget, checkpoints, seed);
+    }
     let mut marginals = vec![Vec::with_capacity(reps); checkpoints.len()];
     let mut times = Vec::with_capacity(reps);
     for rep in 0..reps {
@@ -174,7 +184,7 @@ pub fn sample_parallel(
             ParallelBackend::PartialFull => {
                 Box::new(PartialSim::new(table, start, start.n() - 1).expect("valid grid cell"))
             }
-            ParallelBackend::Batched => unreachable!("handled above"),
+            ParallelBackend::Batched | ParallelBackend::Wide => unreachable!("handled above"),
         };
         let (ms, time) = run_one(&mut *sim, &mut rng, budget, checkpoints, |s, rng| {
             s.step_round(rng);
@@ -210,6 +220,46 @@ fn sample_parallel_batched(
     let last_cp = checkpoints.last().copied().unwrap_or(0);
     // Rows are filled in visit order; checkpoints beyond the budget leave
     // their row empty, the same shape the per-replication drivers produce.
+    let mut marginals = vec![Vec::new(); checkpoints.len()];
+    let mut next_row = 0;
+    let mut t: u64 = 0;
+    loop {
+        if checkpoints.contains(&t) {
+            marginals[next_row] = (0..reps).map(|rep| batch.ones_of(rep) as f64).collect();
+            next_row += 1;
+        }
+        if t == budget || (batch.live() == 0 && t >= last_cp) {
+            break;
+        }
+        if batch.live() > 0 {
+            batch.step_round();
+        }
+        t += 1;
+    }
+    let times =
+        (0..reps).map(|rep| batch.converged_at(rep).unwrap_or(budget) as f64).collect::<Vec<_>>();
+    RunSamples { marginals, times }
+}
+
+/// The [`ParallelBackend::Wide`] driver: the counter-rng lane engine over
+/// the same checkpoint/censoring conventions as
+/// [`sample_parallel_batched`]. Replication `rep` draws from the counter
+/// stream `replication_seed(seed, rep)` — reproducible in isolation, but
+/// *not* the byte stream the other backends consume, which is exactly why
+/// this backend exists: the harness KS-gates its law against theirs.
+fn sample_parallel_wide(
+    table: &GTable,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RunSamples {
+    let kernel = Arc::new(table.compile().expect("valid grid cell"));
+    let streams: Vec<u64> = (0..reps).map(|rep| replication_seed(seed, rep as u64)).collect();
+    let mut batch = WideBatchedSim::new(kernel, start, &streams);
+
+    let last_cp = checkpoints.last().copied().unwrap_or(0);
     let mut marginals = vec![Vec::new(); checkpoints.len()];
     let mut next_row = 0;
     let mut t: u64 = 0;
@@ -348,6 +398,7 @@ mod tests {
             ParallelBackend::Aggregate,
             ParallelBackend::PartialFull,
             ParallelBackend::Batched,
+            ParallelBackend::Wide,
         ] {
             let s = sample_parallel(backend, &table, start, 3, 2000, &[1], 4);
             assert_eq!(s.times.len(), 3, "{}", backend.name());
@@ -396,6 +447,15 @@ mod tests {
         let table = voter_table(10);
         let start = Configuration::correct_consensus(10, Opinion::One);
         let s = sample_parallel(ParallelBackend::Batched, &table, start, 2, 50, &[1, 4], 1);
+        assert!(s.times.iter().all(|&t| t == 0.0));
+        assert!(s.marginals.iter().flatten().all(|&x| x == 10.0));
+    }
+
+    #[test]
+    fn wide_backend_handles_consensus_start() {
+        let table = voter_table(10);
+        let start = Configuration::correct_consensus(10, Opinion::One);
+        let s = sample_parallel(ParallelBackend::Wide, &table, start, 2, 50, &[1, 4], 1);
         assert!(s.times.iter().all(|&t| t == 0.0));
         assert!(s.marginals.iter().flatten().all(|&x| x == 10.0));
     }

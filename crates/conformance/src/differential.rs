@@ -4,10 +4,12 @@
 //! samples every backend with its own independent seed stream and compares
 //! backend pairs that are equal in law:
 //!
-//! * parallel law — `agent` vs `aggregate`, `aggregate` vs `partial(n−1)`
-//!   and `partial(n−1)` vs `batched` (the lock-step replication engine):
-//!   censored consensus-time distribution (in rounds) plus the marginal
-//!   `X_r` at each early checkpoint round;
+//! * parallel law — the adjacent chain `agent` vs `aggregate`, `aggregate`
+//!   vs `partial(n−1)`, `partial(n−1)` vs `batched` (the lock-step
+//!   replication engine) and `batched` vs `wide` (the counter-rng lane
+//!   engine, whose statistical admission lives here): censored
+//!   consensus-time distribution (in rounds) plus the marginal `X_r` at
+//!   each early checkpoint round;
 //! * per-activation law — `sequential` vs `partial(1)`: censored
 //!   consensus-time distribution **in activations** plus marginals at
 //!   activation checkpoints (multiples of `n`);
@@ -191,9 +193,9 @@ impl ConformConfig {
     #[must_use]
     pub fn num_checks(&self) -> usize {
         let per_parallel_pair = 1 + self.checkpoints.len();
-        // Three adjacent parallel-law pairs: agent~aggregate,
-        // aggregate~partial(n−1), partial(n−1)~batched.
-        let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 3 * per_parallel_pair;
+        // Four adjacent parallel-law pairs: agent~aggregate,
+        // aggregate~partial(n−1), partial(n−1)~batched, batched~wide.
+        let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 4 * per_parallel_pair;
         let activation = self.cells.len() * self.ns.len() * (1 + self.act_checkpoint_mults.len());
         let dual = self.ns.len();
         parallel + activation + dual
@@ -289,7 +291,8 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
         for &n in &cfg.ns {
             let table = cell.table(n);
 
-            // Parallel law: agent ≡ aggregate ≡ partial(n−1) ≡ batched.
+            // Parallel law: agent ≡ aggregate ≡ partial(n−1) ≡ batched
+            // ≡ wide.
             for &start_kind in &cfg.starts {
                 let start = start_kind.configuration(n);
                 let prefix = format!("{}/n{}/{}", cell.label(), n, start_kind.label());
@@ -298,6 +301,7 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
                     ParallelBackend::Aggregate,
                     ParallelBackend::PartialFull,
                     ParallelBackend::Batched,
+                    ParallelBackend::Wide,
                 ];
                 let samples: Vec<RunSamples> = backends
                     .iter()
@@ -313,7 +317,7 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
                         )
                     })
                     .collect();
-                for (i, j) in [(0usize, 1usize), (1, 2), (2, 3)] {
+                for (i, j) in [(0usize, 1usize), (1, 2), (2, 3), (3, 4)] {
                     pair_checks(
                         &prefix,
                         (backends[i].name(), backends[j].name()),

@@ -7,7 +7,11 @@
 //! - `agent_step` — sequential-simulator activations per second (one
 //!   parallel round = `n` agent activations);
 //! - `aggregate_rounds` — aggregate exact-chain simulator rounds per
-//!   second (the engine behind every convergence sweep);
+//!   second (the solo reference chain);
+//! - `aggregate_rounds_l<ℓ>` / `simd_rounds` / `sharded_rounds` — wide
+//!   replication-engine replica-rounds per second: lock-step batches on
+//!   counter-rng streams, without and with pool sharding (the engine
+//!   behind large convergence sweeps);
 //! - `pool_scaling_w<k>` — replications per second through the persistent
 //!   worker pool at `k` workers, for `k` over `1, 2, 4, …, W` — the
 //!   scaling curve the CI pool-matrix job watches;
@@ -28,6 +32,7 @@ use bitdissem_sim::rng::{replication_seed, rng_from};
 use bitdissem_sim::run::Simulator;
 use bitdissem_sim::runner::replicate;
 use bitdissem_sim::sequential::SequentialSim;
+use bitdissem_sim::wide::{replicate_wide_observed, WideBatchedSim};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -136,35 +141,106 @@ fn bench_aggregate_rounds(ctx: &BenchCtx) -> BenchResult {
     BenchResult { id: "aggregate_rounds".to_string(), unit: "rounds_per_sec", samples }
 }
 
-/// Aggregate rounds per second at sample size `ell` (Minority dynamics).
+/// Replica-rounds per second at sample size `ell` (Minority dynamics) on
+/// the wide engine — the convergence-sweep hot path at its production
+/// shape: a lock-step batch of replicas hovering near the Minority-`ℓ`
+/// interior fixed point (`x₀ = n/2`), so nothing absorbs and every timed
+/// round exercises the full counter-rng + fused-alias-draw path.
 ///
-/// The start sits at `x₀ = n/2` — near the Minority-`ℓ` interior fixed
-/// point — so the chain hovers instead of absorbing and every timed round
-/// exercises the full adoption-probability + two-binomial hot path.
+/// Earlier baselines for this id timed one solo chain (serially dependent
+/// draws); since the wide engine landed, the id reports the *sustained
+/// total* replica-rounds/sec of a batch — same unit, the engine actually
+/// used for ℓ-sweeps at scale. Warm-up stays outside the timed window so
+/// one-time plan builds are already paid.
 fn bench_aggregate_rounds_ell(ctx: &BenchCtx, ell: usize) -> BenchResult {
     let n = ctx.scale.pick(1024u64, 4096, 16_384);
     let rounds = ctx.scale.pick(200u64, 1000, 5000);
+    let reps = 1024usize;
     let minority = Minority::new(ell).expect("odd ell >= 1");
+    let kernel = Arc::new(minority.to_table(n).expect("valid").compile().expect("compiles"));
     let start = Configuration::new(n, Opinion::One, n / 2).expect("x0 <= n");
     let samples = (0..ctx.samples())
         .map(|i| {
-            let mut rng = rng_from(replication_seed(ctx.seed ^ (ell as u64), i as u64));
-            let mut sim = AggregateSim::new(&minority, start).expect("valid protocol");
-            // Criterion-style warm-up outside the timed window (see
-            // `bench_aggregate_rounds`): sustained rounds/sec. The legacy
-            // path recomputed everything per round, so its committed
-            // baselines are already sustained-rate numbers.
+            let streams: Vec<u64> = (0..reps)
+                .map(|rep| replication_seed(ctx.seed ^ (ell as u64), (i * reps + rep) as u64))
+                .collect();
+            let mut batch = WideBatchedSim::new(Arc::clone(&kernel), start, &streams);
             for _ in 0..rounds {
-                sim.step_round(&mut rng);
+                batch.step_round();
             }
-            throughput(rounds as f64, || {
+            throughput((rounds * reps as u64) as f64, || {
                 for _ in 0..rounds {
-                    sim.step_round(&mut rng);
+                    batch.step_round();
                 }
+                assert_eq!(batch.round(), 2 * rounds);
             })
         })
         .collect();
     BenchResult { id: format!("aggregate_rounds_l{ell}"), unit: "rounds_per_sec", samples }
+}
+
+/// Wide-engine lane throughput: total replica-rounds per second of one
+/// large lock-step [`WideBatchedSim`] batch (hovering Minority ℓ = 5), the
+/// `simd_rounds` group gating the lane/fused-draw path in isolation —
+/// counter-word generation, step-cache hits, and alias draws, no pool.
+fn bench_simd_rounds(ctx: &BenchCtx) -> BenchResult {
+    let n = ctx.scale.pick(1024u64, 4096, 16_384);
+    let rounds = ctx.scale.pick(200u64, 1000, 5000);
+    let reps = 512usize;
+    let minority = Minority::new(5).expect("odd ell >= 1");
+    let kernel = Arc::new(minority.to_table(n).expect("valid").compile().expect("compiles"));
+    let start = Configuration::new(n, Opinion::One, n / 2).expect("x0 <= n");
+    let samples = (0..ctx.samples())
+        .map(|i| {
+            let streams: Vec<u64> = (0..reps)
+                .map(|rep| replication_seed(ctx.seed ^ 0x51D0, (i * reps + rep) as u64))
+                .collect();
+            let mut batch = WideBatchedSim::new(Arc::clone(&kernel), start, &streams);
+            for _ in 0..rounds {
+                batch.step_round();
+            }
+            throughput((rounds * reps as u64) as f64, || {
+                for _ in 0..rounds {
+                    batch.step_round();
+                }
+                assert_eq!(batch.round(), 2 * rounds);
+            })
+        })
+        .collect();
+    BenchResult { id: "simd_rounds".to_string(), unit: "rounds_per_sec", samples }
+}
+
+/// Sharded wide-engine throughput: total replica-rounds per second through
+/// [`replicate_wide_observed`] — the full production driver, pool sharding
+/// included. The hovering Minority start never absorbs, so every
+/// replication runs its whole budget and the workload is exactly
+/// `reps · budget` replica-rounds regardless of seed.
+fn bench_sharded_rounds(ctx: &BenchCtx) -> BenchResult {
+    let n = ctx.scale.pick(1024u64, 4096, 16_384);
+    let budget = ctx.scale.pick(400u64, 2000, 5000);
+    let reps = 256usize;
+    let minority = Minority::new(3).expect("odd ell >= 1");
+    let kernel = Arc::new(minority.to_table(n).expect("valid").compile().expect("compiles"));
+    let start = Configuration::new(n, Opinion::One, n / 2).expect("x0 <= n");
+    let indices: Vec<usize> = (0..reps).collect();
+    let obs = Obs::none();
+    let samples = (0..ctx.samples())
+        .map(|_| {
+            throughput((budget * reps as u64) as f64, || {
+                let out = replicate_wide_observed(
+                    &kernel,
+                    start,
+                    &indices,
+                    ctx.seed ^ 0x5A4D,
+                    None,
+                    budget,
+                    &obs,
+                );
+                assert_eq!(out.len(), reps);
+            })
+        })
+        .collect();
+    BenchResult { id: "sharded_rounds".to_string(), unit: "rounds_per_sec", samples }
 }
 
 /// Compiled-kernel adoption-probability evaluations per second.
@@ -355,6 +431,14 @@ pub fn run_all(ctx: &BenchCtx, obs: &Obs) -> Vec<BenchResult> {
         let _span = obs.span("bench/batched_rounds");
         results.push(bench_batched_rounds(ctx));
     }
+    {
+        let _span = obs.span("bench/simd_rounds");
+        results.push(bench_simd_rounds(ctx));
+    }
+    {
+        let _span = obs.span("bench/sharded_rounds");
+        results.push(bench_sharded_rounds(ctx));
+    }
     for workers in worker_counts(ctx.max_workers) {
         let _span = obs.span("bench/pool_scaling");
         results.push(bench_pool_scaling(ctx, workers));
@@ -407,6 +491,8 @@ mod tests {
                 "kernel_eval_l3",
                 "kernel_eval_l5",
                 "batched_rounds",
+                "simd_rounds",
+                "sharded_rounds",
                 "pool_scaling_w1",
                 "pool_scaling_w2",
                 "checkpoint_write",

@@ -18,6 +18,7 @@ use bitdissem_sim::batched::replicate_batched_observed;
 use bitdissem_sim::run::{run_to_consensus_observed, Outcome, Simulator};
 use bitdissem_sim::runner::replicate_indices_observed;
 use bitdissem_sim::sequential::SequentialSim;
+use bitdissem_sim::wide::replicate_wide_observed;
 use bitdissem_stats::Summary;
 
 use crate::config::ReplicationEngine;
@@ -295,11 +296,14 @@ where
 
 /// [`measure_convergence_observed`] with an explicit replication engine.
 ///
-/// Both engines share one compiled adoption [`Kernel`] (no per-replica
-/// table materialization) and derive each replication's RNG from its index
-/// alone, so the outcome vector is bit-identical across engines, thread
-/// counts, and checkpoint splicing — engine choice is purely a throughput
-/// knob.
+/// Every engine shares one compiled adoption [`Kernel`] (no per-replica
+/// table materialization) and derives each replication's randomness from
+/// its index alone, so the outcome vector is bit-deterministic across
+/// thread counts and checkpoint splicing. The batched and per-replica
+/// engines are additionally bit-identical to *each other*; the wide engine
+/// draws from counter-based streams (equivalent in law, KS-gated in
+/// conformance) and therefore checkpoints under a distinct batch-key kind
+/// — cached outcomes never splice across the stream boundary.
 #[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn measure_convergence_engine_observed<P>(
@@ -317,7 +321,11 @@ where
 {
     emit_batch_started(obs, "conv", protocol, start, reps, budget, seed);
     let kernel = compile_kernel(protocol, start.n());
-    let key_base = || batch_key("conv", protocol, start, budget, seed);
+    // The wide engine's draws come from a different randomness stream, so
+    // its checkpoints live under their own kind and never splice against
+    // the bit-identical batched/per-replica caches.
+    let kind = if engine == ReplicationEngine::Wide { "conv+wide" } else { "conv" };
+    let key_base = || batch_key(kind, protocol, start, budget, seed);
     let outcomes = match engine {
         ReplicationEngine::Batched => replicate_checkpointed(obs, key_base, reps, |missing| {
             replicate_batched_observed(&kernel, start, missing, seed, threads, budget, obs)
@@ -327,6 +335,9 @@ where
                 let mut sim = AggregateSim::with_kernel(Arc::clone(&kernel), start);
                 run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
             })
+        }),
+        ReplicationEngine::Wide => replicate_checkpointed(obs, key_base, reps, |missing| {
+            replicate_wide_observed(&kernel, start, missing, seed, threads, budget, obs)
         }),
     };
     OutcomeBatch::new(outcomes, budget)
@@ -706,6 +717,71 @@ mod tests {
         assert_eq!(resumed.outcomes(), full.outcomes());
         assert_eq!(obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed), 4);
         assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    fn wide_engine_is_deterministic_and_never_splices_other_engines() {
+        // The wide engine draws from counter streams, so (a) its outcome
+        // vector is identical for every thread count, and (b) its
+        // checkpoints live under "conv+wide" — a cache written by the
+        // batched engine must yield zero hits when resuming wide.
+        use bitdissem_obs::CheckpointLog;
+        use std::sync::Arc as StdArc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let obs = Obs::none();
+        let wide_a = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::Wide,
+            &voter,
+            start,
+            10,
+            100_000,
+            7,
+            Some(1),
+        );
+        let wide_b = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::Wide,
+            &voter,
+            start,
+            10,
+            100_000,
+            7,
+            Some(3),
+        );
+        assert_eq!(wide_a.outcomes(), wide_b.outcomes());
+
+        let log = StdArc::new(CheckpointLog::in_memory());
+        let obs = Obs::none().with_metrics().with_checkpoint(StdArc::clone(&log));
+        let _ = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &voter,
+            start,
+            10,
+            100_000,
+            7,
+            Some(2),
+        );
+        assert_eq!(log.len(), 10);
+        let wide_fresh = measure_convergence_engine_observed(
+            &obs,
+            ReplicationEngine::Wide,
+            &voter,
+            start,
+            10,
+            100_000,
+            7,
+            Some(2),
+        );
+        assert_eq!(
+            obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "wide must not resume from another engine's cache"
+        );
+        assert_eq!(log.len(), 20, "wide appends its own records under conv+wide");
+        assert_eq!(wide_fresh.outcomes(), wide_a.outcomes());
     }
 
     #[test]

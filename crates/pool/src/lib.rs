@@ -261,6 +261,26 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
+/// The process-wide effective parallelism: how many threads should
+/// *participate* in parallel work (the submitting thread plus background
+/// workers). `BITDISSEM_POOL_WORKERS` (historically the *background*
+/// worker count) plus one when set, otherwise the machine's full
+/// available parallelism; never less than 1.
+///
+/// This is the **single** resolver for worker-count defaults — the CLI
+/// and [`Pool::global`] both derive from it, so a machine uses all of its
+/// cores consistently instead of the CLI silently capping at a different
+/// number than the pool spawns.
+#[must_use]
+pub fn effective_parallelism() -> usize {
+    std::env::var("BITDISSEM_POOL_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|workers| workers.saturating_add(1))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .max(1)
+}
+
 /// A persistent pool of worker threads executing chunked work-stealing
 /// batches. See the crate docs for the architecture and the determinism
 /// contract.
@@ -294,22 +314,13 @@ impl Pool {
     }
 
     /// The shared process-wide pool, created on first use with
-    /// `BITDISSEM_POOL_WORKERS` background workers (default: available
-    /// parallelism minus one, since the submitter participates).
+    /// [`effective_parallelism`]` − 1` background workers (the submitter
+    /// participates, so total participants match the resolved
+    /// parallelism).
     #[must_use]
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            let workers = std::env::var("BITDISSEM_POOL_WORKERS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map_or(1, std::num::NonZero::get)
-                        .saturating_sub(1)
-                });
-            Pool::new(workers)
-        })
+        GLOBAL.get_or_init(|| Pool::new(effective_parallelism().saturating_sub(1)))
     }
 
     /// Number of background worker threads (excluding submitters).
@@ -541,6 +552,16 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn effective_parallelism_sizes_the_global_pool() {
+        // Whatever environment this runs under (the CI pool-matrix sets
+        // BITDISSEM_POOL_WORKERS to 1 and 8), the resolver and the global
+        // pool must agree: participants = background workers + submitter.
+        let participants = effective_parallelism();
+        assert!(participants >= 1);
+        assert_eq!(Pool::global().workers(), participants - 1);
     }
 
     #[test]

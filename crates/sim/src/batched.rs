@@ -625,6 +625,64 @@ mod tests {
     }
 
     #[test]
+    fn opinion_samples_match_the_per_replica_engine_across_retirement() {
+        // Audit of the retirement-round accounting (ISSUE 7 satellite):
+        // replicas retired mid-run by swap_remove must be charged ℓ·n for
+        // exactly the rounds they ran — the batch metric totals have to
+        // equal the per-replica reference engine's, replica by replica in
+        // aggregate. Minority ℓ = 3 from an off-center start staggers the
+        // retirement rounds, which is the regime the ℓ·n bug family hits.
+        // Voter ℓ = 3 from a supermajority start drifts to consensus at
+        // replica-dependent rounds.
+        let n = 120;
+        let voter3 = Voter::new(3).unwrap();
+        let kernel = kernel_of(&voter3, n);
+        let start = Configuration::new(n, Opinion::One, 80).unwrap();
+        let base = 31;
+        let reps = 12usize;
+        let budget = 400_000;
+
+        let batched_obs = Obs::none().with_metrics();
+        let labels: Vec<u64> = (0..reps as u64).collect();
+        let outcomes = BatchedAggregateSim::new(Arc::clone(&kernel), start, &seeds_for(base, reps))
+            .run_to_consensus_observed(budget, &batched_obs, &labels);
+        let distinct: std::collections::HashSet<u64> =
+            outcomes.iter().filter_map(Outcome::rounds).collect();
+        assert!(distinct.len() > 1, "retirement must be staggered for this test to bite");
+
+        let reference_obs = Obs::none().with_metrics();
+        let indices: Vec<usize> = (0..reps).collect();
+        let reference =
+            replicate_indices_observed(&indices, base, Some(2), &reference_obs, |mut rng, rep| {
+                let mut sim = AggregateSim::with_kernel(Arc::clone(&kernel), start);
+                crate::run::run_to_consensus_observed(
+                    &mut sim,
+                    &mut rng,
+                    budget,
+                    &reference_obs,
+                    rep as u64,
+                )
+            });
+        assert_eq!(outcomes, reference);
+
+        let load = |obs: &Obs| {
+            let m = obs.metrics();
+            (
+                m.rounds_simulated.load(std::sync::atomic::Ordering::Relaxed),
+                m.opinion_samples.load(std::sync::atomic::Ordering::Relaxed),
+            )
+        };
+        let (batched_rounds, batched_samples) = load(&batched_obs);
+        let (reference_rounds, reference_samples) = load(&reference_obs);
+        assert_eq!(batched_rounds, reference_rounds);
+        assert_eq!(batched_samples, reference_samples);
+        // And both equal the closed form Σ rounds · ℓ · n.
+        let total_rounds: u64 = outcomes.iter().map(Outcome::rounds_censored).sum();
+        assert_eq!(batched_rounds, total_rounds);
+        assert_eq!(batched_samples, total_rounds * 3 * n);
+    }
+
+    #[test]
     fn observed_timeout_emits_timed_out_finishes() {
         let n = 16;
         let stay = Stay::new(1);

@@ -53,6 +53,7 @@ pub mod runner;
 pub mod sequential;
 pub mod stateful;
 pub mod trajectory;
+pub mod wide;
 
 pub use agent::AgentSim;
 pub use aggregate::AggregateSim;
@@ -63,3 +64,4 @@ pub use run::{
     run_with_exit_detection_observed, Outcome, Simulator, StabilityOutcome,
 };
 pub use runner::{replicate, replicate_indices_observed, replicate_observed, replicate_spawn};
+pub use wide::{replicate_wide_observed, WideBatchedSim};

@@ -31,6 +31,9 @@ const SLOTS: usize = 512;
 struct RoundPlan {
     /// The state this plan was built for (the slot tag).
     x: u64,
+    /// The source opinion this plan was built for (part of the tag: a plan
+    /// for `(x, z)` must never serve `(x, 1 − z)`).
+    z: u64,
     /// Non-source agents currently holding the correct opinion.
     keep_n: u64,
     /// Non-source agents currently holding the wrong opinion.
@@ -43,9 +46,11 @@ struct RoundPlan {
 
 /// Direct-mapped cache of [`RoundPlan`]s, indexed by `x & (SLOTS − 1)`.
 ///
-/// **Invariant:** one cache instance serves one `(kernel, n, z)` triple;
-/// owners must [`clear`](RoundPlanCache::clear) it if the source opinion
-/// changes (the kernel and `n` are fixed at simulator construction).
+/// One cache instance serves one `(kernel, n)` pair (both fixed at
+/// simulator construction). Slots are tagged with `(x, z)`, so a source
+/// flip mid-run is safe without an explicit [`clear`](RoundPlanCache::clear):
+/// a plan built for `(x, z)` misses when queried for `(x, 1 − z)` and is
+/// rebuilt in place.
 #[derive(Debug, Clone)]
 pub(crate) struct RoundPlanCache {
     slots: Vec<Option<RoundPlan>>,
@@ -86,13 +91,14 @@ impl RoundPlanCache {
     ) -> u64 {
         let slot = &mut self.slots[(x as usize) & (SLOTS - 1)];
         let plan = match slot {
-            Some(plan) if plan.x == x => plan,
+            Some(plan) if plan.x == x && plan.z == z => plan,
             _ => {
                 let (p0, p1) = kernel.eval(x as f64 / n as f64);
                 let keep_n = x - z;
                 let flip_n = n - x - (1 - z);
                 slot.insert(RoundPlan {
                     x,
+                    z,
                     keep_n,
                     flip_n,
                     keep: Plan::build(keep_n, p1),
@@ -156,6 +162,35 @@ mod tests {
                 assert_eq!(next, x, "consensus is absorbing");
                 assert_eq!(rng.random::<u64>(), probe.random::<u64>(), "no randomness consumed");
             }
+        }
+    }
+
+    /// Flipping the source opinion mid-run must not reuse plans built for
+    /// the old `z`: every draw after the flip has to match a cold cache
+    /// bit for bit. (Regression test: slots used to be tagged by `x`
+    /// alone, so a plan for `(x, 1)` silently served `(x, 0)`.)
+    #[test]
+    fn source_flip_mid_run_matches_cold_cache() {
+        let n = 256u64;
+        let kernel = Minority::new(3).unwrap().to_table(n).unwrap().compile().unwrap();
+        let mut warm = RoundPlanCache::new();
+        // Warm the cache for z = 1 over a band of states.
+        let mut x = n / 2;
+        let mut rng = rng_from(13);
+        for _ in 0..500 {
+            x = warm.step(&kernel, n, 1, x, &mut rng);
+        }
+        // Flip the source to z = 0 and replay against a cold cache: the
+        // warm cache's draws must be identical, state by state.
+        let mut cold = RoundPlanCache::new();
+        let mut a = rng_from(77);
+        let mut b = rng_from(77);
+        let mut xw = n / 2;
+        let mut xc = n / 2;
+        for round in 0..500 {
+            xw = warm.step(&kernel, n, 0, xw, &mut a);
+            xc = cold.step(&kernel, n, 0, xc, &mut b);
+            assert_eq!(xw, xc, "stale z-plan served at round {round}");
         }
     }
 
