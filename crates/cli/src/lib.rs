@@ -26,7 +26,11 @@
 //!   [--skip-faults]` — the differential conformance matrix: every
 //!   simulator backend driven from identical grids, KS-gated against a
 //!   shared false-alarm budget, plus checkpoint fault-injection scenarios;
-//!   writes a schema-versioned `CONFORM_<label>.json`.
+//!   writes a schema-versioned `CONFORM_<label>.json`;
+//! * `watch (--socket PATH [--snapshots N] | --prom FILE [--reconcile M.jsonl])`
+//!   — live telemetry view over a run's `--telemetry-socket` stream, or a
+//!   one-shot Prometheus exposition check with optional reconciliation
+//!   against the counter deltas recorded in a sweep's `manifests.jsonl`.
 //!
 //! All output goes through a returned `String` so the commands are unit
 //! testable.
@@ -98,6 +102,8 @@ pub fn usage() -> String {
      \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N]\n\
      \x20\x20\x20\x20 [--threads T] [--engine batched|per-replica|wide] [--csv] [--trace-out PATH]\n\
      \x20\x20\x20\x20 [--trace-every N] [--metrics] [--progress] [--checkpoint-dir DIR] [--resume]\n\
+     \x20\x20\x20\x20 [--telemetry-prom F] [--telemetry-out F] [--telemetry-socket S]\n\
+     \x20\x20\x20\x20 [--telemetry-interval-ms N]\n\
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
@@ -107,6 +113,7 @@ pub fn usage() -> String {
      \x20 bitdissem trace convert <in> <out>\n\
      \x20 bitdissem conform [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
      \x20\x20\x20\x20 [--skip-faults]\n\
+     \x20 bitdissem watch (--socket PATH [--snapshots N] | --prom FILE [--reconcile M.jsonl])\n\
      \n\
      conformance (conform):\n\
      \x20 drives every simulator backend (agent, aggregate, sequential, partial, dual) from\n\
@@ -145,6 +152,24 @@ pub fn usage() -> String {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 or 'wide' (counter-rng lanes; KS-gated vs the reference)\n\
      \x20 --resume           skip replications already in the checkpoint log\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (requires --checkpoint-dir; results stay bit-identical)\n\
+     \n\
+     live telemetry (run; any flag implies --metrics collection):\n\
+     \x20 --telemetry-prom F      rewrite a Prometheus text exposition atomically on every\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 snapshot (scrape F, or check it with 'watch --prom F')\n\
+     \x20 --telemetry-out F       append snapshots to a binary columnar trace ('bitdissem\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 trace F' analyzes it like any other trace)\n\
+     \x20 --telemetry-socket S    publish snapshots as JSON lines on a unix socket\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 ('bitdissem watch --socket S' is the live client)\n\
+     \x20 --telemetry-interval-ms N  snapshot interval (default 250)\n\
+     \n\
+     live view (watch):\n\
+     \x20 --socket PATH      stream snapshots from a run's --telemetry-socket; redraws\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 rates, ETA, span/latency quantiles, steal ratio live\n\
+     \x20 --snapshots N      stop after N snapshots (default: until the run ends)\n\
+     \x20 --prom FILE        parse a --telemetry-prom exposition and print its counters\n\
+     \x20 --reconcile M      with --prom: check exposition totals equal the summed\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 per-experiment counter deltas in a manifests.jsonl ledger;\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 exit status 1 on any mismatch\n\
      \n\
      protocols: voter, minority, majority, two-choices, lazy-voter, power-voter, anti-voter, stay\n"
         .to_string()
@@ -200,6 +225,7 @@ pub fn dispatch_full(args: &Args) -> CommandOutput {
         Some("bench") => cmd_bench(args),
         Some("trace") => cmd_trace(args),
         Some("conform") => cmd_conform(args),
+        Some("watch") => cmd_watch(args),
         Some(other) => CommandOutput::ok(
             format!("unknown command '{other}'\n\n{}", usage()),
             Status::UsageError,
@@ -246,7 +272,9 @@ fn build_obs(args: &Args) -> Result<Obs, String> {
     } else if args.get("trace-format").is_some() {
         return Err("--trace-format requires --trace-out".to_string());
     }
-    if args.flag("metrics") {
+    // Telemetry exporters read the shared metric cells, so any
+    // --telemetry-* flag implies collection even without --metrics.
+    if args.flag("metrics") || wants_telemetry(args) {
         obs = obs.with_metrics();
     }
     if args.flag("progress") {
@@ -273,6 +301,63 @@ fn build_obs(args: &Args) -> Result<Obs, String> {
     }
     let stride: u64 = args.get_parsed("trace-every", 1)?;
     Ok(obs.with_round_stride(stride))
+}
+
+/// Whether any telemetry exporter flag is present.
+fn wants_telemetry(args: &Args) -> bool {
+    ["telemetry-prom", "telemetry-out", "telemetry-socket"].iter().any(|k| args.get(k).is_some())
+}
+
+/// Builds the exporter stack from the `--telemetry-*` flags and starts
+/// the snapshot thread. Returns `None` when no exporter flag is present,
+/// so plain runs never pay for a snapshot thread.
+fn start_cli_telemetry(
+    args: &Args,
+    obs: &Obs,
+) -> Result<Option<bitdissem_obs::TelemetryHandle>, String> {
+    use bitdissem_obs::telemetry::{ColumnarTelemetryExporter, PrometheusExporter};
+    let mut exporters: Vec<Box<dyn bitdissem_obs::TelemetryExporter>> = Vec::new();
+    if let Some(path) = args.get("telemetry-prom") {
+        if path.is_empty() {
+            return Err("--telemetry-prom needs a file path".to_string());
+        }
+        exporters.push(Box::new(PrometheusExporter::new(std::path::Path::new(path))));
+    }
+    if let Some(path) = args.get("telemetry-out") {
+        if path.is_empty() {
+            return Err("--telemetry-out needs a file path".to_string());
+        }
+        let exporter = ColumnarTelemetryExporter::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot create telemetry trace '{path}': {e}"))?;
+        exporters.push(Box::new(exporter));
+    }
+    if let Some(path) = args.get("telemetry-socket") {
+        if path.is_empty() {
+            return Err("--telemetry-socket needs a socket path".to_string());
+        }
+        #[cfg(unix)]
+        {
+            let publisher =
+                bitdissem_obs::telemetry::SocketPublisher::bind(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot bind telemetry socket '{path}': {e}"))?;
+            exporters.push(Box::new(publisher));
+        }
+        #[cfg(not(unix))]
+        return Err("--telemetry-socket requires a unix platform".to_string());
+    }
+    if exporters.is_empty() {
+        if args.get("telemetry-interval-ms").is_some() {
+            return Err("--telemetry-interval-ms requires a telemetry exporter flag".to_string());
+        }
+        return Ok(None);
+    }
+    let interval_ms: u64 = args.get_parsed("telemetry-interval-ms", 250)?;
+    Ok(Some(bitdissem_obs::start_telemetry(
+        Arc::clone(obs.metrics()),
+        obs.progress().cloned(),
+        std::time::Duration::from_millis(interval_ms),
+        exporters,
+    )))
 }
 
 /// Appends each run's manifest to `<dir>/manifests.jsonl`, giving a
@@ -312,6 +397,10 @@ fn cmd_run(args: &Args) -> CommandOutput {
         Ok(obs) => obs,
         Err(e) => return usage_error(format!("{e}\n")),
     };
+    let telemetry = match start_cli_telemetry(args, &obs) {
+        Ok(t) => t,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
 
     let ids: Vec<String> = if id == "all" {
         registry::all().iter().map(|e| e.id.to_string()).collect()
@@ -348,6 +437,12 @@ fn cmd_run(args: &Args) -> CommandOutput {
     }
     if let Some(progress) = obs.progress() {
         progress.finish();
+    }
+    // Stop after every experiment finished: the final snapshot then
+    // carries the run's complete totals, which reconcile exactly with the
+    // summed per-experiment counter deltas in manifests.jsonl.
+    if let Some(handle) = telemetry {
+        handle.stop();
     }
     if args.flag("metrics") {
         stderr.push_str(&obs.metrics().render());
@@ -426,8 +521,15 @@ fn cmd_bench(args: &Args) -> CommandOutput {
         }
     };
 
+    let telemetry = match start_cli_telemetry(args, &obs) {
+        Ok(t) => t,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
     let ctx = BenchCtx::new(scale, seed, max_workers);
     let results = bench_run_all(&ctx, &obs);
+    if let Some(handle) = telemetry {
+        handle.stop();
+    }
 
     let mut record = BenchRecord::new(&label, scale.name(), seed, max_workers as u64);
     for r in &results {
@@ -853,6 +955,260 @@ fn cmd_exact(args: &Args) -> CommandOutput {
     CommandOutput::ok(out, Status::Ok)
 }
 
+// ---------------------------------------------------------------------------
+// watch: live telemetry view and exposition reconciliation
+// ---------------------------------------------------------------------------
+
+/// Seconds rendered for humans: `42.0s`, `3m05s`, `2h14m`.
+fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() || s < 0.0 {
+        return "-".to_string();
+    }
+    if s >= 3600.0 {
+        format!("{:.0}h{:02.0}m", (s / 3600.0).floor(), (s % 3600.0) / 60.0)
+    } else if s >= 60.0 {
+        format!("{:.0}m{:02.0}s", (s / 60.0).floor(), s % 60.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+/// Nanoseconds rendered with an adaptive unit.
+fn fmt_nanos(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders one telemetry snapshot as the multi-line live view.
+#[allow(clippy::cast_precision_loss)]
+fn render_watch(snap: &bitdissem_obs::TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bitdissem telemetry  snapshot v{}  elapsed {}",
+        snap.version,
+        fmt_secs(snap.elapsed_us as f64 / 1e6)
+    );
+    if let Some(p) = &snap.progress {
+        if p.total > 0 {
+            let pct = 100.0 * p.done as f64 / p.total as f64;
+            let _ = writeln!(
+                out,
+                "progress   {}/{} ({pct:.1}%)  {:.1}/s  eta {}",
+                p.done,
+                p.total,
+                p.rate_per_sec,
+                fmt_secs(p.eta_secs)
+            );
+        } else {
+            // Indeterminate total: no percentage or ETA to show.
+            let _ = writeln!(out, "progress   {} done  {:.1}/s", p.done, p.rate_per_sec);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "pool       steal ratio {:.3}  checkpoint hit rate {:.3}",
+        snap.steal_ratio(),
+        snap.checkpoint_hit_rate()
+    );
+    let _ = writeln!(out, "counters:");
+    for (name, v) in &snap.counters {
+        let rate = snap.rates.iter().find(|(n, _)| n == name).map_or(0.0, |&(_, r)| r);
+        let _ = writeln!(out, "  {name:<22} {:>14}  {:>12}/s", fmt_num(*v as f64), fmt_num(rate));
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<22} {v:>14}");
+        }
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "spans (p50 / p90 / p99):");
+        for (path, q) in &snap.spans {
+            // Indent by path depth so nested span paths read as a tree.
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{:indent$}{leaf}", "", indent = 2 + 2 * depth);
+            let _ = writeln!(
+                out,
+                "{label:<24} {:>9} / {:>9} / {:>9}  (n={})",
+                fmt_nanos(q.p50),
+                fmt_nanos(q.p90),
+                fmt_nanos(q.p99),
+                q.count
+            );
+        }
+    }
+    out
+}
+
+fn cmd_watch(args: &Args) -> CommandOutput {
+    match (args.get("socket"), args.get("prom")) {
+        (Some(_), Some(_)) => usage_error("watch takes --socket or --prom, not both\n"),
+        (Some(path), None) => watch_socket(args, path),
+        (None, Some(path)) => watch_prom(args, path),
+        (None, None) => usage_error("watch needs --socket PATH or --prom FILE\n"),
+    }
+}
+
+/// Streams snapshots from a run's `--telemetry-socket`, redrawing the
+/// live view on stderr (full-screen when stderr is a terminal, one block
+/// per snapshot otherwise). The last snapshot is returned on stdout so
+/// the command composes with pipes and tests.
+#[cfg(unix)]
+fn watch_socket(args: &Args, path: &str) -> CommandOutput {
+    use std::io::{BufRead as _, IsTerminal as _, Write as _};
+    let snapshots: u64 = match args.get_parsed("snapshots", 0u64) {
+        Ok(n) => n,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let stream = match std::os::unix::net::UnixStream::connect(path) {
+        Ok(s) => s,
+        Err(e) => {
+            return usage_error(format!("cannot connect to telemetry socket '{path}': {e}\n"))
+        }
+    };
+    let live_tty = std::io::stderr().is_terminal();
+    let mut seen = 0u64;
+    let mut last = None;
+    for line in std::io::BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        let Some(snap) = bitdissem_obs::TelemetrySnapshot::from_json(line.trim()) else {
+            continue;
+        };
+        let view = render_watch(&snap);
+        let mut err = std::io::stderr().lock();
+        if live_tty {
+            // Clear + home between frames so the view redraws in place.
+            let _ = write!(err, "\x1b[2J\x1b[H{view}");
+        } else {
+            let _ = writeln!(err, "{view}");
+        }
+        let _ = err.flush();
+        seen += 1;
+        last = Some(snap);
+        if snapshots > 0 && seen >= snapshots {
+            break;
+        }
+    }
+    match last {
+        None => CommandOutput {
+            stdout: String::new(),
+            stderr: format!("no snapshots received from '{path}'\n"),
+            status: Status::CheckFailed,
+        },
+        Some(snap) => CommandOutput::ok(
+            format!("{}watched {seen} snapshot(s)\n", render_watch(&snap)),
+            Status::Ok,
+        ),
+    }
+}
+
+#[cfg(not(unix))]
+fn watch_socket(_args: &Args, _path: &str) -> CommandOutput {
+    usage_error("watch --socket requires a unix platform\n")
+}
+
+/// Parses a `--telemetry-prom` exposition file, prints its counter
+/// totals, and (with `--reconcile`) checks them against the summed
+/// per-experiment counter deltas of a `manifests.jsonl` ledger.
+fn watch_prom(args: &Args, path: &str) -> CommandOutput {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return usage_error(format!("cannot read exposition '{path}': {e}\n")),
+    };
+    let samples = match bitdissem_obs::telemetry::parse_prometheus(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            return CommandOutput {
+                stdout: String::new(),
+                stderr: format!("malformed exposition '{path}': {e}\n"),
+                status: Status::CheckFailed,
+            }
+        }
+    };
+    let counters: Vec<(&str, f64)> = samples
+        .iter()
+        .filter_map(|s| {
+            let name = s.name.strip_prefix("bitdissem_")?.strip_suffix("_total")?;
+            Some((name, s.value))
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exposition '{path}': {} samples, {} counters",
+        samples.len(),
+        counters.len()
+    );
+    for (name, v) in &counters {
+        let _ = writeln!(out, "  {name:<22} {:>14}", fmt_num(*v));
+    }
+    let Some(manifests_path) = args.get("reconcile") else {
+        return CommandOutput::ok(out, Status::Ok);
+    };
+    let ledger = match std::fs::read_to_string(manifests_path) {
+        Ok(t) => t,
+        Err(e) => return usage_error(format!("cannot read manifests '{manifests_path}': {e}\n")),
+    };
+    let mut sums: Vec<(String, u64)> = Vec::new();
+    let mut runs = 0usize;
+    for line in ledger.lines().filter(|l| !l.trim().is_empty()) {
+        let manifest = match bitdissem_obs::RunManifest::from_json(line) {
+            Ok(m) => m,
+            Err(e) => {
+                return CommandOutput {
+                    stdout: out,
+                    stderr: format!("bad manifest line in '{manifests_path}': {e}\n"),
+                    status: Status::CheckFailed,
+                }
+            }
+        };
+        runs += 1;
+        for (name, v) in &manifest.counters {
+            match sums.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total += v,
+                None => sums.push((name.clone(), *v)),
+            }
+        }
+    }
+    let _ = writeln!(out, "reconciling against {runs} manifest(s) from '{manifests_path}':");
+    if sums.is_empty() {
+        let _ = writeln!(out, "  no counter deltas recorded (run with a --telemetry-* flag)");
+        return CommandOutput { stdout: out, stderr: String::new(), status: Status::CheckFailed };
+    }
+    let mut mismatches = 0usize;
+    #[allow(clippy::cast_precision_loss)]
+    for (name, expect) in &sums {
+        let got = counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        let ok = got == Some(*expect as f64);
+        mismatches += usize::from(!ok);
+        let _ = writeln!(
+            out,
+            "  {name:<22} manifests {:>14}  exposition {:>14}  {}",
+            fmt_num(*expect as f64),
+            got.map_or_else(|| "missing".to_string(), fmt_num),
+            if ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    if mismatches == 0 {
+        let _ = writeln!(out, "verdict: exposition reconciles with the manifest ledger");
+        CommandOutput::ok(out, Status::Ok)
+    } else {
+        let _ = writeln!(out, "verdict: {mismatches} counter(s) disagree");
+        CommandOutput { stdout: out, stderr: String::new(), status: Status::CheckFailed }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -996,11 +1352,12 @@ mod tests {
         assert!(out.stderr.contains("rounds_simulated"), "{}", out.stderr);
         assert!(out.stderr.contains("\"experiment_id\":\"e2\""), "manifest line: {}", out.stderr);
         assert!(out.stderr.contains("replicate"), "per-phase timings: {}", out.stderr);
-        // The counters must be live, not zero.
+        // The counters must be live, not zero. Skip the manifest JSON
+        // line, which also names every counter (as per-run deltas).
         let rounds: u64 = out
             .stderr
             .lines()
-            .find(|l| l.contains("rounds_simulated"))
+            .find(|l| l.contains("rounds_simulated") && !l.starts_with("manifest:"))
             .and_then(|l| l.split_whitespace().last())
             .and_then(|v| v.parse().ok())
             .unwrap();
@@ -1139,7 +1496,7 @@ mod tests {
         let hits = |stderr: &str| -> u64 {
             stderr
                 .lines()
-                .find(|l| l.contains("checkpoint_hits"))
+                .find(|l| l.contains("checkpoint_hits") && !l.starts_with("manifest:"))
                 .and_then(|l| l.split_whitespace().last())
                 .and_then(|v| v.parse().ok())
                 .unwrap()
@@ -1583,6 +1940,143 @@ mod tests {
         let (out, status) = run_cli(&["trace", path.to_str().unwrap()]);
         assert_eq!(status, Status::Ok, "{out}");
         assert!(out.contains("torn block"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_needs_a_mode() {
+        let (out, status) = run_cli(&["watch"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("--socket PATH or --prom FILE"), "{out}");
+        let (_, status) = run_cli(&["watch", "--socket", "a", "--prom", "b"]);
+        assert_eq!(status, Status::UsageError);
+    }
+
+    #[test]
+    fn telemetry_flags_imply_metrics_collection() {
+        let obs = build_obs(&Args::parse(["run", "e2", "--telemetry-prom", "/tmp/x.prom"]))
+            .expect("obs builds");
+        assert!(obs.metrics_on(), "--telemetry-prom must switch metrics on");
+        let obs = build_obs(&Args::parse(["run", "e2"])).expect("obs builds");
+        assert!(!obs.metrics_on(), "plain runs keep metrics off");
+    }
+
+    #[test]
+    fn telemetry_interval_without_exporter_is_a_usage_error() {
+        let (out, status) =
+            run_cli(&["run", "e2", "--scale", "smoke", "--telemetry-interval-ms", "50"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("requires a telemetry exporter flag"), "{out}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn watch_socket_streams_live_snapshots() {
+        let path =
+            std::env::temp_dir().join(format!("bitdissem_watch_{}.sock", std::process::id()));
+        let metrics = Arc::new(bitdissem_obs::Metrics::new());
+        metrics.add_rounds(123);
+        metrics.record_latency(bitdissem_obs::LatencyId::Replication, 1_500_000);
+        let publisher = bitdissem_obs::telemetry::SocketPublisher::bind(&path).unwrap();
+        let handle = bitdissem_obs::start_telemetry(
+            Arc::clone(&metrics),
+            None,
+            std::time::Duration::from_millis(5),
+            vec![Box::new(publisher)],
+        );
+        let out = dispatch_full(&Args::parse([
+            "watch",
+            "--socket",
+            path.to_str().unwrap(),
+            "--snapshots",
+            "2",
+        ]));
+        handle.stop();
+        assert_eq!(out.status, Status::Ok, "{}{}", out.stdout, out.stderr);
+        assert!(out.stdout.contains("watched 2 snapshot(s)"), "{}", out.stdout);
+        assert!(out.stdout.contains("rounds_simulated"), "{}", out.stdout);
+        assert!(out.stdout.contains("p50 / p90 / p99"), "{}", out.stdout);
+        assert!(out.stdout.contains("steal ratio"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn run_with_telemetry_reconciles_prom_against_manifests() {
+        let dir = temp_dir("telemetry");
+        let prom = dir.join("metrics.prom");
+        let bct = dir.join("telemetry.bct");
+        let manifests = dir.join("manifests.jsonl");
+        let (out, status) = run_cli(&[
+            "run",
+            "e2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--telemetry-prom",
+            prom.to_str().unwrap(),
+            "--telemetry-out",
+            bct.to_str().unwrap(),
+            "--telemetry-interval-ms",
+            "10",
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+
+        // The final exposition parses and carries the run's counters.
+        let text = std::fs::read_to_string(&prom).unwrap();
+        let samples = bitdissem_obs::telemetry::parse_prometheus(&text).expect("exposition parses");
+        assert!(
+            samples.iter().any(|s| s.name == "bitdissem_rounds_simulated_total" && s.value > 0.0),
+            "{text}"
+        );
+
+        // Exposition totals reconcile with the summed manifest deltas.
+        let (out, status) = run_cli(&[
+            "watch",
+            "--prom",
+            prom.to_str().unwrap(),
+            "--reconcile",
+            manifests.to_str().unwrap(),
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("reconciles with the manifest ledger"), "{out}");
+
+        // The columnar telemetry series is a readable trace.
+        let (out, status) = run_cli(&["trace", bct.to_str().unwrap()]);
+        assert_eq!(status, Status::Ok, "{out}");
+
+        // A doctored exposition is caught.
+        std::fs::write(&prom, "bitdissem_rounds_simulated_total 1\n").unwrap();
+        let (out, status) = run_cli(&[
+            "watch",
+            "--prom",
+            prom.to_str().unwrap(),
+            "--reconcile",
+            manifests.to_str().unwrap(),
+        ]);
+        assert_eq!(status, Status::CheckFailed, "{out}");
+        assert!(out.contains("MISMATCH"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_without_telemetry_flags_matches_telemetry_run_output() {
+        let plain = dispatch_full(&Args::parse(["run", "e5", "--scale", "smoke", "--seed", "9"]));
+        let dir = temp_dir("telemetry_id");
+        let prom = dir.join("m.prom");
+        let teled = dispatch_full(&Args::parse([
+            "run",
+            "e5",
+            "--scale",
+            "smoke",
+            "--seed",
+            "9",
+            "--telemetry-prom",
+            prom.to_str().unwrap(),
+        ]));
+        assert_eq!(plain.status, teled.status);
+        assert_eq!(plain.stdout, teled.stdout, "telemetry must not perturb results");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

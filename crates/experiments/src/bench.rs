@@ -152,31 +152,119 @@ fn bench_aggregate_rounds(ctx: &BenchCtx) -> BenchResult {
 /// total* replica-rounds/sec of a batch — same unit, the engine actually
 /// used for ℓ-sweeps at scale. Warm-up stays outside the timed window so
 /// one-time plan builds are already paid.
-fn bench_aggregate_rounds_ell(ctx: &BenchCtx, ell: usize) -> BenchResult {
+///
+/// This function produces the `telemetry_overhead_l<ℓ>` id in the same
+/// breath: the two legs alternate *per sample* — one telemetry-off
+/// window (bare `step_round` loop, no metrics, no snapshot thread),
+/// then the identical workload through the observed loop with metrics
+/// on and a snapshot thread merging the sharded cells into a columnar
+/// telemetry trace at the CLI's default 250 ms cadence. Pairing at the
+/// sample level matters: whole-machine throughput on shared hosts
+/// drifts by tens of percent over minutes, so any comparison between
+/// distant suite slots would measure the weather, not the
+/// instrumentation. Each timed window is ~0.25 s — it spans a full
+/// snapshot interval, so a merge wake-up or a stray preemption
+/// amortizes instead of cratering a ~2 ms sample. Comparing the two
+/// medians bounds the live-telemetry overhead — the ≤2% budget the
+/// subsystem is gated on. The snapshot thread only runs during the
+/// telemetry-on legs, so the off legs are a true control.
+///
+/// Setup failures (unwritable temp dir) yield an empty telemetry-on
+/// sample list, like [`bench_checkpoint_write`].
+fn bench_aggregate_vs_telemetry(ctx: &BenchCtx, ell: usize) -> (BenchResult, BenchResult) {
     let n = ctx.scale.pick(1024u64, 4096, 16_384);
     let rounds = ctx.scale.pick(200u64, 1000, 5000);
     let reps = 1024usize;
     let minority = Minority::new(ell).expect("odd ell >= 1");
     let kernel = Arc::new(minority.to_table(n).expect("valid").compile().expect("compiles"));
     let start = Configuration::new(n, Opinion::One, n / 2).expect("x0 <= n");
-    let samples = (0..ctx.samples())
-        .map(|i| {
-            let streams: Vec<u64> = (0..reps)
-                .map(|rep| replication_seed(ctx.seed ^ (ell as u64), (i * reps + rep) as u64))
-                .collect();
+    let labels: Vec<u64> = (0..reps as u64).collect();
+    // Window sized to ~0.25s at every scale (the multiplier shrinks as
+    // `rounds` grows): long enough to span a full snapshot interval, so
+    // each telemetry-on window pays the merge's amortized cost instead
+    // of playing all-or-nothing roulette with the snapshot timer, and
+    // long enough that a stray preemption doesn't crater a sample.
+    // Debug builds only exercise the suite's *shape* (the smoke test);
+    // their timings are meaningless, so keep the windows tiny there.
+    let timed =
+        if cfg!(debug_assertions) { 2 * rounds } else { rounds * ctx.scale.pick(250u64, 50, 10) };
+    // 5x the suite's base sample count: this pair gates a ≤2% budget,
+    // which 3 smoke samples per leg cannot resolve against host noise —
+    // 15 alternating pairs tighten the median comparison toward the
+    // budget's resolution even on a noisy single-core host.
+    let samples = 5 * ctx.samples();
+    let mut off = Vec::with_capacity(samples);
+    let mut on = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let streams: Vec<u64> = (0..reps)
+            .map(|rep| replication_seed(ctx.seed ^ (ell as u64), (i * reps + rep) as u64))
+            .collect();
+        // Telemetry-off leg: the bare hot loop.
+        let run_off = || {
             let mut batch = WideBatchedSim::new(Arc::clone(&kernel), start, &streams);
             for _ in 0..rounds {
                 batch.step_round();
             }
-            throughput((rounds * reps as u64) as f64, || {
-                for _ in 0..rounds {
+            throughput((timed * reps as u64) as f64, || {
+                for _ in 0..timed {
                     batch.step_round();
                 }
-                assert_eq!(batch.round(), 2 * rounds);
+                assert_eq!(batch.round(), rounds + timed);
             })
-        })
-        .collect();
-    BenchResult { id: format!("aggregate_rounds_l{ell}"), unit: "rounds_per_sec", samples }
+        };
+        // Telemetry-on leg: same streams, fresh batch. Thread spawn/join
+        // and file create/delete stay outside the timed window.
+        let run_on = || {
+            let path = std::env::temp_dir().join(format!(
+                "bitdissem-bench-telemetry-l{ell}-{}-{}-{i}.bct",
+                std::process::id(),
+                ctx.seed
+            ));
+            let exporter =
+                bitdissem_obs::telemetry::ColumnarTelemetryExporter::create(&path).ok()?;
+            let obs = Obs::none().with_metrics();
+            // 250 ms is the CLI's default snapshot cadence — the
+            // configuration a production run actually ships with.
+            let handle = bitdissem_obs::start_telemetry(
+                Arc::clone(obs.metrics()),
+                None,
+                std::time::Duration::from_millis(250),
+                vec![Box::new(exporter) as Box<dyn bitdissem_obs::TelemetryExporter>],
+            );
+            let mut batch = WideBatchedSim::new(Arc::clone(&kernel), start, &streams);
+            let _ = batch.run_to_consensus_observed(rounds, &obs, &labels);
+            let sample = throughput((timed * reps as u64) as f64, || {
+                let _ = batch.run_to_consensus_observed(rounds + timed, &obs, &labels);
+                assert_eq!(batch.round(), rounds + timed);
+            });
+            handle.stop();
+            let _ = std::fs::remove_file(&path);
+            Some(sample)
+        };
+        // Alternate which leg goes first: host throughput oscillates on
+        // second scales, and a fixed leg order would alias that
+        // oscillation into a systematic off/on bias that the median
+        // cannot remove. Alternation turns it into symmetric noise.
+        if i % 2 == 0 {
+            off.push(run_off());
+            on.extend(run_on());
+        } else {
+            on.extend(run_on());
+            off.push(run_off());
+        }
+    }
+    (
+        BenchResult {
+            id: format!("aggregate_rounds_l{ell}"),
+            unit: "rounds_per_sec",
+            samples: off,
+        },
+        BenchResult {
+            id: format!("telemetry_overhead_l{ell}"),
+            unit: "rounds_per_sec",
+            samples: on,
+        },
+    )
 }
 
 /// Wide-engine lane throughput: total replica-rounds per second of one
@@ -420,8 +508,15 @@ pub fn run_all(ctx: &BenchCtx, obs: &Obs) -> Vec<BenchResult> {
         results.push(bench_aggregate_rounds(ctx));
     }
     for ell in [3, 5] {
-        let _span = obs.span("bench/aggregate_rounds_ell");
-        results.push(bench_aggregate_rounds_ell(ctx, ell));
+        // One function, two ids: the telemetry-overhead budget is a
+        // *relative* claim, so the off/on legs alternate sample-by-sample
+        // inside bench_aggregate_vs_telemetry — on a busy (or
+        // single-core) host, drift between distant suite slots would
+        // otherwise dominate the ≤2% margin this pair gates.
+        let _span = obs.span("bench/aggregate_vs_telemetry");
+        let (base, instrumented) = bench_aggregate_vs_telemetry(ctx, ell);
+        results.push(base);
+        results.push(instrumented);
     }
     for ell in [3, 5] {
         let _span = obs.span("bench/kernel_eval");
@@ -487,7 +582,9 @@ mod tests {
                 "agent_step",
                 "aggregate_rounds",
                 "aggregate_rounds_l3",
+                "telemetry_overhead_l3",
                 "aggregate_rounds_l5",
+                "telemetry_overhead_l5",
                 "kernel_eval_l3",
                 "kernel_eval_l5",
                 "batched_rounds",
@@ -501,7 +598,16 @@ mod tests {
             ]
         );
         for r in &results {
-            assert_eq!(r.samples.len(), 3, "{}: smoke takes 3 samples", r.id);
+            // The aggregate-vs-telemetry pair takes 5x samples: it gates
+            // a ≤2% overhead budget, which needs tighter medians.
+            let expected = if r.id.starts_with("aggregate_rounds_l")
+                || r.id.starts_with("telemetry_overhead_l")
+            {
+                15
+            } else {
+                3
+            };
+            assert_eq!(r.samples.len(), expected, "{}: smoke sample count", r.id);
             assert!(
                 r.samples.iter().all(|s| s.is_finite() && *s > 0.0),
                 "{}: throughputs must be positive, got {:?}",

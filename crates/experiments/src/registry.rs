@@ -159,6 +159,10 @@ pub fn run_observed(id: &str, cfg: &RunConfig, obs: &Obs) -> Option<ExperimentRe
 
     let manifest =
         RunManifest::begin(entry.id, cfg.seed, cfg.scale.name(), cfg.threads.unwrap_or(0));
+    // Snapshot the shared counters so the manifest can carry this
+    // experiment's *deltas*: summing the counters over all manifests of a
+    // run then reconciles exactly with the final telemetry export.
+    let counters_before = obs.metrics_on().then(|| obs.metrics().snapshot());
     let timer = bitdissem_obs::Timer::start();
     if obs.active() {
         obs.emit(&Event::ExperimentStarted {
@@ -171,7 +175,17 @@ pub fn run_observed(id: &str, cfg: &RunConfig, obs: &Obs) -> Option<ExperimentRe
 
     let mut report = (entry.run)(cfg, obs);
 
-    let manifest = manifest.finish(timer.elapsed());
+    let mut manifest = manifest.finish(timer.elapsed());
+    if let Some(before) = counters_before {
+        let after = obs.metrics().snapshot();
+        let deltas = after
+            .named()
+            .into_iter()
+            .zip(before.named())
+            .map(|((name, now), (_, then))| (name.to_string(), now.saturating_sub(then)))
+            .collect();
+        manifest = manifest.with_counters(deltas);
+    }
     if obs.active() {
         obs.emit(&Event::ExperimentFinished {
             id: entry.id.to_string(),

@@ -441,6 +441,7 @@ impl TraceAccumulator {
             Block::ExperimentFinished(rows) => self.events += rows.len(),
             Block::ConsensusExited(rows) => self.events += rows.len(),
             Block::Manifest(rows) => self.events += rows.len(),
+            Block::TelemetrySample(cols) => self.events += cols.len,
         }
     }
 

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use bitdissem_analysis::LowerBoundWitness;
 use bitdissem_core::{Configuration, GTable, Kernel, Opinion, Protocol, ProtocolExt};
-use bitdissem_obs::Obs;
+use bitdissem_obs::{GaugeId, Obs};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::batched::replicate_batched_observed;
 use bitdissem_sim::run::{run_to_consensus_observed, Outcome, Simulator};
@@ -171,6 +171,39 @@ fn emit_batch_started<P>(
     });
 }
 
+/// RAII gauge updates bracketing one replicated batch: bumps
+/// `sweep_batches_started` on construction, tracks `inflight_replications`
+/// around the engine call, and bumps `sweep_batches_done` on drop — so
+/// the live telemetry view sees batch progress even mid-engine-call.
+/// Inert when metrics are off.
+struct BatchGauges<'a> {
+    metrics: Option<&'a bitdissem_obs::Metrics>,
+}
+
+impl<'a> BatchGauges<'a> {
+    fn start(obs: &'a Obs) -> Self {
+        let metrics = obs.metrics_on().then(|| obs.metrics().as_ref());
+        if let Some(m) = metrics {
+            m.set_gauge(GaugeId::SweepBatchesTotal, m.gauge(GaugeId::SweepBatchesTotal) + 1);
+        }
+        BatchGauges { metrics }
+    }
+
+    fn set_inflight(&self, n: u64) {
+        if let Some(m) = self.metrics {
+            m.set_gauge(GaugeId::InflightReplications, n);
+        }
+    }
+}
+
+impl Drop for BatchGauges<'_> {
+    fn drop(&mut self) {
+        if let Some(m) = self.metrics {
+            m.set_gauge(GaugeId::SweepBatchesDone, m.gauge(GaugeId::SweepBatchesDone) + 1);
+        }
+    }
+}
+
 fn encode_outcome(outcome: Outcome) -> String {
     match outcome {
         Outcome::Converged { rounds } => format!("c:{rounds}"),
@@ -205,6 +238,16 @@ where
     K: FnOnce() -> String,
     R: FnOnce(&[usize]) -> Vec<Outcome>,
 {
+    // Batch lifecycle gauges for the live telemetry view: count the batch
+    // as started up front, mark the fresh replications in flight around
+    // the engine call, and count the batch done on the way out.
+    let gauges = BatchGauges::start(obs);
+    let run_missing = |missing: &[usize]| {
+        gauges.set_inflight(missing.len() as u64);
+        let fresh = run_missing(missing);
+        gauges.set_inflight(0);
+        fresh
+    };
     let Some(log) = obs.checkpoint().cloned() else {
         let all: Vec<usize> = (0..reps).collect();
         return run_missing(&all);

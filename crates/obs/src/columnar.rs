@@ -83,7 +83,8 @@ mod ty {
     pub const ROUND_COMPLETED: u8 = 5;
     pub const CONSENSUS_EXITED: u8 = 6;
     pub const MANIFEST: u8 = 7;
-    pub const MAX: u8 = MANIFEST;
+    pub const TELEMETRY_SAMPLE: u8 = 8;
+    pub const MAX: u8 = TELEMETRY_SAMPLE;
 }
 
 /// FNV-1a 64-bit over `bytes` — dependency-free integrity check, plenty
@@ -186,6 +187,7 @@ struct Buffers {
     round_completed: Vec<(u64, u64, u64, u8)>,
     consensus_exited: Vec<(u64, u64, u64)>,
     manifest: Vec<String>,
+    telemetry_sample: Vec<(u32, u64, u64, u64)>,
 }
 
 struct ColumnarInner {
@@ -263,6 +265,7 @@ impl ColumnarInner {
             ty::ROUND_COMPLETED => b.round_completed.len(),
             ty::CONSENSUS_EXITED => b.consensus_exited.len(),
             ty::MANIFEST => b.manifest.len(),
+            ty::TELEMETRY_SAMPLE => b.telemetry_sample.len(),
             _ => 0,
         }
     }
@@ -346,6 +349,10 @@ impl ColumnarInner {
                 self.buffers.consensus_exited.push((*rep, *entered, *exited));
             }
             Event::Manifest(m) => self.buffers.manifest.push(m.to_json()),
+            Event::TelemetrySample { series, version, elapsed_us, value } => {
+                let row = (self.intern(series), *version, *elapsed_us, *value);
+                self.buffers.telemetry_sample.push(row);
+            }
         }
     }
 }
@@ -386,6 +393,7 @@ fn event_type_id(event: &Event) -> u8 {
         Event::RoundCompleted { .. } => ty::ROUND_COMPLETED,
         Event::ConsensusExited { .. } => ty::CONSENSUS_EXITED,
         Event::Manifest(_) => ty::MANIFEST,
+        Event::TelemetrySample { .. } => ty::TELEMETRY_SAMPLE,
     }
 }
 
@@ -464,6 +472,13 @@ fn serialize_payload(type_id: u8, buffers: &mut Buffers) -> Vec<u8> {
         ty::MANIFEST => {
             let rows = std::mem::take(&mut buffers.manifest);
             rows.iter().for_each(|r| put_bytes(&mut p, r.as_bytes()));
+        }
+        ty::TELEMETRY_SAMPLE => {
+            let rows = std::mem::take(&mut buffers.telemetry_sample);
+            rows.iter().for_each(|r| put_u32(&mut p, r.0));
+            rows.iter().for_each(|r| put_u64(&mut p, r.1));
+            rows.iter().for_each(|r| put_u64(&mut p, r.2));
+            rows.iter().for_each(|r| put_u64(&mut p, r.3));
         }
         _ => unreachable!("serialize_payload called with dict/unknown type"),
     }
@@ -606,6 +621,39 @@ pub struct BatchHeader<'a> {
     pub g1: Vec<f64>,
 }
 
+/// Typed column views over one `TelemetrySample` block. The series
+/// column stays dictionary-encoded; resolve ids through
+/// [`TelemetryCols::series_name`].
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryCols<'a> {
+    /// Rows in the block.
+    pub len: usize,
+    /// Dictionary ids of the series paths.
+    series_ids: &'a [u8],
+    /// Resolved dictionary backing the series ids.
+    dict: &'a [String],
+    /// Snapshot version column.
+    pub version: U64Col<'a>,
+    /// Elapsed-microseconds column.
+    pub elapsed_us: U64Col<'a>,
+    /// Sampled-value column.
+    pub value: U64Col<'a>,
+}
+
+impl<'a> TelemetryCols<'a> {
+    /// The series path of row `i`, resolved from the dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn series_name(&self, i: usize) -> &'a str {
+        let id =
+            u32::from_le_bytes(self.series_ids[i * 4..i * 4 + 4].try_into().expect("4-byte chunk"));
+        self.dict[id as usize].as_str()
+    }
+}
+
 /// One validated block, exposed as typed columns. Rare block kinds
 /// (headers, manifests) decode to rows; hot kinds stay as column views.
 #[derive(Debug)]
@@ -624,6 +672,8 @@ pub enum Block<'a> {
     ConsensusExited(Vec<(u64, u64, u64)>),
     /// Embedded manifest JSON rows.
     Manifest(Vec<&'a str>),
+    /// Telemetry samples, as columns.
+    TelemetrySample(TelemetryCols<'a>),
 }
 
 struct BlockRef {
@@ -851,6 +901,7 @@ fn validate_payload(type_id: u8, count: usize, payload: &[u8], dict_len: usize) 
             }
             cur.pos == payload.len()
         }
+        ty::TELEMETRY_SAMPLE => fixed(4 + 8 + 8 + 8) && ids_in_dict(0),
         ty::MANIFEST => {
             let mut cur = Cursor { bytes: payload, pos: 0 };
             for _ in 0..count {
@@ -968,6 +1019,14 @@ fn decode_block<'a>(payload: &'a [u8], b: &BlockRef, dict: &'a [String]) -> Bloc
                 (0..count).map(|_| cur.str().expect("validated block geometry")).collect(),
             )
         }
+        ty::TELEMETRY_SAMPLE => Block::TelemetrySample(TelemetryCols {
+            len: count,
+            series_ids: &payload[..4 * count],
+            dict,
+            version: U64Col(&payload[4 * count..12 * count]),
+            elapsed_us: U64Col(&payload[12 * count..20 * count]),
+            value: U64Col(&payload[20 * count..28 * count]),
+        }),
         _ => unreachable!("dict blocks are consumed during the scan"),
     }
 }
@@ -1037,6 +1096,14 @@ fn block_to_events(block: Block<'_>) -> Vec<Event> {
             .filter_map(|s| {
                 let value = json::parse(s).ok()?;
                 RunManifest::from_value(&value).ok().map(Event::Manifest)
+            })
+            .collect(),
+        Block::TelemetrySample(c) => (0..c.len)
+            .map(|i| Event::TelemetrySample {
+                series: c.series_name(i).to_string(),
+                version: c.version.get(i),
+                elapsed_us: c.elapsed_us.get(i),
+                value: c.value.get(i),
             })
             .collect(),
     }
@@ -1126,6 +1193,18 @@ mod tests {
                 elapsed_us: 900,
             },
             Event::ExperimentFinished { id: "e2".to_string(), pass: true, elapsed_us: 1_000 },
+            Event::TelemetrySample {
+                series: "counter/rounds_simulated".to_string(),
+                version: 1,
+                elapsed_us: 250_000,
+                value: 4_964,
+            },
+            Event::TelemetrySample {
+                series: "span/replication/p99".to_string(),
+                version: 1,
+                elapsed_us: 250_000,
+                value: 880,
+            },
         ]
     }
 

@@ -130,6 +130,22 @@ pub enum Event {
     },
     /// The run manifest, embedded in the trace for self-description.
     Manifest(RunManifest),
+    /// One point of a live telemetry series: the value of one metric
+    /// (`counter/...`, `gauge/...`, `span/.../p99`, `progress/...`) as
+    /// observed by telemetry snapshot `version`. Emitted by the
+    /// columnar telemetry exporter so snapshot series ride the same
+    /// trace-store machinery (torn-tail repair, `trace` analytics) as
+    /// simulation events.
+    TelemetrySample {
+        /// Series path, e.g. `counter/rounds_simulated`.
+        series: String,
+        /// Snapshot sequence number the sample belongs to.
+        version: u64,
+        /// Microseconds since the snapshot thread started.
+        elapsed_us: u64,
+        /// Sampled value.
+        value: u64,
+    },
 }
 
 impl Event {
@@ -225,6 +241,15 @@ impl Event {
                 };
                 obj("manifest", fields)
             }
+            Event::TelemetrySample { series, version, elapsed_us, value } => obj(
+                "telemetry_sample",
+                vec![
+                    ("series".to_string(), Value::Str(series.clone())),
+                    ("version".to_string(), Value::Int(i128::from(*version))),
+                    ("elapsed_us".to_string(), Value::Int(i128::from(*elapsed_us))),
+                    ("value".to_string(), Value::Int(i128::from(*value))),
+                ],
+            ),
         }
     }
 
@@ -294,6 +319,12 @@ impl Event {
                 exited: u64_field("exited")?,
             }),
             "manifest" => RunManifest::from_value(&value).map(Event::Manifest),
+            "telemetry_sample" => Ok(Event::TelemetrySample {
+                series: str_field("series")?,
+                version: u64_field("version")?,
+                elapsed_us: u64_field("elapsed_us")?,
+                value: u64_field("value")?,
+            }),
             other => Err(format!("unknown event type '{other}'")),
         }
     }
@@ -353,6 +384,12 @@ mod tests {
             Event::RoundCompleted { rep: 0, round: 17, ones: 5, source_opinion: 1 },
             Event::ConsensusExited { rep: 2, entered: 40, exited: 55 },
             Event::Manifest(RunManifest::example()),
+            Event::TelemetrySample {
+                series: "counter/rounds_simulated".to_string(),
+                version: 12,
+                elapsed_us: 3_000_000,
+                value: 987_654_321,
+            },
         ]
     }
 

@@ -44,6 +44,7 @@ pub mod profile;
 pub mod progress;
 pub mod reader;
 pub mod sink;
+pub mod telemetry;
 pub mod time;
 
 pub use bench_record::{BenchEntry, BenchRecord, BENCH_SCHEMA_VERSION};
@@ -53,11 +54,14 @@ pub use event::{Event, ReplicationOutcome};
 pub use fault::FaultyWriter;
 pub use hist::LogHistogram;
 pub use manifest::RunManifest;
-pub use metrics::{Metrics, PhaseStat};
+pub use metrics::{CounterSnapshot, GaugeId, LatencyId, Metrics, PhaseStat, LATENCY_SAMPLE_EVERY};
 pub use profile::SpanGuard;
 pub use progress::Progress;
 pub use reader::{parse_trace, read_trace, stream_trace, StreamStats, TraceRead};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink};
+pub use telemetry::{
+    start_telemetry, Counter, SnapshotRing, TelemetryExporter, TelemetryHandle, TelemetrySnapshot,
+};
 pub use time::{Scope, Timer};
 
 use std::sync::Arc;

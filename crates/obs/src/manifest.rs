@@ -22,6 +22,12 @@ pub struct RunManifest {
     pub started_unix_ms: u64,
     /// Total run duration in microseconds.
     pub duration_us: u64,
+    /// Final metric counter totals (`(name, value)` in registry order;
+    /// see [`crate::metrics::CounterSnapshot::named`]). Empty when the
+    /// run had metrics off — older manifests without the field decode
+    /// to empty, so the schema stays backward compatible. Telemetry
+    /// exporters reconcile against these totals.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl RunManifest {
@@ -41,6 +47,7 @@ impl RunManifest {
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
             started_unix_ms,
             duration_us: 0,
+            counters: Vec::new(),
         }
     }
 
@@ -49,6 +56,20 @@ impl RunManifest {
     pub fn finish(mut self, elapsed: std::time::Duration) -> Self {
         self.duration_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         self
+    }
+
+    /// Attaches final counter totals (from
+    /// [`crate::Metrics::snapshot`]) for telemetry reconciliation.
+    #[must_use]
+    pub fn with_counters(mut self, counters: Vec<(String, u64)>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The recorded total for counter `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// A fixed manifest for tests and doc examples.
@@ -62,13 +83,14 @@ impl RunManifest {
             crate_version: "0.1.0".to_string(),
             started_unix_ms: 1_700_000_000_000,
             duration_us: 250_000,
+            counters: vec![("rounds_simulated".to_string(), 4_964)],
         }
     }
 
     /// Encodes the manifest as a JSON object value.
     #[must_use]
     pub fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             ("experiment_id".to_string(), Value::Str(self.experiment_id.clone())),
             ("seed".to_string(), Value::Int(i128::from(self.seed))),
             ("scale".to_string(), Value::Str(self.scale.clone())),
@@ -76,7 +98,19 @@ impl RunManifest {
             ("crate_version".to_string(), Value::Str(self.crate_version.clone())),
             ("started_unix_ms".to_string(), Value::Int(i128::from(self.started_unix_ms))),
             ("duration_us".to_string(), Value::Int(i128::from(self.duration_us))),
-        ])
+        ];
+        if !self.counters.is_empty() {
+            fields.push((
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::Int(i128::from(*v))))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Obj(fields)
     }
 
     /// Encodes the manifest as one compact JSON object string.
@@ -97,6 +131,16 @@ impl RunManifest {
         };
         let u64_field =
             |k: &str| value.get(k).and_then(Value::as_u64).ok_or(format!("missing {k}"));
+        let counters = match value.get("counters") {
+            Some(Value::Obj(pairs)) => pairs
+                .iter()
+                .map(|(n, v)| {
+                    v.as_u64().map(|v| (n.clone(), v)).ok_or(format!("ill-typed counter {n}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("ill-typed counters field".to_string()),
+            None => Vec::new(),
+        };
         Ok(RunManifest {
             experiment_id: str_field("experiment_id")?,
             seed: u64_field("seed")?,
@@ -105,6 +149,7 @@ impl RunManifest {
             crate_version: str_field("crate_version")?,
             started_unix_ms: u64_field("started_unix_ms")?,
             duration_us: u64_field("duration_us")?,
+            counters,
         })
     }
 
@@ -150,5 +195,23 @@ mod tests {
     #[test]
     fn missing_field_is_an_error() {
         assert!(RunManifest::from_json("{\"experiment_id\":\"e1\"}").is_err());
+    }
+
+    #[test]
+    fn counters_are_optional_and_round_trip() {
+        // Older manifests (no counters field) decode to empty.
+        let mut bare = RunManifest::example();
+        bare.counters.clear();
+        let back = RunManifest::from_json(&bare.to_json()).unwrap();
+        assert!(back.counters.is_empty());
+        // Attached totals survive the round trip and are queryable.
+        let m = bare.with_counters(vec![
+            ("rounds_simulated".to_string(), 123),
+            ("replications".to_string(), 4),
+        ]);
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.counter("rounds_simulated"), Some(123));
+        assert_eq!(back.counter("nope"), None);
     }
 }

@@ -1,36 +1,133 @@
-//! Coarse run metrics: lock-free counters plus named phase timers.
+//! Coarse run metrics: sharded lock-free counters plus named phase
+//! timers.
 
 use crate::hist::LogHistogram;
+use crate::telemetry::{AtomicHistogram, Counter};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// Number of hot-path latency channels (see [`LatencyId`]).
+pub const N_LATENCIES: usize = 2;
+/// Number of gauges (see [`GaugeId`]).
+pub const N_GAUGES: usize = 3;
+
+const LATENCY_NAMES: [&str; N_LATENCIES] = ["replication", "round_pass"];
+const GAUGE_NAMES: [&str; N_GAUGES] =
+    ["sweep_batches_started", "sweep_batches_done", "inflight_replications"];
+
+/// Hot-path latency channels, each backed by a striped
+/// [`AtomicHistogram`] so recording never contends across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyId {
+    /// One full replication (consensus run) on a pool worker.
+    Replication = 0,
+    /// One flat pass / round batch inside an engine's round loop.
+    RoundPass = 1,
+}
+
+/// Stride at which engine round loops time a [`LatencyId::RoundPass`]:
+/// every `LATENCY_SAMPLE_EVERY`-th round, not every round. A wide-engine
+/// round is a few microseconds, and the two `Instant::now()` calls
+/// bracketing it cost ~2-3% of the round on hosts with a slow clock
+/// source — systematic 1-in-8 sampling keeps the quantiles unbiased
+/// (round costs drift smoothly, they don't oscillate at the stride) while
+/// pushing the instrumentation under the telemetry overhead budget.
+/// Power of two, so the hot-loop stride check compiles to a mask.
+pub const LATENCY_SAMPLE_EVERY: u64 = 8;
+
+/// Instantaneous values set (not accumulated) by the workload driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeId {
+    /// Replicated batches started so far across the run's sweeps.
+    SweepBatchesTotal = 0,
+    /// Replicated batches finished so far across the run's sweeps.
+    SweepBatchesDone = 1,
+    /// Replications currently executing on the pool.
+    InflightReplications = 2,
+}
+
 /// Aggregated counters and phase timings for one run.
 ///
-/// Counters are relaxed atomics: instrumented code batches additions
-/// (e.g. once per replication, not once per round) so contention and
-/// overhead stay negligible.
-#[derive(Debug, Default)]
+/// Counters are striped across cache-line-padded cells (one per pool
+/// worker, see [`crate::telemetry::Counter`]): the write path is a
+/// relaxed increment on a line the calling thread owns, so per-round
+/// instrumentation from many workers never contends. Reads sum the
+/// stripes; the [`Counter::load`] signature mirrors `AtomicU64::load`
+/// so call sites written against the original shared-atomic fields
+/// compile unchanged.
+#[derive(Debug)]
 pub struct Metrics {
     /// Total parallel rounds simulated across all replications.
-    pub rounds_simulated: AtomicU64,
+    pub rounds_simulated: Counter,
     /// Total opinion samples drawn by agents (≈ rounds × population).
-    pub opinion_samples: AtomicU64,
+    pub opinion_samples: Counter,
     /// Independent RNG streams derived (one per replication).
-    pub rng_streams: AtomicU64,
+    pub rng_streams: Counter,
     /// Replications completed.
-    pub replications: AtomicU64,
+    pub replications: Counter,
     /// Batches submitted to the worker pool.
-    pub pool_batches: AtomicU64,
+    pub pool_batches: Counter,
     /// Tasks executed by the worker pool.
-    pub pool_tasks: AtomicU64,
+    pub pool_tasks: Counter,
     /// Chunks stolen from another participant's deque by the pool.
-    pub pool_steals: AtomicU64,
+    pub pool_steals: Counter,
     /// Replications satisfied from the checkpoint log instead of re-run.
-    pub checkpoint_hits: AtomicU64,
+    pub checkpoint_hits: Counter,
+    /// Replicas retired (reached consensus / budget) inside the batched
+    /// and wide lock-step engines.
+    pub replicas_retired: Counter,
+    gauges: [AtomicU64; N_GAUGES],
+    latencies: [AtomicHistogram; N_LATENCIES],
     phases: Mutex<BTreeMap<String, PhaseEntry>>,
     spans: Mutex<BTreeMap<String, LogHistogram>>,
+}
+
+/// Plain-value copy of every counter, taken by summing the stripes.
+///
+/// This is the compat read API: one call yields a coherent-enough view
+/// for end-of-run reporting, manifests, and snapshot deltas without
+/// touching the striped internals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// See [`Metrics::rounds_simulated`].
+    pub rounds_simulated: u64,
+    /// See [`Metrics::opinion_samples`].
+    pub opinion_samples: u64,
+    /// See [`Metrics::rng_streams`].
+    pub rng_streams: u64,
+    /// See [`Metrics::replications`].
+    pub replications: u64,
+    /// See [`Metrics::pool_batches`].
+    pub pool_batches: u64,
+    /// See [`Metrics::pool_tasks`].
+    pub pool_tasks: u64,
+    /// See [`Metrics::pool_steals`].
+    pub pool_steals: u64,
+    /// See [`Metrics::checkpoint_hits`].
+    pub checkpoint_hits: u64,
+    /// See [`Metrics::replicas_retired`].
+    pub replicas_retired: u64,
+}
+
+impl CounterSnapshot {
+    /// `(name, value)` pairs in fixed registry order — the canonical
+    /// naming used by every telemetry exporter and the run manifest.
+    #[must_use]
+    pub fn named(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rounds_simulated", self.rounds_simulated),
+            ("opinion_samples", self.opinion_samples),
+            ("rng_streams", self.rng_streams),
+            ("replications", self.replications),
+            ("pool_batches", self.pool_batches),
+            ("pool_tasks", self.pool_tasks),
+            ("pool_steals", self.pool_steals),
+            ("checkpoint_hits", self.checkpoint_hits),
+            ("replicas_retired", self.replicas_retired),
+        ]
+    }
 }
 
 /// Internal per-phase accumulator: the flat totals exposed as
@@ -51,6 +148,26 @@ pub struct PhaseStat {
     pub nanos: u64,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            rounds_simulated: Counter::new(),
+            opinion_samples: Counter::new(),
+            rng_streams: Counter::new(),
+            replications: Counter::new(),
+            pool_batches: Counter::new(),
+            pool_tasks: Counter::new(),
+            pool_steals: Counter::new(),
+            checkpoint_hits: Counter::new(),
+            replicas_retired: Counter::new(),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            latencies: std::array::from_fn(|_| AtomicHistogram::new()),
+            phases: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
 impl Metrics {
     /// Creates a zeroed metrics block.
     #[must_use]
@@ -60,34 +177,95 @@ impl Metrics {
 
     /// Adds to `rounds_simulated`.
     pub fn add_rounds(&self, n: u64) {
-        self.rounds_simulated.fetch_add(n, Ordering::Relaxed);
+        self.rounds_simulated.add(n);
     }
 
     /// Adds to `opinion_samples`.
     pub fn add_samples(&self, n: u64) {
-        self.opinion_samples.fetch_add(n, Ordering::Relaxed);
+        self.opinion_samples.add(n);
     }
 
     /// Adds to `rng_streams`.
     pub fn add_rng_streams(&self, n: u64) {
-        self.rng_streams.fetch_add(n, Ordering::Relaxed);
+        self.rng_streams.add(n);
     }
 
     /// Adds to `replications`.
     pub fn add_replications(&self, n: u64) {
-        self.replications.fetch_add(n, Ordering::Relaxed);
+        self.replications.add(n);
     }
 
     /// Records one pool batch: its task and steal counts.
     pub fn add_pool_batch(&self, tasks: u64, steals: u64) {
-        self.pool_batches.fetch_add(1, Ordering::Relaxed);
-        self.pool_tasks.fetch_add(tasks, Ordering::Relaxed);
-        self.pool_steals.fetch_add(steals, Ordering::Relaxed);
+        self.pool_batches.add(1);
+        self.pool_tasks.add(tasks);
+        self.pool_steals.add(steals);
     }
 
     /// Adds to `checkpoint_hits`.
     pub fn add_checkpoint_hits(&self, n: u64) {
-        self.checkpoint_hits.fetch_add(n, Ordering::Relaxed);
+        self.checkpoint_hits.add(n);
+    }
+
+    /// Adds to `replicas_retired`.
+    pub fn add_retired(&self, n: u64) {
+        self.replicas_retired.add(n);
+    }
+
+    /// Coherent plain-value copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            rounds_simulated: self.rounds_simulated.get(),
+            opinion_samples: self.opinion_samples.get(),
+            rng_streams: self.rng_streams.get(),
+            replications: self.replications.get(),
+            pool_batches: self.pool_batches.get(),
+            pool_tasks: self.pool_tasks.get(),
+            pool_steals: self.pool_steals.get(),
+            checkpoint_hits: self.checkpoint_hits.get(),
+            replicas_retired: self.replicas_retired.get(),
+        }
+    }
+
+    /// Sets gauge `id` to `v`.
+    pub fn set_gauge(&self, id: GaugeId, v: u64) {
+        self.gauges[id as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Current value of gauge `id`.
+    #[must_use]
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.gauges[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// All gauges as `(name, value)` pairs in registry order.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(&'static str, u64)> {
+        GAUGE_NAMES
+            .iter()
+            .zip(self.gauges.iter())
+            .map(|(&name, v)| (name, v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Records one latency sample (nanoseconds) into the striped
+    /// histogram for channel `id`. Lock-free; safe from any worker at
+    /// round-loop frequency.
+    #[inline]
+    pub fn record_latency(&self, id: LatencyId, nanos: u64) {
+        self.latencies[id as usize].record(nanos);
+    }
+
+    /// Merged snapshots of every latency channel, as `(name,
+    /// histogram)` pairs in registry order.
+    #[must_use]
+    pub fn latency_snapshots(&self) -> Vec<(&'static str, bitdissem_stats::LogHistogram)> {
+        LATENCY_NAMES
+            .iter()
+            .zip(self.latencies.iter())
+            .map(|(&name, h)| (name, h.snapshot()))
+            .collect()
     }
 
     /// Records one timed entry into phase `name`.
@@ -166,16 +344,9 @@ impl Metrics {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::from("metrics:\n");
-        let counter =
-            |label: &str, v: &AtomicU64| format!("  {:<24} {}\n", label, v.load(Ordering::Relaxed));
-        out.push_str(&counter("rounds_simulated", &self.rounds_simulated));
-        out.push_str(&counter("opinion_samples", &self.opinion_samples));
-        out.push_str(&counter("rng_streams", &self.rng_streams));
-        out.push_str(&counter("replications", &self.replications));
-        out.push_str(&counter("pool_batches", &self.pool_batches));
-        out.push_str(&counter("pool_tasks", &self.pool_tasks));
-        out.push_str(&counter("pool_steals", &self.pool_steals));
-        out.push_str(&counter("checkpoint_hits", &self.checkpoint_hits));
+        for (label, v) in self.snapshot().named() {
+            out.push_str(&format!("  {label:<24} {v}\n"));
+        }
         let phases = self.phase_histograms();
         if !phases.is_empty() {
             out.push_str("phases:\n");
@@ -236,6 +407,48 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_copies_every_counter() {
+        let m = Metrics::new();
+        m.add_rounds(4);
+        m.add_retired(3);
+        m.add_pool_batch(2, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.rounds_simulated, 4);
+        assert_eq!(snap.replicas_retired, 3);
+        assert_eq!(snap.pool_batches, 1);
+        assert_eq!(snap.pool_tasks, 2);
+        let named = snap.named();
+        assert_eq!(named.len(), 9);
+        assert_eq!(named[0], ("rounds_simulated", 4));
+        assert_eq!(named[8], ("replicas_retired", 3));
+    }
+
+    #[test]
+    fn gauges_store_and_read_back() {
+        let m = Metrics::new();
+        m.set_gauge(GaugeId::SweepBatchesTotal, 12);
+        m.set_gauge(GaugeId::SweepBatchesDone, 5);
+        assert_eq!(m.gauge(GaugeId::SweepBatchesTotal), 12);
+        let gauges = m.gauges();
+        assert_eq!(gauges[0], ("sweep_batches_started", 12));
+        assert_eq!(gauges[1], ("sweep_batches_done", 5));
+        assert_eq!(gauges[2], ("inflight_replications", 0));
+    }
+
+    #[test]
+    fn latency_channels_record_into_striped_histograms() {
+        let m = Metrics::new();
+        m.record_latency(LatencyId::Replication, 1_000);
+        m.record_latency(LatencyId::Replication, 2_000);
+        m.record_latency(LatencyId::RoundPass, 500);
+        let snaps = m.latency_snapshots();
+        assert_eq!(snaps[0].0, "replication");
+        assert_eq!(snaps[0].1.count(), 2);
+        assert_eq!(snaps[1].0, "round_pass");
+        assert_eq!(snaps[1].1.count(), 1);
+    }
+
+    #[test]
     fn phases_accumulate_and_sort() {
         let m = Metrics::new();
         m.record_phase("zeta", Duration::from_nanos(50));
@@ -287,6 +500,7 @@ mod tests {
         m.record_phase("simulate", Duration::from_millis(2));
         let text = m.render();
         assert!(text.contains("rounds_simulated"));
+        assert!(text.contains("replicas_retired"));
         assert!(text.contains('7'));
         assert!(text.contains("simulate"));
         assert!(text.contains("1 calls"));

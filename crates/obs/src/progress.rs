@@ -3,12 +3,24 @@
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Smoothing factor for the tick-rate EWMA: high enough to follow a
+/// sweep moving between batch regimes, low enough to damp per-tick
+/// scheduling jitter.
+const EWMA_ALPHA: f64 = 0.2;
 
 /// Thread-safe progress meter that rewrites one output line (`\r`).
 ///
 /// With a known total it only redraws when the integer percentage
 /// changes, so ticking from a tight loop is cheap. A total of `0` means
 /// indeterminate: every tick redraws a plain completion count.
+///
+/// Each tick also feeds an exponentially weighted moving average of the
+/// completion rate; the live line shows the smoothed rate plus an ETA
+/// when the total is known, and [`Progress::finish`] reports the final
+/// whole-run average rate. The telemetry snapshot thread reads the same
+/// estimators via [`Progress::rate_per_sec`] / [`Progress::eta_secs`].
 ///
 /// The meter owns its output line until [`Progress::finish`] is called,
 /// which erases the rewritten line and prints one final summary line —
@@ -23,6 +35,11 @@ pub struct Progress {
     /// Visible width of the most recent redraw (0 = nothing drawn yet).
     drawn_width: AtomicUsize,
     finished: AtomicBool,
+    started: Instant,
+    /// Nanoseconds since `started` at the previous tick.
+    last_tick_nanos: AtomicU64,
+    /// EWMA of the tick rate, stored as `f64::to_bits`.
+    ewma_rate: AtomicU64,
     out: Mutex<Box<dyn Write + Send>>,
 }
 
@@ -44,6 +61,9 @@ impl Progress {
             last_pct: AtomicU64::new(u64::MAX),
             drawn_width: AtomicUsize::new(0),
             finished: AtomicBool::new(false),
+            started: Instant::now(),
+            last_tick_nanos: AtomicU64::new(0),
+            ewma_rate: AtomicU64::new(0.0f64.to_bits()),
             out: Mutex::new(out),
         }
     }
@@ -59,6 +79,22 @@ impl Progress {
         let _ = out.flush();
     }
 
+    /// Folds `n` completed units into the rate EWMA. Concurrent tickers
+    /// race on the previous-tick timestamp; the estimate is statistical,
+    /// so the occasional lost update is acceptable.
+    fn update_rate(&self, n: u64) {
+        let now = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let prev = self.last_tick_nanos.swap(now, Ordering::Relaxed);
+        let dt = now.saturating_sub(prev);
+        if dt == 0 {
+            return;
+        }
+        let inst = n as f64 * 1e9 / dt as f64;
+        let old = f64::from_bits(self.ewma_rate.load(Ordering::Relaxed));
+        let next = if old == 0.0 { inst } else { EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * old };
+        self.ewma_rate.store(next.to_bits(), Ordering::Relaxed);
+    }
+
     /// Records `n` completed units and redraws if the meter moved.
     ///
     /// # Panics
@@ -66,6 +102,7 @@ impl Progress {
     /// Panics if a previous user of the meter panicked mid-draw.
     pub fn tick(&self, n: u64) {
         let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        self.update_rate(n);
         if self.finished.load(Ordering::Relaxed) {
             return;
         }
@@ -75,7 +112,20 @@ impl Progress {
         }
         let pct = (done.min(self.total) * 100) / self.total;
         if self.last_pct.swap(pct, Ordering::Relaxed) != pct {
-            self.draw(&format!("{}: {:>3}% ({}/{})", self.label, pct, done, self.total));
+            let rate = self.rate_per_sec();
+            let line = match self.eta_secs() {
+                Some(eta) if rate > 0.0 => format!(
+                    "{}: {:>3}% ({}/{}) {}/s eta {}",
+                    self.label,
+                    pct,
+                    done,
+                    self.total,
+                    fmt_rate(rate),
+                    fmt_eta(eta)
+                ),
+                _ => format!("{}: {:>3}% ({}/{})", self.label, pct, done, self.total),
+            };
+            self.draw(&line);
         }
     }
 
@@ -85,10 +135,55 @@ impl Progress {
         self.done.load(Ordering::Relaxed)
     }
 
+    /// Units expected in total (`0` = indeterminate).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smoothed completion rate in units per second (`0.0` before the
+    /// first tick).
+    #[must_use]
+    pub fn rate_per_sec(&self) -> f64 {
+        f64::from_bits(self.ewma_rate.load(Ordering::Relaxed))
+    }
+
+    /// Estimated seconds until `done` reaches `total`, from the smoothed
+    /// rate. `None` when the total is unknown, nothing has ticked yet,
+    /// or the meter is already complete.
+    #[must_use]
+    pub fn eta_secs(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let remaining = self.total.saturating_sub(self.done());
+        if remaining == 0 {
+            return Some(0.0);
+        }
+        let rate = self.rate_per_sec();
+        if rate > 0.0 {
+            Some(remaining as f64 / rate)
+        } else {
+            None
+        }
+    }
+
+    /// Whole-run average rate: units completed per second since the
+    /// meter was created.
+    #[must_use]
+    pub fn average_rate_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.done() as f64 / secs
+        }
+    }
+
     /// Finalizes the meter: erases the rewritten line and prints one
-    /// newline-terminated summary, leaving the cursor on a fresh line.
-    /// Idempotent — only the first call writes anything — and a meter
-    /// that never drew stays silent.
+    /// newline-terminated summary (including the final average rate),
+    /// leaving the cursor on a fresh line. Idempotent — only the first
+    /// call writes anything — and a meter that never drew stays silent.
     ///
     /// # Panics
     ///
@@ -102,14 +197,51 @@ impl Progress {
             return;
         }
         let done = self.done();
+        let rate = fmt_rate(self.average_rate_per_sec());
         let mut out = self.out.lock().expect("progress writer poisoned");
         let _ = write!(out, "\r{:width$}\r", "");
         if self.total == 0 {
-            let _ = writeln!(out, "{}: {} done", self.label, done);
+            let _ = writeln!(out, "{}: {} done ({rate}/s)", self.label, done);
         } else {
-            let _ = writeln!(out, "{}: {}/{} done", self.label, done.min(self.total), self.total);
+            let _ = writeln!(
+                out,
+                "{}: {}/{} done ({rate}/s)",
+                self.label,
+                done.min(self.total),
+                self.total
+            );
         }
         let _ = out.flush();
+    }
+}
+
+/// Compact rate: `8.6M`, `12.3k`, `45`, `1.5`.
+fn fmt_rate(r: f64) -> String {
+    if !r.is_finite() {
+        return "?".to_string();
+    }
+    if r >= 1e6 {
+        format!("{:.1}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else if r >= 10.0 {
+        format!("{r:.0}")
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Compact ETA: `2.1h`, `3.5m`, `42s`.
+fn fmt_eta(s: f64) -> String {
+    if !s.is_finite() {
+        return "?".to_string();
+    }
+    if s >= 3600.0 {
+        format!("{:.1}h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{s:.0}s")
     }
 }
 
@@ -119,6 +251,7 @@ impl std::fmt::Debug for Progress {
             .field("label", &self.label)
             .field("total", &self.total)
             .field("done", &self.done())
+            .field("rate_per_sec", &self.rate_per_sec())
             .field("finished", &self.finished.load(Ordering::Relaxed))
             .finish()
     }
@@ -172,6 +305,37 @@ mod tests {
     }
 
     #[test]
+    fn ticks_feed_the_rate_estimate() {
+        let (p, _) = meter("reps", 100);
+        assert_eq!(p.rate_per_sec(), 0.0);
+        assert_eq!(p.eta_secs(), None, "no rate before the first tick");
+        p.tick(10);
+        assert!(p.rate_per_sec() > 0.0, "EWMA primed by the first tick");
+        let eta = p.eta_secs().expect("known total + rate gives an ETA");
+        assert!(eta >= 0.0);
+        // Finishing the work pins the ETA to zero regardless of rate.
+        p.tick(90);
+        assert_eq!(p.eta_secs(), Some(0.0));
+    }
+
+    #[test]
+    fn indeterminate_meters_have_no_eta() {
+        let (p, _) = meter("work", 0);
+        p.tick(5);
+        assert!(p.rate_per_sec() > 0.0);
+        assert_eq!(p.eta_secs(), None);
+    }
+
+    #[test]
+    fn live_line_includes_rate_and_eta() {
+        let (p, buf) = meter("reps", 4);
+        p.tick(2);
+        let out = buf.contents();
+        assert!(out.contains("reps:  50% (2/4)"), "{out:?}");
+        assert!(out.contains("/s eta "), "{out:?}");
+    }
+
+    #[test]
     fn finish_clears_the_rewritten_line() {
         let (p, buf) = meter("reps", 4);
         p.tick(2);
@@ -183,8 +347,18 @@ mod tests {
         // is newline-terminated.
         let erase_start = out.rfind("\r\u{20}").expect("erase sequence present");
         let tail = &out[erase_start..];
-        assert!(tail.trim_start_matches(['\r', ' ']).starts_with("reps: 4/4 done"), "{out:?}");
-        assert!(out.ends_with("reps: 4/4 done\n"), "{out:?}");
+        assert!(tail.trim_start_matches(['\r', ' ']).starts_with("reps: 4/4 done ("), "{out:?}");
+        assert!(out.ends_with("/s)\n"), "{out:?}");
+    }
+
+    #[test]
+    fn finish_reports_the_final_rate() {
+        let (p, buf) = meter("reps", 2);
+        p.tick(2);
+        p.finish();
+        let out = buf.contents();
+        assert!(out.contains("reps: 2/2 done ("), "{out:?}");
+        assert!(out.ends_with("/s)\n"), "{out:?}");
     }
 
     #[test]
@@ -210,7 +384,9 @@ mod tests {
         let (p, buf) = meter("work", 0);
         p.tick(3);
         p.finish();
-        assert!(buf.contents().ends_with("work: 3 done\n"), "{:?}", buf.contents());
+        let out = buf.contents();
+        assert!(out.contains("work: 3 done ("), "{out:?}");
+        assert!(out.ends_with("/s)\n"), "{out:?}");
     }
 
     #[test]
@@ -232,5 +408,16 @@ mod tests {
         p.finish();
         let out = buf.contents();
         assert!(out.contains("\r           \r"), "{out:?}");
+    }
+
+    #[test]
+    fn rate_formats_compactly() {
+        assert_eq!(fmt_rate(2_500_000.0), "2.5M");
+        assert_eq!(fmt_rate(12_300.0), "12.3k");
+        assert_eq!(fmt_rate(45.0), "45");
+        assert_eq!(fmt_rate(1.52), "1.5");
+        assert_eq!(fmt_eta(7200.0), "2.0h");
+        assert_eq!(fmt_eta(90.0), "1.5m");
+        assert_eq!(fmt_eta(42.0), "42s");
     }
 }

@@ -40,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+use bitdissem_obs::telemetry::register_thread_slot;
+use bitdissem_obs::Counter;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -72,8 +74,12 @@ struct BatchCore<'a> {
     queues: Vec<Mutex<VecDeque<Range<usize>>>>,
     /// Runs a single task index.
     task: &'a (dyn Fn(usize) + Sync),
-    executed: AtomicU64,
-    steals: AtomicU64,
+    /// Striped per-participant counters (see [`bitdissem_obs::Counter`]):
+    /// the hot per-task / per-steal increments land on a cache line the
+    /// incrementing thread owns, so accounting never contends across
+    /// participants the way a shared atomic would.
+    executed: Counter,
+    steals: Counter,
     workers_used: AtomicU64,
     panicked: AtomicBool,
 }
@@ -95,8 +101,8 @@ impl<'a> BatchCore<'a> {
         BatchCore {
             queues: queues.into_iter().map(Mutex::new).collect(),
             task,
-            executed: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
+            executed: Counter::new(),
+            steals: Counter::new(),
             workers_used: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
         }
@@ -112,7 +118,7 @@ impl<'a> BatchCore<'a> {
         for off in 1..cap {
             let victim = (slot + off) % cap;
             if let Some(chunk) = self.queues[victim].lock().expect("queue poisoned").pop_back() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.steals.add(1);
                 return Some(chunk);
             }
         }
@@ -131,7 +137,7 @@ impl BatchRun for BatchCore<'_> {
                 if catch_unwind(AssertUnwindSafe(|| (self.task)(index))).is_err() {
                     self.panicked.store(true, Ordering::Relaxed);
                 }
-                self.executed.fetch_add(1, Ordering::Relaxed);
+                self.executed.add(1);
             }
         }
         if ran_any {
@@ -306,7 +312,13 @@ impl Pool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bitdissem-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        // Pin this worker to a stable telemetry stripe so
+                        // its counter increments always land on the same
+                        // cache-padded cell (see `bitdissem_obs::telemetry`).
+                        register_thread_slot(i);
+                        worker_loop(&shared);
+                    })
                     .expect("spawn pool worker")
             })
             .collect();

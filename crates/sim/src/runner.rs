@@ -123,9 +123,16 @@ where
         // Per-replication latency span: feeds the p50/p90/p99 histogram
         // under "replication" without touching the task's RNG or result.
         let _span = obs.span("replication");
+        let task_start = obs.metrics_on().then(std::time::Instant::now);
         let rep = indices[i];
         let rng = rng_from(replication_seed(base_seed, rep as u64));
         let r = f(rng, rep);
+        if let Some(start) = task_start {
+            obs.metrics().record_latency(
+                bitdissem_obs::LatencyId::Replication,
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         {
             let mut slots = slots.lock().expect("replication slots poisoned");
             debug_assert!(slots[i].is_none(), "replication {rep} produced twice");

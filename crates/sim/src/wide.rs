@@ -34,7 +34,7 @@
 use std::sync::{Arc, Mutex};
 
 use bitdissem_core::{Configuration, Kernel};
-use bitdissem_obs::{Event, Obs, ReplicationOutcome, Timer};
+use bitdissem_obs::{Event, LatencyId, Obs, ReplicationOutcome, Timer};
 use bitdissem_pool::Pool;
 
 use crate::binomial::{pmf_window, AliasTable, WideBinomial, MAX_ALIAS_SUPPORT};
@@ -467,7 +467,19 @@ impl WideBatchedSim {
             }
         }
         while self.live() > 0 && self.round < budget {
+            // Sampled 1-in-8: a round is microseconds, so timing every
+            // pass would itself cost a few percent (see
+            // LATENCY_SAMPLE_EVERY).
+            let pass_start = (obs.metrics_on()
+                && self.round.is_multiple_of(bitdissem_obs::LATENCY_SAMPLE_EVERY))
+            .then(std::time::Instant::now);
             self.step_round();
+            if let Some(start) = pass_start {
+                obs.metrics().record_latency(
+                    LatencyId::RoundPass,
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
             if !obs.active() {
                 continue;
             }
@@ -523,6 +535,8 @@ impl WideBatchedSim {
             }
             obs.metrics().add_rounds(rounds_total);
             obs.metrics().add_samples(samples_total);
+            let retired = self.converged_at.iter().filter(|c| c.is_some()).count();
+            obs.metrics().add_retired(retired as u64);
         }
         self.outcomes(budget)
     }

@@ -149,6 +149,44 @@ impl LogHistogram {
         Some(Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 })
     }
 
+    /// Rebuilds a histogram from externally accumulated per-bin counts —
+    /// the merge path for sharded atomic-bin collectors (see
+    /// `bitdissem_obs::telemetry`), which share this type's geometric
+    /// edges but accumulate counts lock-free elsewhere. The total count
+    /// is derived from the bins, so a snapshot taken mid-update is always
+    /// internally consistent.
+    ///
+    /// Returns `None` under the same bound validation as
+    /// [`LogHistogram::new`], or when `bin_counts` is empty.
+    #[must_use]
+    pub fn from_counts(
+        lo: f64,
+        hi: f64,
+        bin_counts: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+    ) -> Option<Self> {
+        let mut h = Self::new(lo, hi, bin_counts.len())?;
+        h.count = bin_counts.iter().sum::<u64>() + underflow + overflow;
+        h.bins = bin_counts;
+        h.underflow = underflow;
+        h.overflow = overflow;
+        Some(h)
+    }
+
+    /// The index a sample would land in: `None` for underflow/overflow,
+    /// `Some(bin)` otherwise. Exposed so external collectors can bin with
+    /// exactly this histogram's edges.
+    #[must_use]
+    pub fn bin_index(&self, v: f64) -> Option<usize> {
+        if !v.is_finite() || v < self.lo || v >= self.hi {
+            return None;
+        }
+        let nbins = self.bins.len();
+        let frac = (v / self.lo).ln() / (self.hi / self.lo).ln();
+        Some(((frac * nbins as f64) as usize).min(nbins - 1))
+    }
+
     /// Adds a sample. Values below `lo` count as underflow, values at or
     /// above `hi` as overflow; non-finite samples are ignored.
     pub fn add(&mut self, v: f64) {

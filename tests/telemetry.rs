@@ -1,0 +1,180 @@
+//! Live telemetry integration: sharded metric cells under concurrent
+//! writers must merge into internally consistent snapshots, and the
+//! columnar telemetry series must share the trace store's
+//! crash-recovery contract.
+//!
+//! Two contracts are gated here:
+//!
+//! 1. **Torn-free snapshots (proptest)** — concurrent stripe writers
+//!    racing a snapshotter: every merged histogram's count equals the
+//!    sum of its bins, per-bin counts and counter totals are monotone
+//!    across successive snapshots, and the final totals equal the sum
+//!    of per-worker contributions exactly.
+//! 2. **Crash mid-snapshot** — a `ColumnarTelemetryExporter` over a
+//!    `FaultyWriter` that dies mid-block leaves a file the reader
+//!    recovers a whole-snapshot prefix from and `repair()` truncates
+//!    back to a clean trace.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bitdissem_obs::columnar::{repair, Block, ColumnarReader, ColumnarSink};
+use bitdissem_obs::telemetry::{register_thread_slot, AtomicHistogram, ColumnarTelemetryExporter};
+use bitdissem_obs::{Counter, TelemetryExporter, TelemetrySnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn racing_snapshots_are_never_torn(
+        writers in 2usize..6,
+        adds_per_writer in 1u64..2_000,
+    ) {
+        let counter = Arc::new(Counter::new());
+        let hist = Arc::new(AtomicHistogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // The snapshotter races the writers and checks the merge
+        // invariants on every pass: a derived count that always equals
+        // the bin sum (no torn rows), and per-location monotonicity
+        // (relaxed loads of a single atomic are coherent, so a later
+        // snapshot can never read an older value).
+        let snap_counter = Arc::clone(&counter);
+        let snap_hist = Arc::clone(&hist);
+        let snap_stop = Arc::clone(&stop);
+        let snapshotter = std::thread::spawn(move || {
+            let mut last_total = 0u64;
+            let mut last_bins: Vec<u64> = Vec::new();
+            let mut snaps = 0u64;
+            while !snap_stop.load(Ordering::Relaxed) {
+                let total = snap_counter.get();
+                assert!(total >= last_total, "counter total went backwards");
+                last_total = total;
+                let h = snap_hist.snapshot();
+                let mut bins = vec![h.underflow()];
+                bins.extend_from_slice(h.bin_counts());
+                bins.push(h.overflow());
+                assert_eq!(
+                    h.count(),
+                    bins.iter().sum::<u64>(),
+                    "torn histogram: count disagrees with its bin sum"
+                );
+                if !last_bins.is_empty() {
+                    for (now, then) in bins.iter().zip(&last_bins) {
+                        assert!(now >= then, "a histogram bin went backwards");
+                    }
+                }
+                last_bins = bins;
+                snaps += 1;
+            }
+            snaps
+        });
+
+        let mut joins = Vec::new();
+        for w in 0..writers {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            joins.push(std::thread::spawn(move || {
+                register_thread_slot(w);
+                for i in 0..adds_per_writer {
+                    counter.add(1);
+                    // Samples spread over the underflow bin, the
+                    // geometric range, and a shared hot bin.
+                    hist.record(50 + (i % 64) * 1_000_000);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snaps = snapshotter.join().unwrap();
+        prop_assert!(snaps > 0, "the snapshotter must have raced at least once");
+
+        // Final totals equal the sum of per-worker contributions.
+        let expected = writers as u64 * adds_per_writer;
+        prop_assert_eq!(counter.get(), expected);
+        prop_assert_eq!(hist.snapshot().count(), expected);
+    }
+}
+
+/// A snapshot with enough rows (8 counters + 1 gauge) that a block tear
+/// lands strictly inside one snapshot's payload.
+fn sample_snapshot(version: u64) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        version,
+        unix_ms: 0,
+        elapsed_us: version * 1_000,
+        counters: (0..8).map(|i| (format!("c{i}"), version * 10 + i)).collect(),
+        rates: Vec::new(),
+        gauges: vec![("g".to_string(), version)],
+        spans: Vec::new(),
+        phases: Vec::new(),
+        progress: None,
+    }
+}
+
+/// Rows per [`sample_snapshot`]: its counters plus its gauge.
+const ROWS_PER_SNAPSHOT: usize = 9;
+
+fn export_snapshots(exporter: &mut ColumnarTelemetryExporter, n: u64) {
+    for v in 1..=n {
+        exporter.export(&sample_snapshot(v));
+    }
+    exporter.finish();
+}
+
+#[test]
+fn crash_mid_snapshot_repairs_to_a_clean_prefix() {
+    let dir =
+        std::env::temp_dir().join(format!("bitdissem_telemetry_crash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("telemetry.bct");
+
+    // Measure how many bytes three healthy snapshots need, then replay
+    // the identical stream through a writer that dies a few bytes short
+    // of the end — a crash mid-way through the last snapshot's block.
+    let healthy = {
+        let sink = ColumnarSink::create(&path).unwrap();
+        let mut exporter = ColumnarTelemetryExporter::with_sink(Box::new(sink));
+        export_snapshots(&mut exporter, 3);
+        drop(exporter);
+        usize::try_from(std::fs::metadata(&path).unwrap().len()).unwrap()
+    };
+
+    let file = std::fs::File::create(&path).unwrap();
+    let writer = bitdissem_obs::FaultyWriter::new(file).with_tear_after(healthy - 7);
+    let sink = ColumnarSink::from_writer(Box::new(writer)).unwrap();
+    let mut exporter = ColumnarTelemetryExporter::with_sink(Box::new(sink));
+    export_snapshots(&mut exporter, 3);
+    drop(exporter);
+
+    // The reader flags the tear and yields the complete snapshots.
+    let telemetry_rows = |reader: &ColumnarReader| {
+        let mut rows = 0usize;
+        for block in reader.blocks() {
+            if let Block::TelemetrySample(cols) = block {
+                rows += cols.len;
+            }
+        }
+        rows
+    };
+    let reader = ColumnarReader::open(&path).unwrap();
+    assert!(reader.torn_tail(), "the injected crash must be detected");
+    let rows = telemetry_rows(&reader);
+    assert!(
+        (2 * ROWS_PER_SNAPSHOT..3 * ROWS_PER_SNAPSHOT).contains(&rows),
+        "whole snapshots survive, the torn one is dropped: got {rows} rows"
+    );
+
+    // repair() truncates the torn tail; the file is then a clean trace.
+    let stats = repair(&path).unwrap();
+    assert!(stats.bytes_truncated > 0, "{stats:?}");
+    let reader = ColumnarReader::open(&path).unwrap();
+    assert!(!reader.torn_tail(), "repair must leave a clean trace");
+    assert_eq!(telemetry_rows(&reader), rows, "repair must keep the recovered prefix");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
