@@ -100,10 +100,10 @@ pub fn usage() -> String {
      usage:\n\
      \x20 bitdissem list\n\
      \x20 bitdissem run <experiment-id|all> [--scale smoke|standard|full] [--seed N]\n\
-     \x20\x20\x20\x20 [--threads T] [--engine batched|per-replica|wide] [--csv] [--trace-out PATH]\n\
-     \x20\x20\x20\x20 [--trace-every N] [--metrics] [--progress] [--checkpoint-dir DIR] [--resume]\n\
-     \x20\x20\x20\x20 [--telemetry-prom F] [--telemetry-out F] [--telemetry-socket S]\n\
-     \x20\x20\x20\x20 [--telemetry-interval-ms N]\n\
+     \x20\x20\x20\x20 [--threads T] [--engine batched|per-replica|wide] [--env SPEC] [--csv]\n\
+     \x20\x20\x20\x20 [--trace-out PATH] [--trace-every N] [--metrics] [--progress]\n\
+     \x20\x20\x20\x20 [--checkpoint-dir DIR] [--resume] [--telemetry-prom F] [--telemetry-out F]\n\
+     \x20\x20\x20\x20 [--telemetry-socket S] [--telemetry-interval-ms N]\n\
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
@@ -112,7 +112,7 @@ pub fn usage() -> String {
      \x20 bitdissem trace <run.jsonl|run.bct>\n\
      \x20 bitdissem trace convert <in> <out>\n\
      \x20 bitdissem conform [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
-     \x20\x20\x20\x20 [--skip-faults]\n\
+     \x20\x20\x20\x20 [--skip-faults] [--env SPEC]\n\
      \x20 bitdissem watch (--socket PATH [--snapshots N] | --prom FILE [--reconcile M.jsonl])\n\
      \n\
      conformance (conform):\n\
@@ -122,6 +122,18 @@ pub fn usage() -> String {
      \x20 errors, worker kill) and verifies bit-identical resume. Writes CONFORM_<label>.json\n\
      \x20 to --out (default: current directory); exit status 1 on any failed check.\n\
      \x20 --skip-faults      run only the differential matrix (no scratch files)\n\
+     \x20 --env SPEC         replace the preset env section's schedules with SPEC: every\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 parallel backend is KS-gated under that exact perturbation\n\
+     \n\
+     environment schedules (run, conform):\n\
+     \x20 --env SPEC         inject perturbations between rounds; comma-separated clauses:\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 flip@T / flip@every:P         source flips its opinion\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 noise:ETA                     per-round agent re-randomization\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 reset:k=K@T|every:P|adaptive[:TH]  adversarial reset of k agents\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 e.g. --env flip@500  --env noise:0.01  --env reset:k=100@adaptive\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 for run: recorded in manifests; perturbed batches checkpoint\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 under their own batch kind, so --resume never splices static\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 results into a perturbed sweep\n\
      \n\
      performance (bench):\n\
      \x20 --label L          name the output record BENCH_<L>.json (default: the scale name)\n\
@@ -370,6 +382,18 @@ fn append_manifest(dir: &str, manifest: &bitdissem_obs::RunManifest) {
     let _ = bitdissem_obs::durable::atomic_append_line(&path, &manifest.to_json());
 }
 
+/// Parses the `--env` perturbation-schedule flag shared by `run` and
+/// `conform`.
+fn parse_env_flag(args: &Args) -> Result<Option<bitdissem_sim::EnvSchedule>, String> {
+    match args.get("env") {
+        None => Ok(None),
+        Some(spec) => spec
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{e} (grammar: flip@T, flip@every:P, noise:ETA, reset:k=K@T|every:P|adaptive[:TH], comma-separated)")),
+    }
+}
+
 fn cmd_run(args: &Args) -> CommandOutput {
     let id = match args.positional.first() {
         Some(id) => id.clone(),
@@ -392,7 +416,14 @@ fn cmd_run(args: &Args) -> CommandOutput {
         Ok(e) => e.unwrap_or_default(),
         Err(e) => return usage_error(format!("{e}\n")),
     };
-    let cfg = RunConfig { scale, seed, threads, engine };
+    let env = match parse_env_flag(args) {
+        Ok(env) => env,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let mut cfg = RunConfig { scale, seed, threads, engine, env: None };
+    if let Some(env) = env {
+        cfg = cfg.with_env(env);
+    }
     let obs = match build_obs(args) {
         Ok(obs) => obs,
         Err(e) => return usage_error(format!("{e}\n")),
@@ -621,14 +652,23 @@ fn cmd_conform(args: &Args) -> CommandOutput {
     let label = args.get("label").unwrap_or(scale.name()).to_string();
     let out_dir = args.get("out").unwrap_or(".").to_string();
 
-    let cfg = ConformConfig::for_scale(scale);
+    let mut cfg = ConformConfig::for_scale(scale);
+    match parse_env_flag(args) {
+        // An explicit schedule replaces the preset env section: the whole
+        // matrix then gates every parallel backend under exactly that
+        // perturbation (canonicalized through its fingerprint).
+        Ok(Some(env)) => cfg.env_specs = vec![env.fingerprint()],
+        Ok(None) => {}
+        Err(e) => return usage_error(format!("{e}\n")),
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "running conformance matrix at scale {} (seed {seed}): {} KS checks at per-test alpha {:.2e}",
+        "running conformance matrix at scale {} (seed {seed}): {} KS checks at per-test alpha {:.2e} (env: {})",
         scale.name(),
         cfg.num_checks(),
-        cfg.per_test_alpha()
+        cfg.per_test_alpha(),
+        cfg.env_specs.join(" "),
     );
     let checks = run_differential(&cfg, seed);
 
@@ -1542,6 +1582,43 @@ mod tests {
         assert_eq!(out.status, Status::Ok, "{}", out.stdout);
         let log = std::fs::read_to_string(dir.join("checkpoint.jsonl")).unwrap();
         assert!(!log.contains("stale"), "non-resume runs must start from an empty log");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_env_spec_is_a_usage_error() {
+        let (out, status) = run_cli(&["run", "e19", "--scale", "smoke", "--env", "sandstorm"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("invalid env schedule"), "{out}");
+        let (out, status) = run_cli(&["conform", "--env", "flip@"]);
+        assert_eq!(status, Status::UsageError);
+        assert!(out.contains("invalid env schedule"), "{out}");
+    }
+
+    #[test]
+    fn env_run_records_fingerprint_in_manifests_and_batch_kinds() {
+        let dir = temp_dir("envmanifest");
+        let dir_s = dir.to_str().unwrap().to_string();
+        let out = dispatch_full(&Args::parse([
+            "run",
+            "e19",
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--env",
+            "noise:0.05",
+            "--checkpoint-dir",
+            dir_s.as_str(),
+        ]));
+        assert_eq!(out.status, Status::Ok, "{}", out.stdout);
+        let manifests = std::fs::read_to_string(dir.join("manifests.jsonl")).unwrap();
+        assert!(manifests.contains("\"env\":\"noise:0.05\""), "{manifests}");
+        // e19's engine batches run under its flip schedule: their
+        // checkpoint keys must carry the env batch kind, never plain
+        // "conv", so static caches can never splice into them.
+        let log = std::fs::read_to_string(dir.join("checkpoint.jsonl")).unwrap();
+        assert!(log.contains("conv+env["), "{}", &log[..log.len().min(400)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,6 +15,7 @@ use bitdissem_sim::agent::AgentSim;
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::batched::BatchedAggregateSim;
 use bitdissem_sim::dual::CoalescingDual;
+use bitdissem_sim::env::EnvSchedule;
 use bitdissem_sim::partial::PartialSim;
 use bitdissem_sim::rng::{replication_seed, rng_from, SimRng};
 use bitdissem_sim::run::Simulator;
@@ -281,6 +282,214 @@ fn sample_parallel_wide(
     RunSamples { marginals, times }
 }
 
+/// [`run_one`] under an environment schedule: the correct consensus is no
+/// longer absorbing, so the simulation keeps stepping (perturb at the
+/// boundary, then one round — the engine-wide convention of DESIGN
+/// decision 15) until the first consensus hit has been seen *and* every
+/// checkpoint is recorded. The marginal at a checkpoint is the
+/// **pre-perturbation** state at that boundary, and `times` hold the
+/// first boundary at which the correct consensus held, right-censored at
+/// `budget`.
+fn run_one_env(
+    sim: &mut dyn Simulator,
+    rng: &mut SimRng,
+    budget: u64,
+    checkpoints: &[u64],
+    env: &EnvSchedule,
+) -> (Vec<u64>, u64) {
+    let mut marginals = Vec::with_capacity(checkpoints.len());
+    let mut converged_at: Option<u64> = None;
+    let last_cp = checkpoints.last().copied().unwrap_or(0);
+    for t in 0..=budget {
+        let config = sim.configuration();
+        if converged_at.is_none() && config.is_correct_consensus() {
+            converged_at = Some(t);
+        }
+        if checkpoints.contains(&t) {
+            marginals.push(config.ones());
+        }
+        if t == budget || (converged_at.is_some() && t >= last_cp) {
+            break;
+        }
+        sim.perturb(env, t, rng);
+        sim.step_round(rng);
+    }
+    (marginals, converged_at.unwrap_or(budget))
+}
+
+/// [`sample_parallel`] under an environment schedule. Same grid cell, same
+/// observables, but the schedule's perturbations are injected at every
+/// round boundary on all five backends; the lock-step engines run in
+/// no-retire mode so replicas keep stepping past their first consensus
+/// (it is not absorbing once the environment can disrupt it).
+///
+/// # Panics
+///
+/// Panics if the table cannot be materialized for `start.n()` (invalid
+/// grid cell).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn sample_parallel_env(
+    backend: ParallelBackend,
+    table: &GTable,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    checkpoints: &[u64],
+    seed: u64,
+    env: &EnvSchedule,
+) -> RunSamples {
+    if env.is_inert() {
+        return sample_parallel(backend, table, start, reps, budget, checkpoints, seed);
+    }
+    match backend {
+        ParallelBackend::Batched => {
+            return sample_lockstep_env(
+                LockstepEnv::Batched,
+                table,
+                start,
+                reps,
+                budget,
+                checkpoints,
+                seed,
+                env,
+            )
+        }
+        ParallelBackend::Wide => {
+            return sample_lockstep_env(
+                LockstepEnv::Wide,
+                table,
+                start,
+                reps,
+                budget,
+                checkpoints,
+                seed,
+                env,
+            )
+        }
+        _ => {}
+    }
+    let mut marginals = vec![Vec::with_capacity(reps); checkpoints.len()];
+    let mut times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut rng = rng_from(replication_seed(seed, rep as u64));
+        let mut sim: Box<dyn Simulator> = match backend {
+            ParallelBackend::Agent => {
+                Box::new(AgentSim::new(table, start).expect("valid grid cell"))
+            }
+            ParallelBackend::Aggregate => {
+                Box::new(AggregateSim::new(table, start).expect("valid grid cell"))
+            }
+            ParallelBackend::PartialFull => {
+                Box::new(PartialSim::new(table, start, start.n() - 1).expect("valid grid cell"))
+            }
+            ParallelBackend::Batched | ParallelBackend::Wide => unreachable!("handled above"),
+        };
+        let (ms, time) = run_one_env(&mut *sim, &mut rng, budget, checkpoints, env);
+        for (slot, m) in marginals.iter_mut().zip(ms) {
+            slot.push(m as f64);
+        }
+        times.push(time as f64);
+    }
+    RunSamples { marginals, times }
+}
+
+enum LockstepEnv {
+    Batched,
+    Wide,
+}
+
+/// The lock-step engine surface the env driver needs; both engines expose
+/// it with identical semantics (no-retire construction keeps every
+/// replica live, `converged_at` preserves the first hit).
+trait LockstepBatch {
+    fn ones_of(&self, rep: usize) -> u64;
+    fn converged_at(&self, rep: usize) -> Option<u64>;
+    fn perturb_round(&mut self, env: &EnvSchedule) -> u64;
+    fn step_round(&mut self);
+}
+
+impl LockstepBatch for BatchedAggregateSim {
+    fn ones_of(&self, rep: usize) -> u64 {
+        BatchedAggregateSim::ones_of(self, rep)
+    }
+    fn converged_at(&self, rep: usize) -> Option<u64> {
+        BatchedAggregateSim::converged_at(self, rep)
+    }
+    fn perturb_round(&mut self, env: &EnvSchedule) -> u64 {
+        BatchedAggregateSim::perturb_round(self, env)
+    }
+    fn step_round(&mut self) {
+        BatchedAggregateSim::step_round(self);
+    }
+}
+
+impl LockstepBatch for WideBatchedSim {
+    fn ones_of(&self, rep: usize) -> u64 {
+        WideBatchedSim::ones_of(self, rep)
+    }
+    fn converged_at(&self, rep: usize) -> Option<u64> {
+        WideBatchedSim::converged_at(self, rep)
+    }
+    fn perturb_round(&mut self, env: &EnvSchedule) -> u64 {
+        WideBatchedSim::perturb_round(self, env)
+    }
+    fn step_round(&mut self) {
+        WideBatchedSim::step_round(self);
+    }
+}
+
+/// The lock-step env driver shared by the batched and wide backends:
+/// no-retire construction, perturb-then-step at every boundary, and
+/// [`run_one_env`]'s exact observation conventions. With the same base
+/// seed the batched variant is bit-identical to the aggregate backend
+/// (`batched_env_backend_is_bit_identical_to_aggregate` pins this); the
+/// wide variant draws from counter streams and is admitted by the KS
+/// gates only.
+#[allow(clippy::too_many_arguments)]
+fn sample_lockstep_env(
+    which: LockstepEnv,
+    table: &GTable,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    checkpoints: &[u64],
+    seed: u64,
+    env: &EnvSchedule,
+) -> RunSamples {
+    let kernel = Arc::new(table.compile().expect("valid grid cell"));
+    let streams: Vec<u64> = (0..reps).map(|rep| replication_seed(seed, rep as u64)).collect();
+    let mut batch: Box<dyn LockstepBatch> = match which {
+        LockstepEnv::Batched => {
+            Box::new(BatchedAggregateSim::with_retirement(kernel, start, &streams, false))
+        }
+        LockstepEnv::Wide => {
+            Box::new(WideBatchedSim::with_mode(kernel, start, &streams, false, false))
+        }
+    };
+
+    let last_cp = checkpoints.last().copied().unwrap_or(0);
+    let mut marginals = vec![Vec::new(); checkpoints.len()];
+    let mut next_row = 0;
+    let mut t: u64 = 0;
+    loop {
+        if checkpoints.contains(&t) {
+            marginals[next_row] = (0..reps).map(|rep| batch.ones_of(rep) as f64).collect();
+            next_row += 1;
+        }
+        let all_hit = (0..reps).all(|rep| batch.converged_at(rep).is_some());
+        if t == budget || (all_hit && t >= last_cp) {
+            break;
+        }
+        batch.perturb_round(env);
+        batch.step_round();
+        t += 1;
+    }
+    let times =
+        (0..reps).map(|rep| batch.converged_at(rep).unwrap_or(budget) as f64).collect::<Vec<_>>();
+    RunSamples { marginals, times }
+}
+
 enum ActSim {
     Seq(SequentialSim),
     Part(PartialSim),
@@ -480,6 +689,110 @@ mod tests {
         let b = sample_dual(16, 6, 100_000, 7);
         assert_eq!(a, b);
         assert!(a.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn env_backends_run_the_same_cell_and_are_deterministic() {
+        let table = voter_table(12);
+        let start = Configuration::all_wrong(12, Opinion::One);
+        let env: EnvSchedule = "flip@2,noise:0.01".parse().unwrap();
+        for backend in [
+            ParallelBackend::Agent,
+            ParallelBackend::Aggregate,
+            ParallelBackend::PartialFull,
+            ParallelBackend::Batched,
+            ParallelBackend::Wide,
+        ] {
+            let a = sample_parallel_env(backend, &table, start, 4, 800, &[1, 4], 5, &env);
+            assert_eq!(a.marginals.len(), 2, "{}", backend.name());
+            assert!(a.marginals.iter().all(|m| m.len() == 4));
+            assert_eq!(a.times.len(), 4);
+            assert!(a.times.iter().all(|&t| t <= 800.0));
+            let b = sample_parallel_env(backend, &table, start, 4, 800, &[1, 4], 5, &env);
+            assert_eq!(a.times, b.times, "{}", backend.name());
+            assert_eq!(a.marginals, b.marginals, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn batched_env_backend_is_bit_identical_to_aggregate() {
+        // The env drivers share the perturb-then-step boundary and RNG
+        // conventions, so with the same base seed the batched lock-step
+        // driver must reproduce the aggregate driver's perturbed samples
+        // exactly.
+        let n = 20u64;
+        let table = voter_table(n);
+        let env: EnvSchedule = "flip@3,noise:0.02".parse().unwrap();
+        for start in [
+            Configuration::all_wrong(n, Opinion::One),
+            Configuration::new(n, Opinion::One, n / 2).unwrap(),
+        ] {
+            let agg = sample_parallel_env(
+                ParallelBackend::Aggregate,
+                &table,
+                start,
+                30,
+                500,
+                &[1, 4, 8],
+                91,
+                &env,
+            );
+            let bat = sample_parallel_env(
+                ParallelBackend::Batched,
+                &table,
+                start,
+                30,
+                500,
+                &[1, 4, 8],
+                91,
+                &env,
+            );
+            assert_eq!(agg.times, bat.times);
+            assert_eq!(agg.marginals, bat.marginals);
+        }
+    }
+
+    #[test]
+    fn inert_env_matches_the_static_sampler() {
+        let table = voter_table(16);
+        let start = Configuration::all_wrong(16, Opinion::One);
+        let env = EnvSchedule::default();
+        for backend in [ParallelBackend::Aggregate, ParallelBackend::Wide] {
+            let s = sample_parallel(backend, &table, start, 5, 300, &[1, 2], 3);
+            let e = sample_parallel_env(backend, &table, start, 5, 300, &[1, 2], 3, &env);
+            assert_eq!(s.times, e.times, "{}", backend.name());
+            assert_eq!(s.marginals, e.marginals, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn env_flip_moves_the_consensus_target() {
+        // Start at the correct consensus; flip the source at t = 2. The
+        // old consensus no longer counts, so the recorded first hit must
+        // be the boundary-0 hit, while a late checkpoint finds the state
+        // migrated toward the *new* target (all zeros).
+        let table = voter_table(16);
+        let start = Configuration::correct_consensus(16, Opinion::One);
+        let env: EnvSchedule = "flip@2".parse().unwrap();
+        let s = sample_parallel_env(
+            ParallelBackend::Aggregate,
+            &table,
+            start,
+            6,
+            4_000,
+            &[1, 3_000],
+            11,
+            &env,
+        );
+        assert!(s.times.iter().all(|&t| t == 0.0), "pre-flip consensus is the first hit");
+        assert!(s.marginals[0].iter().all(|&x| x == 16.0));
+        // Voter from one-off-consensus re-converges to the flipped target
+        // well inside 3000 rounds for n = 16 in the typical replication.
+        assert!(
+            s.marginals[1].iter().filter(|&&x| x == 0.0).count() >= 4,
+            "most replications should sit at the new all-zero consensus: {:?}",
+            s.marginals[1]
+        );
     }
 
     #[test]

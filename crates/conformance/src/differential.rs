@@ -28,8 +28,11 @@ use bitdissem_core::{Configuration, GTable, Opinion, ProtocolExt};
 use bitdissem_sim::rng::splitmix64;
 use bitdissem_stats::compare::{ks_critical_value, ks_statistic};
 
+use bitdissem_sim::env::EnvSchedule;
+
 use crate::backend::{
-    sample_activation, sample_dual, sample_parallel, ActivationBackend, ParallelBackend, RunSamples,
+    sample_activation, sample_dual, sample_parallel, sample_parallel_env, ActivationBackend,
+    ParallelBackend, RunSamples,
 };
 
 /// How much of the matrix to run.
@@ -155,6 +158,11 @@ pub struct ConformConfig {
     pub checkpoints: Vec<u64>,
     /// Activation checkpoints as multiples of `n`.
     pub act_checkpoint_mults: Vec<u64>,
+    /// Environment schedules (in `--env` grammar) the parallel backends
+    /// are additionally compared under, from the first start kind. Every
+    /// engine must satisfy the same perturbed law — the env section holds
+    /// all five to it with the same KS gates as the static section.
+    pub env_specs: Vec<String>,
     /// Total false-alarm budget, Bonferroni-split across all checks.
     pub alpha_budget: f64,
 }
@@ -174,6 +182,10 @@ impl ConformConfig {
             budget: 1500,
             checkpoints: vec![1, 2, 4],
             act_checkpoint_mults: vec![1, 2, 4],
+            // A mid-run source flip (checkpoints straddle it) and steady
+            // per-round opinion noise: the two qualitatively different
+            // perturbations — target moves vs state diffuses.
+            env_specs: vec!["flip@2".to_string(), "noise:0.01".to_string()],
             alpha_budget: 1e-9,
         };
         match scale {
@@ -198,7 +210,10 @@ impl ConformConfig {
         let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 4 * per_parallel_pair;
         let activation = self.cells.len() * self.ns.len() * (1 + self.act_checkpoint_mults.len());
         let dual = self.ns.len();
-        parallel + activation + dual
+        // Env section: same four adjacent pairs per schedule, first start
+        // only.
+        let env = self.env_specs.len() * self.cells.len() * self.ns.len() * 4 * per_parallel_pair;
+        parallel + activation + dual + env
     }
 
     /// Per-test significance level.
@@ -330,6 +345,53 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
                 }
             }
 
+            // Environment section: the same five parallel backends under
+            // each perturbation schedule, first start only. A backend
+            // whose env plumbing desynchronizes (wrong boundary, stale
+            // cache after a source flip, perturbing retired replicas)
+            // shifts its perturbed law and is caught by the same gates.
+            if let Some(&start_kind) = cfg.starts.first() {
+                let start = start_kind.configuration(n);
+                for spec in &cfg.env_specs {
+                    let env: EnvSchedule = spec.parse().expect("valid env spec in config");
+                    let prefix =
+                        format!("{}/n{}/{}/env[{spec}]", cell.label(), n, start_kind.label());
+                    let backends = [
+                        ParallelBackend::Agent,
+                        ParallelBackend::Aggregate,
+                        ParallelBackend::PartialFull,
+                        ParallelBackend::Batched,
+                        ParallelBackend::Wide,
+                    ];
+                    let samples: Vec<RunSamples> = backends
+                        .iter()
+                        .map(|b| {
+                            sample_parallel_env(
+                                *b,
+                                &table,
+                                start,
+                                cfg.reps,
+                                cfg.budget,
+                                &cfg.checkpoints,
+                                stream_seed(seed, &format!("{prefix}/{}", b.name())),
+                                &env,
+                            )
+                        })
+                        .collect();
+                    for (i, j) in [(0usize, 1usize), (1, 2), (2, 3), (3, 4)] {
+                        pair_checks(
+                            &prefix,
+                            (backends[i].name(), backends[j].name()),
+                            (&samples[i], &samples[j]),
+                            &cfg.checkpoints,
+                            "r",
+                            alpha,
+                            &mut checks,
+                        );
+                    }
+                }
+            }
+
             // Per-activation law: sequential ≡ partial(1), from all-wrong,
             // compared in activations.
             let start = StartKind::AllWrong.configuration(n);
@@ -411,6 +473,7 @@ mod tests {
             budget: 200,
             checkpoints: vec![1, 2],
             act_checkpoint_mults: vec![1, 2],
+            env_specs: vec!["flip@2".to_string()],
             alpha_budget: 1e-9,
         }
     }
@@ -483,6 +546,62 @@ mod tests {
         );
         let check = make_check("teeth".into(), &a.times, &b.times, alpha);
         assert!(!check.pass, "D={} <= {}", check.statistic, check.critical);
+    }
+
+    #[test]
+    fn all_engines_share_the_post_flip_law() {
+        // A mid-run source flip moves the consensus target; every engine
+        // must follow the same *post-flip* law. Checkpoints at 5, 8 and
+        // 16 sit strictly after the flip at t = 3, so the marginal
+        // comparisons here have power against an engine that serves a
+        // stale pre-flip kernel or misses the boundary convention.
+        let n = 20u64;
+        let table = Cell { kind: ProtocolKind::Voter, ell: 1 }.table(n);
+        let start = StartKind::Half.configuration(n);
+        let env: EnvSchedule = "flip@3".parse().unwrap();
+        let checkpoints = [5u64, 8, 16];
+        let backends = [
+            ParallelBackend::Agent,
+            ParallelBackend::Aggregate,
+            ParallelBackend::PartialFull,
+            ParallelBackend::Batched,
+            ParallelBackend::Wide,
+        ];
+        let samples: Vec<crate::backend::RunSamples> = backends
+            .iter()
+            .map(|b| {
+                crate::backend::sample_parallel_env(
+                    *b,
+                    &table,
+                    start,
+                    150,
+                    600,
+                    &checkpoints,
+                    stream_seed(33, &format!("postflip/{}", b.name())),
+                    &env,
+                )
+            })
+            .collect();
+        // All 10 unordered pairs, 4 observables each, Bonferroni-tight.
+        let alpha = 1e-9 / 40.0;
+        let mut checks = Vec::new();
+        for i in 0..backends.len() {
+            for j in (i + 1)..backends.len() {
+                pair_checks(
+                    "postflip",
+                    (backends[i].name(), backends[j].name()),
+                    (&samples[i], &samples[j]),
+                    &checkpoints,
+                    "r",
+                    alpha,
+                    &mut checks,
+                );
+            }
+        }
+        assert_eq!(checks.len(), 40);
+        for c in &checks {
+            assert!(c.pass, "{}: D={} > {}", c.name, c.statistic, c.critical);
+        }
     }
 
     #[test]

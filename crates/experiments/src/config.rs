@@ -129,31 +129,48 @@ pub struct RunConfig {
     /// Replication engine for aggregate convergence batches.
     #[serde(default)]
     pub engine: ReplicationEngine,
+    /// Environment perturbation schedule applied between rounds (`None`
+    /// means the static, unperturbed process). Recorded in run manifests
+    /// and in checkpoint batch kinds.
+    #[serde(default)]
+    pub env: Option<bitdissem_sim::EnvSchedule>,
 }
 
 impl RunConfig {
     /// A smoke-scale configuration.
     #[must_use]
     pub fn smoke(seed: u64) -> Self {
-        Self { scale: Scale::Smoke, seed, threads: None, engine: ReplicationEngine::default() }
+        Self::with_scale(Scale::Smoke, seed)
     }
 
     /// A standard-scale configuration.
     #[must_use]
     pub fn standard(seed: u64) -> Self {
-        Self { scale: Scale::Standard, seed, threads: None, engine: ReplicationEngine::default() }
+        Self::with_scale(Scale::Standard, seed)
     }
 
     /// A full-scale configuration.
     #[must_use]
     pub fn full(seed: u64) -> Self {
-        Self { scale: Scale::Full, seed, threads: None, engine: ReplicationEngine::default() }
+        Self::with_scale(Scale::Full, seed)
+    }
+
+    fn with_scale(scale: Scale, seed: u64) -> Self {
+        Self { scale, seed, threads: None, engine: ReplicationEngine::default(), env: None }
     }
 
     /// Switches the replication engine (builder-style).
     #[must_use]
     pub fn with_engine(mut self, engine: ReplicationEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Installs an environment perturbation schedule (builder-style). An
+    /// inert schedule is normalized back to `None`.
+    #[must_use]
+    pub fn with_env(mut self, env: bitdissem_sim::EnvSchedule) -> Self {
+        self.env = (!env.is_inert()).then_some(env);
         self
     }
 }
@@ -194,6 +211,18 @@ mod tests {
         assert_eq!(
             RunConfig::smoke(7).with_engine(ReplicationEngine::PerReplica).engine,
             ReplicationEngine::PerReplica
+        );
+    }
+
+    #[test]
+    fn env_builder_and_serde_default() {
+        assert_eq!(RunConfig::smoke(7).env, None);
+        let env: bitdissem_sim::EnvSchedule = "flip@10".parse().unwrap();
+        assert_eq!(RunConfig::smoke(7).with_env(env).env, Some(env));
+        assert_eq!(
+            RunConfig::smoke(7).with_env(bitdissem_sim::EnvSchedule::default()).env,
+            None,
+            "an inert schedule normalizes to None"
         );
     }
 

@@ -22,3 +22,4 @@ pub mod e15_sequential_lb;
 pub mod e16_selfstab;
 pub mod e17_synthesis;
 pub mod e18_synchronicity;
+pub mod e19_reconvergence;

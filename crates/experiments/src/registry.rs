@@ -121,6 +121,11 @@ pub fn all() -> Vec<Entry> {
             run: exp::e18_synchronicity::run,
         },
         Entry {
+            id: "e19",
+            description: "environment layer: re-convergence after flips and resets",
+            run: exp::e19_reconvergence::run,
+        },
+        Entry {
             id: "a1",
             description: "ablation: aggregate vs agent-level simulator",
             run: exp::a1_agg_vs_agent::run,
@@ -158,7 +163,8 @@ pub fn run_observed(id: &str, cfg: &RunConfig, obs: &Obs) -> Option<ExperimentRe
     let obs = &obs.clone().with_checkpoint_ns(entry.id);
 
     let manifest =
-        RunManifest::begin(entry.id, cfg.seed, cfg.scale.name(), cfg.threads.unwrap_or(0));
+        RunManifest::begin(entry.id, cfg.seed, cfg.scale.name(), cfg.threads.unwrap_or(0))
+            .with_env(cfg.env.map(|e| e.fingerprint()));
     // Snapshot the shared counters so the manifest can carry this
     // experiment's *deltas*: summing the counters over all manifests of a
     // run then reconciles exactly with the final telemetry export.
@@ -206,11 +212,11 @@ mod tests {
     #[test]
     fn registry_entries_are_unique() {
         let entries = all();
-        assert_eq!(entries.len(), 21);
+        assert_eq!(entries.len(), 22);
         let mut ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]

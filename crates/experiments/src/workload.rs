@@ -14,11 +14,14 @@ use bitdissem_analysis::LowerBoundWitness;
 use bitdissem_core::{Configuration, GTable, Kernel, Opinion, Protocol, ProtocolExt};
 use bitdissem_obs::{GaugeId, Obs};
 use bitdissem_sim::aggregate::AggregateSim;
-use bitdissem_sim::batched::replicate_batched_observed;
-use bitdissem_sim::run::{run_to_consensus_observed, Outcome, Simulator};
+use bitdissem_sim::batched::{replicate_batched_env_observed, replicate_batched_observed};
+use bitdissem_sim::env::EnvSchedule;
+use bitdissem_sim::run::{
+    run_to_consensus_env_observed, run_to_consensus_observed, Outcome, Simulator,
+};
 use bitdissem_sim::runner::replicate_indices_observed;
 use bitdissem_sim::sequential::SequentialSim;
-use bitdissem_sim::wide::replicate_wide_observed;
+use bitdissem_sim::wide::{replicate_wide_env_observed, replicate_wide_observed};
 use bitdissem_stats::Summary;
 
 use crate::config::ReplicationEngine;
@@ -362,26 +365,101 @@ pub fn measure_convergence_engine_observed<P>(
 where
     P: Protocol + Sync + ?Sized,
 {
-    emit_batch_started(obs, "conv", protocol, start, reps, budget, seed);
+    measure_convergence_inner(obs, engine, None, protocol, start, reps, budget, seed, threads)
+}
+
+/// [`measure_convergence_engine_observed`] under an environment schedule:
+/// every replication perturbs between rounds per `env`, on any engine. An
+/// inert schedule degenerates to the static measurement (same checkpoint
+/// kind, same outcomes); an active one checkpoints under the env-suffixed
+/// kinds `conv+env[<fp>]` / `conv+wide+env[<fp>]`, so cached static-run
+/// outcomes can never splice into a dynamic sweep on resume (or vice
+/// versa).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn measure_convergence_env_observed<P>(
+    obs: &Obs,
+    engine: ReplicationEngine,
+    env: &EnvSchedule,
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    let env = (!env.is_inert()).then_some(env);
+    measure_convergence_inner(obs, engine, env, protocol, start, reps, budget, seed, threads)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_convergence_inner<P>(
+    obs: &Obs,
+    engine: ReplicationEngine,
+    env: Option<&EnvSchedule>,
+    protocol: &P,
+    start: Configuration,
+    reps: usize,
+    budget: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> OutcomeBatch
+where
+    P: Protocol + Sync + ?Sized,
+{
+    // The wide engine's draws come from a different randomness stream, and
+    // an active environment schedule changes the law outright — each gets
+    // its own checkpoint kind so caches never splice across either
+    // boundary.
+    let kind = match (engine == ReplicationEngine::Wide, env) {
+        (false, None) => "conv".to_string(),
+        (true, None) => "conv+wide".to_string(),
+        (false, Some(env)) => format!("conv+env[{}]", env.fingerprint()),
+        (true, Some(env)) => format!("conv+wide+env[{}]", env.fingerprint()),
+    };
+    // Trace headers: static batches stay "conv" whatever the engine (the
+    // offline trace checker validates any "conv" batch against the static
+    // law); env batches advertise their schedule so the checker skips them
+    // — a perturbed trajectory does not follow the unperturbed law.
+    let emit_kind = if env.is_some() { kind.as_str() } else { "conv" };
+    emit_batch_started(obs, emit_kind, protocol, start, reps, budget, seed);
     let kernel = compile_kernel(protocol, start.n());
-    // The wide engine's draws come from a different randomness stream, so
-    // its checkpoints live under their own kind and never splice against
-    // the bit-identical batched/per-replica caches.
-    let kind = if engine == ReplicationEngine::Wide { "conv+wide" } else { "conv" };
-    let key_base = || batch_key(kind, protocol, start, budget, seed);
+    let key_base = || batch_key(&kind, protocol, start, budget, seed);
     let outcomes = match engine {
-        ReplicationEngine::Batched => replicate_checkpointed(obs, key_base, reps, |missing| {
-            replicate_batched_observed(&kernel, start, missing, seed, threads, budget, obs)
-        }),
+        ReplicationEngine::Batched => {
+            replicate_checkpointed(obs, key_base, reps, |missing| match env {
+                Some(env) => replicate_batched_env_observed(
+                    &kernel, start, missing, seed, threads, budget, env, obs,
+                ),
+                None => {
+                    replicate_batched_observed(&kernel, start, missing, seed, threads, budget, obs)
+                }
+            })
+        }
         ReplicationEngine::PerReplica => replicate_checkpointed(obs, key_base, reps, |missing| {
             replicate_indices_observed(missing, seed, threads, obs, |mut rng, rep| {
                 let mut sim = AggregateSim::with_kernel(Arc::clone(&kernel), start);
-                run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64)
+                match env {
+                    Some(env) => run_to_consensus_env_observed(
+                        &mut sim, env, &mut rng, budget, obs, rep as u64,
+                    ),
+                    None => run_to_consensus_observed(&mut sim, &mut rng, budget, obs, rep as u64),
+                }
             })
         }),
-        ReplicationEngine::Wide => replicate_checkpointed(obs, key_base, reps, |missing| {
-            replicate_wide_observed(&kernel, start, missing, seed, threads, budget, obs)
-        }),
+        ReplicationEngine::Wide => {
+            replicate_checkpointed(obs, key_base, reps, |missing| match env {
+                Some(env) => replicate_wide_env_observed(
+                    &kernel, start, missing, seed, threads, budget, env, obs,
+                ),
+                None => {
+                    replicate_wide_observed(&kernel, start, missing, seed, threads, budget, obs)
+                }
+            })
+        }
     };
     OutcomeBatch::new(outcomes, budget)
 }
@@ -825,6 +903,134 @@ mod tests {
         );
         assert_eq!(log.len(), 20, "wide appends its own records under conv+wide");
         assert_eq!(wide_fresh.outcomes(), wide_a.outcomes());
+    }
+
+    #[test]
+    fn env_runs_never_splice_static_checkpoints() {
+        // A static sweep's cached outcomes must be invisible to an
+        // env-perturbed resume of the same cell (and distinct schedules
+        // must be invisible to each other): the batch kind carries the env
+        // fingerprint. A spliced static outcome would silently report
+        // convergence times from a world without perturbations.
+        use bitdissem_obs::CheckpointLog;
+        use std::sync::Arc as StdArc;
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let env: EnvSchedule = "flip@50".parse().unwrap();
+
+        let log = StdArc::new(CheckpointLog::in_memory());
+        let obs = Obs::none().with_metrics().with_checkpoint(StdArc::clone(&log));
+        let _ = measure_convergence_observed(&obs, &voter, start, 8, 100_000, 5, Some(2));
+        assert_eq!(log.len(), 8);
+
+        let hits = || obs.metrics().checkpoint_hits.load(std::sync::atomic::Ordering::Relaxed);
+        let dynamic = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &env,
+            &voter,
+            start,
+            8,
+            100_000,
+            5,
+            Some(2),
+        );
+        assert_eq!(hits(), 0, "env run must not resume from the static cache");
+        assert_eq!(log.len(), 16, "env outcomes append under their own kind");
+
+        // A different schedule is a different kind again.
+        let other: EnvSchedule = "noise:0.01".parse().unwrap();
+        let _ = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &other,
+            &voter,
+            start,
+            8,
+            100_000,
+            5,
+            Some(2),
+        );
+        assert_eq!(hits(), 0, "schedules never share caches");
+        assert_eq!(log.len(), 24);
+
+        // Same schedule resumes from its own records, bit-identically.
+        let resumed = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &env,
+            &voter,
+            start,
+            8,
+            100_000,
+            5,
+            Some(3),
+        );
+        assert_eq!(hits(), 8);
+        assert_eq!(resumed.outcomes(), dynamic.outcomes());
+
+        // An inert schedule is exactly the static measurement — same kind,
+        // so it resumes from the static cache.
+        let inert = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &EnvSchedule::default(),
+            &voter,
+            start,
+            8,
+            100_000,
+            5,
+            Some(2),
+        );
+        assert_eq!(hits(), 16);
+        let plain = measure_convergence(&voter, start, 8, 100_000, 5, Some(2));
+        assert_eq!(inert.outcomes(), plain.outcomes());
+    }
+
+    #[test]
+    fn env_engines_agree_on_convergence_law_smoke() {
+        // The env path is runnable on every engine; batched and
+        // per-replica are bit-identical even under perturbations.
+        let voter = Voter::new(1).unwrap();
+        let start = Configuration::all_wrong(24, Opinion::One);
+        let env: EnvSchedule = "reset:k=2@every:40".parse().unwrap();
+        let obs = Obs::none();
+        let batched = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::Batched,
+            &env,
+            &voter,
+            start,
+            8,
+            100_000,
+            13,
+            Some(2),
+        );
+        let reference = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::PerReplica,
+            &env,
+            &voter,
+            start,
+            8,
+            100_000,
+            13,
+            Some(3),
+        );
+        assert_eq!(batched.outcomes(), reference.outcomes());
+        let wide = measure_convergence_env_observed(
+            &obs,
+            ReplicationEngine::Wide,
+            &env,
+            &voter,
+            start,
+            8,
+            100_000,
+            13,
+            Some(2),
+        );
+        assert_eq!(wide.len(), 8);
+        assert!(wide.converged_fraction() > 0.0, "wide env runs converge too");
     }
 
     #[test]

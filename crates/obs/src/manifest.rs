@@ -28,6 +28,10 @@ pub struct RunManifest {
     /// to empty, so the schema stays backward compatible. Telemetry
     /// exporters reconcile against these totals.
     pub counters: Vec<(String, u64)>,
+    /// Canonical fingerprint of the environment perturbation schedule the
+    /// run was produced under (`None` for the static process). Optional
+    /// in the JSON encoding, so older manifests decode unchanged.
+    pub env: Option<String>,
 }
 
 impl RunManifest {
@@ -48,6 +52,7 @@ impl RunManifest {
             started_unix_ms,
             duration_us: 0,
             counters: Vec::new(),
+            env: None,
         }
     }
 
@@ -63,6 +68,14 @@ impl RunManifest {
     #[must_use]
     pub fn with_counters(mut self, counters: Vec<(String, u64)>) -> Self {
         self.counters = counters;
+        self
+    }
+
+    /// Records the environment schedule fingerprint the run was produced
+    /// under (`None` leaves the manifest marked static).
+    #[must_use]
+    pub fn with_env(mut self, env: Option<String>) -> Self {
+        self.env = env;
         self
     }
 
@@ -84,6 +97,7 @@ impl RunManifest {
             started_unix_ms: 1_700_000_000_000,
             duration_us: 250_000,
             counters: vec![("rounds_simulated".to_string(), 4_964)],
+            env: None,
         }
     }
 
@@ -99,6 +113,9 @@ impl RunManifest {
             ("started_unix_ms".to_string(), Value::Int(i128::from(self.started_unix_ms))),
             ("duration_us".to_string(), Value::Int(i128::from(self.duration_us))),
         ];
+        if let Some(env) = &self.env {
+            fields.push(("env".to_string(), Value::Str(env.clone())));
+        }
         if !self.counters.is_empty() {
             fields.push((
                 "counters".to_string(),
@@ -150,6 +167,7 @@ impl RunManifest {
             started_unix_ms: u64_field("started_unix_ms")?,
             duration_us: u64_field("duration_us")?,
             counters,
+            env: value.get("env").and_then(Value::as_str).map(str::to_string),
         })
     }
 
@@ -190,6 +208,18 @@ mod tests {
         assert!(m.started_unix_ms > 0);
         let done = m.finish(std::time::Duration::from_micros(123));
         assert_eq!(done.duration_us, 123);
+    }
+
+    #[test]
+    fn env_fingerprint_is_optional_and_round_trips() {
+        // Static manifests omit the field entirely and decode to None.
+        let bare = RunManifest::example();
+        assert!(!bare.to_json().contains("\"env\""));
+        assert_eq!(RunManifest::from_json(&bare.to_json()).unwrap().env, None);
+        let m = bare.with_env(Some("flip@500,noise:0.01".to_string()));
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.env.as_deref(), Some("flip@500,noise:0.01"));
     }
 
     #[test]

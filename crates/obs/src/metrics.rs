@@ -78,6 +78,12 @@ pub struct Metrics {
     /// Replicas retired (reached consensus / budget) inside the batched
     /// and wide lock-step engines.
     pub replicas_retired: Counter,
+    /// Environment perturbation events applied (source flips, noise
+    /// rounds, adversarial resets) across all replications.
+    pub perturbations_applied: Counter,
+    /// Rounds from each disruptive perturbation back to the correct
+    /// consensus, one entry per resolved disruption (see `sim::env`).
+    reconverge: AtomicHistogram,
     gauges: [AtomicU64; N_GAUGES],
     latencies: [AtomicHistogram; N_LATENCIES],
     phases: Mutex<BTreeMap<String, PhaseEntry>>,
@@ -109,6 +115,8 @@ pub struct CounterSnapshot {
     pub checkpoint_hits: u64,
     /// See [`Metrics::replicas_retired`].
     pub replicas_retired: u64,
+    /// See [`Metrics::perturbations_applied`].
+    pub perturbations_applied: u64,
 }
 
 impl CounterSnapshot {
@@ -126,6 +134,7 @@ impl CounterSnapshot {
             ("pool_steals", self.pool_steals),
             ("checkpoint_hits", self.checkpoint_hits),
             ("replicas_retired", self.replicas_retired),
+            ("perturbations_applied", self.perturbations_applied),
         ]
     }
 }
@@ -160,6 +169,8 @@ impl Default for Metrics {
             pool_steals: Counter::new(),
             checkpoint_hits: Counter::new(),
             replicas_retired: Counter::new(),
+            perturbations_applied: Counter::new(),
+            reconverge: AtomicHistogram::new(),
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             latencies: std::array::from_fn(|_| AtomicHistogram::new()),
             phases: Mutex::new(BTreeMap::new()),
@@ -212,6 +223,25 @@ impl Metrics {
         self.replicas_retired.add(n);
     }
 
+    /// Adds to `perturbations_applied`.
+    pub fn add_perturbations(&self, n: u64) {
+        self.perturbations_applied.add(n);
+    }
+
+    /// Records one resolved re-convergence time (rounds from a disruptive
+    /// perturbation back to the correct consensus) into the
+    /// `reconverge_rounds` histogram. Lock-free; safe from any worker.
+    #[inline]
+    pub fn record_reconverge(&self, rounds: u64) {
+        self.reconverge.record(rounds);
+    }
+
+    /// Merged snapshot of the `reconverge_rounds` histogram.
+    #[must_use]
+    pub fn reconverge_snapshot(&self) -> bitdissem_stats::LogHistogram {
+        self.reconverge.snapshot()
+    }
+
     /// Coherent plain-value copy of every counter.
     #[must_use]
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -225,6 +255,7 @@ impl Metrics {
             pool_steals: self.pool_steals.get(),
             checkpoint_hits: self.checkpoint_hits.get(),
             replicas_retired: self.replicas_retired.get(),
+            perturbations_applied: self.perturbations_applied.get(),
         }
     }
 
@@ -418,9 +449,23 @@ mod tests {
         assert_eq!(snap.pool_batches, 1);
         assert_eq!(snap.pool_tasks, 2);
         let named = snap.named();
-        assert_eq!(named.len(), 9);
+        assert_eq!(named.len(), 10);
         assert_eq!(named[0], ("rounds_simulated", 4));
         assert_eq!(named[8], ("replicas_retired", 3));
+        assert_eq!(named[9], ("perturbations_applied", 0));
+    }
+
+    #[test]
+    fn perturbation_counter_and_reconverge_histogram_accumulate() {
+        let m = Metrics::new();
+        m.add_perturbations(3);
+        m.add_perturbations(2);
+        m.record_reconverge(40);
+        m.record_reconverge(900);
+        assert_eq!(m.perturbations_applied.load(Ordering::Relaxed), 5);
+        let h = m.reconverge_snapshot();
+        assert_eq!(h.count(), 2);
+        assert!(m.render().contains("perturbations_applied"));
     }
 
     #[test]

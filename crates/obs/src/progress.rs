@@ -63,7 +63,11 @@ impl Progress {
             finished: AtomicBool::new(false),
             started: Instant::now(),
             last_tick_nanos: AtomicU64::new(0),
-            ewma_rate: AtomicU64::new(0.0f64.to_bits()),
+            // NaN is the "never ticked" sentinel: a genuine smoothed rate
+            // of exactly 0.0 (a long stall) must keep feeding the EWMA
+            // instead of restarting the smoothing from the next
+            // instantaneous rate.
+            ewma_rate: AtomicU64::new(f64::NAN.to_bits()),
             out: Mutex::new(out),
         }
     }
@@ -91,7 +95,10 @@ impl Progress {
         }
         let inst = n as f64 * 1e9 / dt as f64;
         let old = f64::from_bits(self.ewma_rate.load(Ordering::Relaxed));
-        let next = if old == 0.0 { inst } else { EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * old };
+        // NaN means "first tick" (see the field init); any finite value —
+        // including a genuine 0.0 after a stall — is smoothed normally, so
+        // the rate and ETA never jump discontinuously.
+        let next = if old.is_nan() { inst } else { EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * old };
         self.ewma_rate.store(next.to_bits(), Ordering::Relaxed);
     }
 
@@ -145,7 +152,12 @@ impl Progress {
     /// first tick).
     #[must_use]
     pub fn rate_per_sec(&self) -> f64 {
-        f64::from_bits(self.ewma_rate.load(Ordering::Relaxed))
+        let rate = f64::from_bits(self.ewma_rate.load(Ordering::Relaxed));
+        if rate.is_nan() {
+            0.0
+        } else {
+            rate
+        }
     }
 
     /// Estimated seconds until `done` reaches `total`, from the smoothed
@@ -316,6 +328,32 @@ mod tests {
         // Finishing the work pins the ETA to zero regardless of rate.
         p.tick(90);
         assert_eq!(p.eta_secs(), Some(0.0));
+    }
+
+    #[test]
+    fn a_zero_ewma_keeps_smoothing_instead_of_restarting() {
+        // Regression: `update_rate` used `old == 0.0` as the "uninitialized"
+        // test, so a smoothed rate that genuinely decayed to 0.0 (a long
+        // stall) restarted the EWMA at the next instantaneous rate instead
+        // of blending it, making the displayed rate and ETA jump. The
+        // sentinel is now NaN; 0.0 is an ordinary sample.
+        let (p, _) = meter("reps", 100);
+        p.ewma_rate.store(0.0f64.to_bits(), Ordering::Relaxed);
+        let prev = p.last_tick_nanos.load(Ordering::Relaxed);
+        p.tick(10);
+        // `update_rate` recorded its own `now`; reading it back lets the
+        // test recompute the exact instantaneous rate the tick saw.
+        let now = p.last_tick_nanos.load(Ordering::Relaxed);
+        let dt = now - prev;
+        assert!(dt > 0, "time advanced since the meter was created");
+        let inst = 10.0 * 1e9 / dt as f64;
+        let rate = p.rate_per_sec();
+        // Fixed behaviour: next = ALPHA * inst + (1 - ALPHA) * 0.0.
+        // Buggy behaviour restarted at `inst`, 1/ALPHA = 5x larger.
+        assert!(
+            (rate - EWMA_ALPHA * inst).abs() <= 1e-9 * inst,
+            "a genuine 0.0 EWMA must be smoothed, not restarted: got {rate}, inst {inst}"
+        );
     }
 
     #[test]

@@ -526,6 +526,14 @@ pub fn build_snapshot(
             spans.push((format!("latency/{name}"), quantiles_of(&hist)));
         }
     }
+    // The re-convergence histogram shares the log-bucketed quantile
+    // machinery but records *rounds*, not nanoseconds: the `hist/`
+    // prefix keeps it out of the latency namespace and routes it to its
+    // own Prometheus metric family (see `render_prometheus`).
+    let reconverge = metrics.reconverge_snapshot();
+    if reconverge.count() > 0 {
+        spans.push(("hist/reconverge_rounds".to_string(), quantiles_of(&reconverge)));
+    }
     let unix_ms = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
@@ -588,6 +596,17 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
     out.push_str(&format!("bitdissem_pool_steal_ratio {}\n", snap.steal_ratio()));
     out.push_str(&format!("bitdissem_checkpoint_hit_rate {}\n", snap.checkpoint_hit_rate()));
     for (path, q) in &snap.spans {
+        // `hist/<name>` series are unit-bearing histograms (rounds, not
+        // nanoseconds): they get their own metric family instead of the
+        // latency one, so dashboards never mix units.
+        if let Some(name) = path.strip_prefix("hist/") {
+            out.push_str(&format!("# TYPE bitdissem_{name} summary\n"));
+            for (label, v) in [("0.5", q.p50), ("0.9", q.p90), ("0.99", q.p99)] {
+                out.push_str(&format!("bitdissem_{name}{{quantile=\"{label}\"}} {v}\n"));
+            }
+            out.push_str(&format!("bitdissem_{name}_count {}\n", q.count));
+            continue;
+        }
         for (label, v) in [("0.5", q.p50), ("0.9", q.p90), ("0.99", q.p99)] {
             out.push_str(&format!(
                 "bitdissem_span_latency_ns{{span=\"{path}\",quantile=\"{label}\"}} {v}\n"
@@ -1102,6 +1121,38 @@ mod tests {
         let snap = build_snapshot(&m, None, 1, Instant::now(), None);
         assert!((snap.steal_ratio() - 0.25).abs() < 1e-12);
         assert!((snap.checkpoint_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconverge_histogram_surfaces_with_its_own_metric_family() {
+        let m = Metrics::new();
+        m.add_perturbations(2);
+        m.record_reconverge(400);
+        m.record_reconverge(12_000);
+        let snap = build_snapshot(&m, None, 1, Instant::now(), None);
+        let q = snap
+            .spans
+            .iter()
+            .find(|(p, _)| p == "hist/reconverge_rounds")
+            .map(|&(_, q)| q)
+            .expect("reconverge histogram exported");
+        assert_eq!(q.count, 2);
+        assert!(q.max >= 12_000, "max quantile covers the largest clock: {q:?}");
+        assert_eq!(snap.counter("perturbations_applied"), Some(2));
+        // Rounds never masquerade as span latencies in the exposition.
+        let text = render_prometheus(&snap);
+        assert!(!text.contains("span_latency_ns{span=\"hist/"), "{text}");
+        let samples = parse_prometheus(&text).expect("exposition parses");
+        assert!(samples.iter().any(|s| {
+            s.name == "bitdissem_reconverge_rounds"
+                && s.labels.iter().any(|(k, v)| k == "quantile" && v == "0.5")
+        }));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "bitdissem_reconverge_rounds_count" && s.value == 2.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "bitdissem_perturbations_applied_total" && s.value == 2.0));
     }
 
     #[test]

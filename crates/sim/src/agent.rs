@@ -112,6 +112,17 @@ impl Simulator for AgentSim {
     fn opinion_samples_per_round(&self) -> u64 {
         self.table.sample_size() as u64 * self.opinions.len() as u64
     }
+
+    /// Agent-level perturbation: the schedule rewrites individual opinions
+    /// (law-equal to the aggregate application; see
+    /// [`crate::env::EnvSchedule::apply_agents`]).
+    fn perturb(&mut self, env: &crate::env::EnvSchedule, t: u64, rng: &mut SimRng) -> u64 {
+        let events = env.apply_agents(t, &mut self.correct, &mut self.opinions, rng);
+        if events > 0 {
+            self.ones = self.opinions.iter().filter(|o| o.is_one()).count() as u64;
+        }
+        events
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,22 @@ impl Simulator for AggregateSim {
     fn opinion_samples_per_round(&self) -> u64 {
         (self.kernel.sample_size() as u64).saturating_mul(self.config.n())
     }
+
+    /// Aggregate perturbation: the schedule rewrites `(z, x)` directly. The
+    /// round-plan cache needs no flushing — its slots are tagged by the
+    /// full `(x, z)` pair (DESIGN decision 15).
+    fn perturb(&mut self, env: &crate::env::EnvSchedule, t: u64, rng: &mut SimRng) -> u64 {
+        let n = self.config.n();
+        let mut z = u64::from(self.config.correct().as_bit());
+        let mut x = self.config.ones();
+        let events = env.apply_aggregate(t, n, &mut z, &mut x, rng);
+        if events > 0 {
+            let correct = Opinion::from_bool(z == 1);
+            self.config =
+                Configuration::new(n, correct, x).expect("perturbations stay in the legal band");
+        }
+        events
+    }
 }
 
 #[cfg(test)]

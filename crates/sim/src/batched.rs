@@ -25,6 +25,7 @@ use bitdissem_core::{Configuration, Kernel};
 use bitdissem_obs::{Event, LatencyId, Obs, ReplicationOutcome, Timer};
 use bitdissem_pool::Pool;
 
+use crate::env::EnvSchedule;
 use crate::rng::{replication_seed, rng_from, SimRng};
 use crate::roundplan::RoundPlanCache;
 use crate::run::Outcome;
@@ -57,6 +58,11 @@ pub struct BatchedAggregateSim {
     ones_by_rep: Vec<u64>,
     /// First round at which each replica held the correct consensus.
     converged_at: Vec<Option<u64>>,
+    /// `false` keeps replicas stepping past the correct consensus (their
+    /// first-hit round is still recorded). Required under an environment
+    /// schedule that can knock a replica off consensus: consensus is no
+    /// longer absorbing, so a retired replica would report a stale state.
+    retire_on_consensus: bool,
     plans: RoundPlanCache,
 }
 
@@ -65,6 +71,21 @@ impl BatchedAggregateSim {
     /// `start`, with replica `i` drawing from `rng_from(seeds[i])`.
     #[must_use]
     pub fn new(kernel: Arc<Kernel>, start: Configuration, seeds: &[u64]) -> Self {
+        Self::with_retirement(kernel, start, seeds, true)
+    }
+
+    /// [`BatchedAggregateSim::new`] with retirement pinned explicitly.
+    /// `retire_on_consensus = false` keeps every replica live for the whole
+    /// run — first consensus hits are recorded in `converged_at`, but the
+    /// replicas continue stepping (the conformance harness needs the true
+    /// post-consensus marginals when an environment schedule is active).
+    #[must_use]
+    pub fn with_retirement(
+        kernel: Arc<Kernel>,
+        start: Configuration,
+        seeds: &[u64],
+        retire_on_consensus: bool,
+    ) -> Self {
         let n = start.n();
         let z = u64::from(start.correct().as_bit());
         let target = if z == 1 { n } else { 0 };
@@ -81,17 +102,20 @@ impl BatchedAggregateSim {
             pos_of_rep: vec![usize::MAX; b],
             ones_by_rep: vec![start.ones(); b],
             converged_at: vec![None; b],
+            retire_on_consensus,
             plans: RoundPlanCache::new(),
         };
         for (rep, &seed) in seeds.iter().enumerate() {
             if start.ones() == target {
                 sim.converged_at[rep] = Some(0);
-            } else {
-                sim.pos_of_rep[rep] = sim.live_ones.len();
-                sim.live_ones.push(start.ones());
-                sim.live_rngs.push(rng_from(seed));
-                sim.live_rep.push(rep);
+                if retire_on_consensus {
+                    continue;
+                }
             }
+            sim.pos_of_rep[rep] = sim.live_ones.len();
+            sim.live_ones.push(start.ones());
+            sim.live_rngs.push(rng_from(seed));
+            sim.live_rep.push(rep);
         }
         sim
     }
@@ -145,12 +169,48 @@ impl BatchedAggregateSim {
         let mut pos = 0;
         while pos < self.live_ones.len() {
             if self.live_ones[pos] == self.target {
-                self.converged_at[self.live_rep[pos]] = Some(self.round);
-                self.retire(pos);
-            } else {
-                pos += 1;
+                let rep = self.live_rep[pos];
+                if self.converged_at[rep].is_none() {
+                    self.converged_at[rep] = Some(self.round);
+                }
+                if self.retire_on_consensus {
+                    self.retire(pos);
+                    continue;
+                }
             }
+            pos += 1;
         }
+    }
+
+    /// Applies the environment schedule at the current round boundary
+    /// (`t = self.round`), drawing each replica's perturbation randomness
+    /// from that replica's own stream — exactly the draws the solo
+    /// [`run_to_consensus_env`](crate::run::run_to_consensus_env) loop
+    /// makes, so trajectories stay bit-identical to the per-replica
+    /// engine. Returns the number of perturbation events across the batch.
+    ///
+    /// Source flips are time-scheduled, so every replica computes the same
+    /// new `z`; the shared `z`/`target` pair is committed after the sweep.
+    pub fn perturb_round(&mut self, env: &EnvSchedule) -> u64 {
+        let t = self.round;
+        let mut events_total = 0u64;
+        let mut new_z = self.z;
+        for pos in 0..self.live_ones.len() {
+            let mut z = self.z;
+            let mut x = self.live_ones[pos];
+            let events = env.apply_aggregate(t, self.n, &mut z, &mut x, &mut self.live_rngs[pos]);
+            if events > 0 {
+                self.live_ones[pos] = x;
+                self.ones_by_rep[self.live_rep[pos]] = x;
+            }
+            events_total += events;
+            new_z = z;
+        }
+        if new_z != self.z {
+            self.z = new_z;
+            self.target = if self.z == 1 { self.n } else { 0 };
+        }
+        events_total
     }
 
     fn retire(&mut self, pos: usize) {
@@ -190,6 +250,20 @@ impl BatchedAggregateSim {
         self.outcomes(budget)
     }
 
+    /// [`BatchedAggregateSim::run_to_consensus`] under an environment
+    /// schedule: every boundary `t` is perturbed after the consensus check
+    /// at `t` (the retirement sweep of the previous round) and before the
+    /// step to `t + 1` — the same convention as the solo
+    /// [`run_to_consensus_env`](crate::run::run_to_consensus_env), to which
+    /// each replica's trajectory is bit-identical.
+    pub fn run_to_consensus_env(&mut self, budget: u64, env: &EnvSchedule) -> Vec<Outcome> {
+        while self.live() > 0 && self.round < budget {
+            self.perturb_round(env);
+            self.step_round();
+        }
+        self.outcomes(budget)
+    }
+
     /// [`BatchedAggregateSim::run_to_consensus`] with observability:
     /// emits per-replica [`Event::RoundCompleted`] events (subject to the
     /// handle's round stride, same label convention as the solo loop) and
@@ -209,13 +283,44 @@ impl BatchedAggregateSim {
         obs: &Obs,
         reps: &[u64],
     ) -> Vec<Outcome> {
+        self.run_observed_inner(budget, None, obs, reps)
+    }
+
+    /// [`BatchedAggregateSim::run_to_consensus_env`] with the same
+    /// observability as [`BatchedAggregateSim::run_to_consensus_observed`],
+    /// plus the batch total of perturbation events folded into the
+    /// `perturbations_applied` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps.len() != self.batch_size()`.
+    pub fn run_to_consensus_env_observed(
+        &mut self,
+        budget: u64,
+        env: &EnvSchedule,
+        obs: &Obs,
+        reps: &[u64],
+    ) -> Vec<Outcome> {
+        self.run_observed_inner(budget, Some(env), obs, reps)
+    }
+
+    fn run_observed_inner(
+        &mut self,
+        budget: u64,
+        env: Option<&EnvSchedule>,
+        obs: &Obs,
+        reps: &[u64],
+    ) -> Vec<Outcome> {
         assert_eq!(reps.len(), self.batch_size(), "one trace label per replica");
         if !obs.active() && !obs.metrics_on() {
-            return self.run_to_consensus(budget);
+            return match env {
+                Some(env) => self.run_to_consensus_env(budget, env),
+                None => self.run_to_consensus(budget),
+            };
         }
 
         let timer = Timer::start();
-        let source_opinion = self.z as u8;
+        let mut perturbations = 0u64;
         if obs.active() {
             // Replicas already at consensus finish at round 0, before any
             // round event — same shape as the solo loop.
@@ -231,6 +336,9 @@ impl BatchedAggregateSim {
             }
         }
         while self.live() > 0 && self.round < budget {
+            if let Some(env) = env {
+                perturbations += self.perturb_round(env);
+            }
             // Sampled 1-in-8: a round is microseconds, so timing every
             // pass would itself cost a few percent (see
             // LATENCY_SAMPLE_EVERY).
@@ -247,6 +355,9 @@ impl BatchedAggregateSim {
             if !obs.active() {
                 continue;
             }
+            // Re-read after the step: a source flip mid-run changes the
+            // opinion the round events must carry.
+            let source_opinion = self.z as u8;
             let r = self.round;
             if obs.wants_round(r) {
                 // Still-live replicas report their post-round state; the
@@ -295,7 +406,9 @@ impl BatchedAggregateSim {
             let mut rounds_total: u64 = 0;
             let mut samples_total: u64 = 0;
             for c in &self.converged_at {
-                let steps = c.unwrap_or(budget);
+                // Without retirement every replica runs the full loop, not
+                // just up to its first consensus hit.
+                let steps = if self.retire_on_consensus { c.unwrap_or(budget) } else { self.round };
                 rounds_total += steps;
                 samples_total =
                     samples_total.saturating_add(steps.saturating_mul(samples_per_round));
@@ -304,6 +417,9 @@ impl BatchedAggregateSim {
             obs.metrics().add_samples(samples_total);
             let retired = self.converged_at.iter().filter(|c| c.is_some()).count();
             obs.metrics().add_retired(retired as u64);
+            if env.is_some() {
+                obs.metrics().add_perturbations(perturbations);
+            }
         }
         self.outcomes(budget)
     }
@@ -340,6 +456,45 @@ pub fn replicate_batched_observed(
     budget: u64,
     obs: &Obs,
 ) -> Vec<Outcome> {
+    replicate_batched_inner(kernel, start, indices, base_seed, threads, budget, None, obs)
+}
+
+/// [`replicate_batched_observed`] under an environment schedule: every
+/// replica perturbs and steps through
+/// [`BatchedAggregateSim::run_to_consensus_env_observed`], so outcomes stay
+/// bit-identical to the solo
+/// [`run_to_consensus_env`](crate::run::run_to_consensus_env) with the same
+/// replication seed, for every thread count and chunk layout.
+///
+/// # Panics
+///
+/// Panics if any batch task panics (the panic is propagated).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_batched_env_observed(
+    kernel: &Arc<Kernel>,
+    start: Configuration,
+    indices: &[usize],
+    base_seed: u64,
+    threads: Option<usize>,
+    budget: u64,
+    env: &EnvSchedule,
+    obs: &Obs,
+) -> Vec<Outcome> {
+    replicate_batched_inner(kernel, start, indices, base_seed, threads, budget, Some(env), obs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replicate_batched_inner(
+    kernel: &Arc<Kernel>,
+    start: Configuration,
+    indices: &[usize],
+    base_seed: u64,
+    threads: Option<usize>,
+    budget: u64,
+    env: Option<&EnvSchedule>,
+    obs: &Obs,
+) -> Vec<Outcome> {
     if indices.is_empty() {
         return Vec::new();
     }
@@ -368,7 +523,10 @@ pub fn replicate_batched_observed(
             chunk_indices.iter().map(|&rep| replication_seed(base_seed, rep as u64)).collect();
         let labels: Vec<u64> = chunk_indices.iter().map(|&rep| rep as u64).collect();
         let mut batch = BatchedAggregateSim::new(Arc::clone(kernel), start, &seeds);
-        let outcomes = batch.run_to_consensus_observed(budget, obs, &labels);
+        let outcomes = match env {
+            Some(env) => batch.run_to_consensus_env_observed(budget, env, obs, &labels),
+            None => batch.run_to_consensus_observed(budget, obs, &labels),
+        };
         {
             let mut slots = slots.lock().expect("batched replication slots poisoned");
             for (offset, outcome) in outcomes.into_iter().enumerate() {
@@ -570,6 +728,79 @@ mod tests {
             replicate_batched_observed(&kernel, start, &sparse, base, Some(2), budget, &obs);
         for (pos, &rep) in sparse.iter().enumerate() {
             assert_eq!(spliced[pos], reference[rep], "sparse rep {rep}");
+        }
+    }
+
+    #[test]
+    fn env_run_matches_solo_env_bit_for_bit() {
+        // Under an active schedule the batched engine must still reproduce
+        // the exact per-replica trajectory: perturbation draws come from
+        // each replica's own stream, in the same perturb-then-step order
+        // as the solo loop.
+        let n = 64;
+        let voter = Voter::new(1).unwrap();
+        let kernel = kernel_of(&voter, n);
+        let start = Configuration::new(n, Opinion::One, 20).unwrap();
+        let env: crate::env::EnvSchedule = "flip@30,noise:0.01".parse().unwrap();
+        let base = 77;
+        let reps = 12usize;
+        let budget = 20_000;
+
+        let solo: Vec<Outcome> = (0..reps)
+            .map(|rep| {
+                let mut sim = AggregateSim::with_kernel(Arc::clone(&kernel), start);
+                let mut rng = rng_from(replication_seed(base, rep as u64));
+                crate::run::run_to_consensus_env(&mut sim, &env, &mut rng, budget)
+            })
+            .collect();
+        assert!(solo.iter().any(Outcome::is_converged), "some replicas re-converge post-flip");
+
+        let mut batch =
+            BatchedAggregateSim::new(Arc::clone(&kernel), start, &seeds_for(base, reps));
+        assert_eq!(batch.run_to_consensus_env(budget, &env), solo);
+
+        // The pooled driver agrees too, for several thread counts.
+        let indices: Vec<usize> = (0..reps).collect();
+        for &threads in &[1usize, 3] {
+            let driven = replicate_batched_env_observed(
+                &kernel,
+                start,
+                &indices,
+                base,
+                Some(threads),
+                budget,
+                &env,
+                &Obs::none(),
+            );
+            assert_eq!(driven, solo, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn no_retire_mode_keeps_stepping_past_first_consensus() {
+        // Conformance contract: with retirement off, a replica that hits
+        // the (old) consensus keeps its first-hit round but stays live, so
+        // a post-flip checkpoint reads its true, perturbed state.
+        let n = 48;
+        let voter = Voter::new(1).unwrap();
+        let kernel = kernel_of(&voter, n);
+        let start = Configuration::new(n, Opinion::One, 40).unwrap();
+        let env: crate::env::EnvSchedule = "flip@400".parse().unwrap();
+        let reps = 6usize;
+        let mut batch = BatchedAggregateSim::with_retirement(
+            Arc::clone(&kernel),
+            start,
+            &seeds_for(9, reps),
+            false,
+        );
+        let outcomes = batch.run_to_consensus_env(800, &env);
+        assert_eq!(batch.live(), reps, "nothing retires without retirement");
+        assert_eq!(batch.round(), 800, "the loop runs the whole budget");
+        for (rep, outcome) in outcomes.iter().enumerate() {
+            let k = outcome.rounds().expect("voter reaches the pre-flip consensus quickly");
+            assert!(k < 400, "rep {rep} converged before the flip");
+            assert_eq!(batch.converged_at(rep), Some(k), "first hit is kept, not overwritten");
+            assert!(batch.ones_of(rep) < n, "rep {rep} was knocked off the old consensus");
         }
     }
 

@@ -44,6 +44,7 @@ pub mod batched;
 pub mod binomial;
 pub mod consensus;
 pub mod dual;
+pub mod env;
 pub mod hypergeometric;
 pub mod partial;
 pub mod rng;
@@ -57,11 +58,15 @@ pub mod wide;
 
 pub use agent::AgentSim;
 pub use aggregate::AggregateSim;
-pub use batched::{replicate_batched_observed, BatchedAggregateSim};
+pub use batched::{
+    replicate_batched_env_observed, replicate_batched_observed, BatchedAggregateSim,
+};
+pub use env::{run_env, run_env_observed, EnvRunStats, EnvSchedule, ResetSpec, ResetTrigger};
 pub use rng::{rng_from, SimRng};
 pub use run::{
-    run_to_consensus, run_to_consensus_observed, run_with_exit_detection,
-    run_with_exit_detection_observed, Outcome, Simulator, StabilityOutcome,
+    run_to_consensus, run_to_consensus_env, run_to_consensus_env_observed,
+    run_to_consensus_observed, run_with_exit_detection, run_with_exit_detection_observed, Outcome,
+    Simulator, StabilityOutcome,
 };
 pub use runner::{replicate, replicate_indices_observed, replicate_observed, replicate_spawn};
-pub use wide::{replicate_wide_observed, WideBatchedSim};
+pub use wide::{replicate_wide_env_observed, replicate_wide_observed, WideBatchedSim};

@@ -104,6 +104,21 @@ impl Simulator for PartialSim {
             self.step_batch(rng);
         }
     }
+
+    /// Aggregate perturbation on the partial-synchrony state (the state is
+    /// the same `(z, x)` pair; only the round dynamics differ).
+    fn perturb(&mut self, env: &crate::env::EnvSchedule, t: u64, rng: &mut SimRng) -> u64 {
+        let n = self.config.n();
+        let mut z = u64::from(self.config.correct().as_bit());
+        let mut x = self.config.ones();
+        let events = env.apply_aggregate(t, n, &mut z, &mut x, rng);
+        if events > 0 {
+            let correct = bitdissem_core::Opinion::from_bool(z == 1);
+            self.config =
+                Configuration::new(n, correct, x).expect("perturbations stay in the legal band");
+        }
+        events
+    }
 }
 
 #[cfg(test)]

@@ -94,8 +94,13 @@ impl RoundPlanCache {
             Some(plan) if plan.x == x && plan.z == z => plan,
             _ => {
                 let (p0, p1) = kernel.eval(x as f64 / n as f64);
-                let keep_n = x - z;
-                let flip_n = n - x - (1 - z);
+                // Environment perturbations can produce the transient states
+                // `x < z` / `x + (1 − z) > n`; clamp into the legal band so
+                // the component sizes never wrap `u64`. The slot keeps the
+                // raw `x` as its tag so lookups still hit.
+                let cx = x.clamp(z, n - (1 - z));
+                let keep_n = cx - z;
+                let flip_n = n - cx - (1 - z);
                 slot.insert(RoundPlan {
                     x,
                     z,

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use bitdissem_core::Configuration;
 use bitdissem_obs::{Event, Obs, ReplicationOutcome, Timer};
 
+use crate::env::EnvSchedule;
 use crate::rng::SimRng;
 
 /// A steppable simulation of the bit-dissemination process.
@@ -31,6 +32,19 @@ pub trait Simulator {
     /// for `ℓ = 1` and exists for lightweight test doubles.
     fn opinion_samples_per_round(&self) -> u64 {
         self.n()
+    }
+
+    /// Applies the boundary-`t` environment perturbations to the current
+    /// state and returns the number of perturbation events applied (see
+    /// [`EnvSchedule`]). Called *after* the consensus check at `t` and
+    /// *before* the step that produces `X_{t+1}`.
+    ///
+    /// The default panics: a simulator must opt into the environment
+    /// layer explicitly, because silently ignoring a schedule would make
+    /// a "perturbed" run statically indistinguishable from a static one.
+    fn perturb(&mut self, env: &EnvSchedule, t: u64, rng: &mut SimRng) -> u64 {
+        let _ = (env, t, rng);
+        unimplemented!("this simulator does not support environment perturbations")
     }
 }
 
@@ -154,6 +168,92 @@ pub fn run_to_consensus_observed<S: Simulator + ?Sized>(
     if obs.metrics_on() {
         obs.metrics().add_rounds(rounds_done);
         obs.metrics().add_samples(rounds_done.saturating_mul(sim.opinion_samples_per_round()));
+    }
+    if obs.active() {
+        obs.emit(&Event::ReplicationFinished {
+            rep,
+            outcome: if outcome.is_converged() {
+                ReplicationOutcome::Converged
+            } else {
+                ReplicationOutcome::TimedOut
+            },
+            rounds: outcome.rounds_censored(),
+            elapsed_us: timer.elapsed_us(),
+        });
+    }
+    outcome
+}
+
+/// [`run_to_consensus`] under an environment schedule: the perturbation
+/// at boundary `t` is applied after the consensus check at `t` and before
+/// the step, so a run that is perturbed *into* the correct consensus is
+/// credited at the next boundary, uniformly across every engine.
+pub fn run_to_consensus_env<S: Simulator + ?Sized>(
+    sim: &mut S,
+    env: &EnvSchedule,
+    rng: &mut SimRng,
+    max_rounds: u64,
+) -> Outcome {
+    for t in 0..=max_rounds {
+        if sim.configuration().is_correct_consensus() {
+            return Outcome::Converged { rounds: t };
+        }
+        if t == max_rounds {
+            break;
+        }
+        sim.perturb(env, t, rng);
+        sim.step_round(rng);
+    }
+    Outcome::TimedOut { rounds: max_rounds }
+}
+
+/// [`run_to_consensus_env`] with observability — the same event and
+/// counter conventions as [`run_to_consensus_observed`], plus the
+/// `perturbations_applied` counter. Instrumentation never touches `rng`,
+/// so outcomes are identical to the uninstrumented loop for the same
+/// seed.
+pub fn run_to_consensus_env_observed<S: Simulator + ?Sized>(
+    sim: &mut S,
+    env: &EnvSchedule,
+    rng: &mut SimRng,
+    max_rounds: u64,
+    obs: &Obs,
+    rep: u64,
+) -> Outcome {
+    if !obs.active() && !obs.metrics_on() {
+        return run_to_consensus_env(sim, env, rng, max_rounds);
+    }
+
+    let timer = Timer::start();
+    let mut rounds_done: u64 = 0;
+    let mut perturbations: u64 = 0;
+    let outcome = 'run: {
+        for t in 0..=max_rounds {
+            if sim.configuration().is_correct_consensus() {
+                break 'run Outcome::Converged { rounds: t };
+            }
+            if t == max_rounds {
+                break;
+            }
+            perturbations += sim.perturb(env, t, rng);
+            sim.step_round(rng);
+            rounds_done += 1;
+            if obs.wants_round(rounds_done) {
+                let config = sim.configuration();
+                obs.emit(&Event::RoundCompleted {
+                    rep,
+                    round: rounds_done,
+                    ones: config.ones(),
+                    source_opinion: config.correct().as_bit(),
+                });
+            }
+        }
+        Outcome::TimedOut { rounds: max_rounds }
+    };
+    if obs.metrics_on() {
+        obs.metrics().add_rounds(rounds_done);
+        obs.metrics().add_samples(rounds_done.saturating_mul(sim.opinion_samples_per_round()));
+        obs.metrics().add_perturbations(perturbations);
     }
     if obs.active() {
         obs.emit(&Event::ReplicationFinished {
@@ -502,6 +602,73 @@ mod tests {
         let m = obs.metrics();
         let rounds = m.rounds_simulated.load(std::sync::atomic::Ordering::Relaxed);
         assert_eq!(rounds, exited, "entered rounds plus (exited − entered) dwell rounds");
+    }
+
+    #[test]
+    fn observed_exit_detection_reenters_after_a_forced_exit() {
+        // After an exit the simulator sits in a perturbed, off-consensus
+        // state. A fresh observed run on the *same* simulator must
+        // re-detect consensus entry from that state (its own round
+        // numbering starting at zero) and catch the next exit too —
+        // nothing in the detector may assume it starts from a virgin
+        // state.
+        let noisy = NoisyVoter::new(1, 0.02).unwrap();
+        let start = Configuration::new(16, Opinion::One, 14).unwrap();
+        let sink = std::sync::Arc::new(bitdissem_obs::MemorySink::new());
+        let obs = Obs::none().with_sink(std::sync::Arc::clone(&sink) as _).with_metrics();
+        let mut sim = AggregateSim::new(&noisy, start).unwrap();
+        let mut rng = rng_from(6);
+        let first =
+            run_with_exit_detection_observed(&mut sim, &mut rng, 1_000_000, 10_000, &obs, 1);
+        let StabilityOutcome::Exited { exited: first_exit, .. } = first else {
+            panic!("expected a forced exit, got {first:?}");
+        };
+        assert!(
+            !sim.configuration().is_correct_consensus(),
+            "the detector leaves the sim in its post-exit state"
+        );
+        let second =
+            run_with_exit_detection_observed(&mut sim, &mut rng, 1_000_000, 10_000, &obs, 2);
+        let StabilityOutcome::Exited { entered, exited } = second else {
+            panic!("ε = 0.02 on n = 16 exits within 10k dwell rounds w.h.p.: {second:?}");
+        };
+        assert!(exited > entered, "re-entered at {entered}, re-exited at {exited}");
+        let exits: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                bitdissem_obs::Event::ConsensusExited { rep, .. } => Some(rep),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, vec![1, 2], "one ConsensusExited per run, in order");
+        let _ = first_exit;
+    }
+
+    #[test]
+    fn env_run_matches_unobserved_and_counts_perturbations() {
+        let voter = Voter::new(1).unwrap();
+        let env: crate::env::EnvSchedule = "reset:k=4@every:25".parse().unwrap();
+        let start = Configuration::all_wrong(32, Opinion::One);
+        let plain = {
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            run_to_consensus_env(&mut sim, &env, &mut rng_from(31), 100_000)
+        };
+        let obs = Obs::none().with_metrics();
+        let observed = {
+            let mut sim = AggregateSim::new(&voter, start).unwrap();
+            run_to_consensus_env_observed(&mut sim, &env, &mut rng_from(31), 100_000, &obs, 0)
+        };
+        assert_eq!(plain, observed);
+        assert!(observed.is_converged());
+        // Periodic resets slow the climb: perturbations were both applied
+        // and counted.
+        let m = obs.metrics();
+        let p = m.perturbations_applied.load(std::sync::atomic::Ordering::Relaxed);
+        let k = observed.rounds().unwrap();
+        // Perturbations apply at boundaries 0..k, so one reset fired per
+        // full period inside [1, k − 1].
+        assert_eq!(p, (k - 1) / 25);
     }
 
     #[test]

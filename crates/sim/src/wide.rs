@@ -38,7 +38,8 @@ use bitdissem_obs::{Event, LatencyId, Obs, ReplicationOutcome, Timer};
 use bitdissem_pool::Pool;
 
 use crate::binomial::{pmf_window, AliasTable, WideBinomial, MAX_ALIAS_SUPPORT};
-use crate::rng::{counter_rng, replication_seed, splitmix64};
+use crate::env::{EnvSchedule, ENV_STREAM_SALT};
+use crate::rng::{counter_rng, replication_seed, rng_from, splitmix64};
 use crate::run::Outcome;
 
 /// Cost ceiling (`w₁ · w₂` multiply-adds) for building one fused
@@ -76,6 +77,11 @@ impl WideStep {
     /// Compiles the transition out of state `x` given the kernel values
     /// `(P₀(x/n), P₁(x/n))`.
     fn build(n: u64, z: u64, x: u64, p0: f64, p1: f64) -> Self {
+        // An environment perturbation can hand us the transient states
+        // `x < z` (source flipped to 1 while no agent holds 1 yet) or
+        // `x + (1 − z) > n`; clamp `x` into the legal band so the component
+        // sizes below never wrap `u64` (and the step stays within `[z, n]`).
+        let x = x.clamp(z, n - (1 - z));
         let keep_n = x - z;
         let flip_n = n - x - (1 - z);
         let keep_w = pmf_window(keep_n, p1, MAX_ALIAS_SUPPORT);
@@ -125,10 +131,14 @@ impl WideStep {
 const SLOTS: usize = 512;
 
 /// Direct-mapped cache of compiled [`WideStep`]s, indexed by
-/// `x & (SLOTS − 1)` and tagged by `x` (`n` and `z` are fixed per sim).
+/// `x & (SLOTS − 1)` and tagged by the full `(x, z)` pair. `n` is fixed per
+/// sim, but `z` is **not** — an environment source flip changes it mid-run,
+/// and a slot compiled under the old `z` encodes the wrong law for the same
+/// `x` (DESIGN decision 15; same staleness class as the `RoundPlanCache`
+/// fix).
 #[derive(Debug)]
 struct WideStepCache {
-    slots: Vec<Option<(u64, WideStep)>>,
+    slots: Vec<Option<(u64, u64, WideStep)>>,
 }
 
 impl WideStepCache {
@@ -137,15 +147,15 @@ impl WideStepCache {
     }
 
     #[inline]
-    fn get(&self, x: u64) -> Option<&WideStep> {
+    fn get(&self, x: u64, z: u64) -> Option<&WideStep> {
         match &self.slots[(x as usize) & (SLOTS - 1)] {
-            Some((tag, step)) if *tag == x => Some(step),
+            Some((tag_x, tag_z, step)) if *tag_x == x && *tag_z == z => Some(step),
             _ => None,
         }
     }
 
-    fn insert(&mut self, x: u64, step: WideStep) {
-        self.slots[(x as usize) & (SLOTS - 1)] = Some((x, step));
+    fn insert(&mut self, x: u64, z: u64, step: WideStep) {
+        self.slots[(x as usize) & (SLOTS - 1)] = Some((x, z, step));
     }
 }
 
@@ -184,6 +194,11 @@ pub struct WideBatchedSim {
     ones_by_rep: Vec<u64>,
     /// First round at which each replica held the correct consensus.
     converged_at: Vec<Option<u64>>,
+    /// `false` keeps replicas stepping past the correct consensus (their
+    /// first-hit round is still recorded). Required under an environment
+    /// schedule that can knock a replica off consensus: consensus is no
+    /// longer absorbing, so a retired replica would report a stale state.
+    retire_on_consensus: bool,
     steps: WideStepCache,
     // Per-round scratch (kept across rounds to avoid reallocation).
     words: Vec<u64>,
@@ -218,6 +233,23 @@ impl WideBatchedSim {
         streams: &[u64],
         scalar_lanes: bool,
     ) -> Self {
+        Self::with_mode(kernel, start, streams, scalar_lanes, true)
+    }
+
+    /// [`WideBatchedSim::with_lane_mode`] with retirement pinned as well.
+    /// `retire_on_consensus = false` keeps every replica live for the
+    /// whole run — first consensus hits are recorded in `converged_at`,
+    /// but the replicas continue stepping (the conformance harness needs
+    /// the true post-consensus marginals when an environment schedule is
+    /// active).
+    #[must_use]
+    pub fn with_mode(
+        kernel: Arc<Kernel>,
+        start: Configuration,
+        streams: &[u64],
+        scalar_lanes: bool,
+        retire_on_consensus: bool,
+    ) -> Self {
         let n = start.n();
         let z = u64::from(start.correct().as_bit());
         let target = if z == 1 { n } else { 0 };
@@ -235,6 +267,7 @@ impl WideBatchedSim {
             pos_of_rep: vec![usize::MAX; b],
             ones_by_rep: vec![start.ones(); b],
             converged_at: vec![None; b],
+            retire_on_consensus,
             steps: WideStepCache::new(),
             words: Vec::new(),
             pending: Vec::new(),
@@ -245,12 +278,14 @@ impl WideBatchedSim {
         for (rep, &stream) in streams.iter().enumerate() {
             if start.ones() == target {
                 sim.converged_at[rep] = Some(0);
-            } else {
-                sim.pos_of_rep[rep] = sim.live_ones.len();
-                sim.live_ones.push(start.ones());
-                sim.live_stream.push(stream);
-                sim.live_rep.push(rep);
+                if retire_on_consensus {
+                    continue;
+                }
             }
+            sim.pos_of_rep[rep] = sim.live_ones.len();
+            sim.live_ones.push(start.ones());
+            sim.live_stream.push(stream);
+            sim.live_rep.push(rep);
         }
         sim
     }
@@ -310,12 +345,51 @@ impl WideBatchedSim {
         let mut pos = 0;
         while pos < self.live_ones.len() {
             if self.live_ones[pos] == self.target {
-                self.converged_at[self.live_rep[pos]] = Some(self.round);
-                self.retire(pos);
-            } else {
-                pos += 1;
+                let rep = self.live_rep[pos];
+                if self.converged_at[rep].is_none() {
+                    self.converged_at[rep] = Some(self.round);
+                }
+                if self.retire_on_consensus {
+                    self.retire(pos);
+                    continue;
+                }
             }
+            pos += 1;
         }
+    }
+
+    /// Applies the environment schedule at the current round boundary
+    /// (`t = self.round`). Each replica's perturbation randomness comes
+    /// from the counter stream `stream ^ ENV_STREAM_SALT` at counter `t` —
+    /// independent of the transition words and still a pure function of
+    /// `(stream, round)`, so batch composition, sharding, and retirement
+    /// order cannot change a trajectory. Returns the number of
+    /// perturbation events across the batch.
+    ///
+    /// Source flips are time-scheduled, so every replica computes the same
+    /// new `z`; the shared `z`/`target` pair is committed after the sweep.
+    /// The step cache needs no flushing: slots are tagged by `(x, z)`
+    /// (DESIGN decision 15).
+    pub fn perturb_round(&mut self, env: &EnvSchedule) -> u64 {
+        let t = self.round;
+        let mut events_total = 0u64;
+        let mut new_z = self.z;
+        for pos in 0..self.live_ones.len() {
+            let mut z = self.z;
+            let mut x = self.live_ones[pos];
+            let mut rng = rng_from(counter_rng(self.live_stream[pos] ^ ENV_STREAM_SALT, t));
+            let events = env.apply_aggregate(t, self.n, &mut z, &mut x, &mut rng);
+            if events > 0 {
+                self.live_ones[pos] = x;
+            }
+            events_total += events;
+            new_z = z;
+        }
+        if new_z != self.z {
+            self.z = new_z;
+            self.target = if self.z == 1 { self.n } else { 0 };
+        }
+        events_total
     }
 
     /// Lane-blocked round body: counter words in one flat pass, cached
@@ -331,10 +405,11 @@ impl WideBatchedSim {
         // bounds checks: the zip pins `words` to `live_ones` lengthwise and
         // the state is updated in place through the iterator.
         let steps = &self.steps;
+        let z = self.z;
         let miss_x = &mut self.miss_x;
         let pending = &mut self.pending;
         for (pos, (x, &word)) in self.live_ones.iter_mut().zip(self.words.iter()).enumerate() {
-            match steps.get(*x) {
+            match steps.get(*x, z) {
                 Some(step) => *x = step.apply(word),
                 None => {
                     let ux = miss_x.iter().position(|mx| mx == x).unwrap_or_else(|| {
@@ -365,7 +440,7 @@ impl WideBatchedSim {
                     self.commit(pos, next);
                 }
             }
-            self.steps.insert(x, step);
+            self.steps.insert(x, self.z, step);
         }
     }
 
@@ -377,13 +452,13 @@ impl WideBatchedSim {
         for pos in 0..self.live_ones.len() {
             let x = self.live_ones[pos];
             let word = counter_rng(self.live_stream[pos], ctr);
-            let next = match self.steps.get(x) {
+            let next = match self.steps.get(x, self.z) {
                 Some(step) => step.apply(word),
                 None => {
                     let (p0, p1) = self.kernel.eval(x as f64 / self.n as f64);
                     let step = WideStep::build(self.n, self.z, x, p0, p1);
                     let next = step.apply(word);
-                    self.steps.insert(x, step);
+                    self.steps.insert(x, self.z, step);
                     next
                 }
             };
@@ -431,6 +506,22 @@ impl WideBatchedSim {
         self.outcomes(budget)
     }
 
+    /// [`WideBatchedSim::run_to_consensus`] under an environment schedule:
+    /// every boundary `t` is perturbed after the consensus check at `t`
+    /// (the retirement sweep of the previous round) and before the step to
+    /// `t + 1` — the same convention as the solo
+    /// [`run_to_consensus_env`](crate::run::run_to_consensus_env). Like
+    /// the unperturbed wide engine, trajectories match the per-replica
+    /// engines in law (KS-gated), not bit for bit: both the transition
+    /// words and the perturbation draws come from counter streams.
+    pub fn run_to_consensus_env(&mut self, budget: u64, env: &EnvSchedule) -> Vec<Outcome> {
+        while self.live() > 0 && self.round < budget {
+            self.perturb_round(env);
+            self.step_round();
+        }
+        self.outcomes(budget)
+    }
+
     /// [`WideBatchedSim::run_to_consensus`] with observability — identical
     /// event and metric conventions to the batched engine: per-replica
     /// [`Event::RoundCompleted`] events subject to the round stride, one
@@ -447,13 +538,44 @@ impl WideBatchedSim {
         obs: &Obs,
         reps: &[u64],
     ) -> Vec<Outcome> {
+        self.run_observed_inner(budget, None, obs, reps)
+    }
+
+    /// [`WideBatchedSim::run_to_consensus_env`] with the same
+    /// observability as [`WideBatchedSim::run_to_consensus_observed`], plus
+    /// the batch total of perturbation events folded into the
+    /// `perturbations_applied` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps.len() != self.batch_size()`.
+    pub fn run_to_consensus_env_observed(
+        &mut self,
+        budget: u64,
+        env: &EnvSchedule,
+        obs: &Obs,
+        reps: &[u64],
+    ) -> Vec<Outcome> {
+        self.run_observed_inner(budget, Some(env), obs, reps)
+    }
+
+    fn run_observed_inner(
+        &mut self,
+        budget: u64,
+        env: Option<&EnvSchedule>,
+        obs: &Obs,
+        reps: &[u64],
+    ) -> Vec<Outcome> {
         assert_eq!(reps.len(), self.batch_size(), "one trace label per replica");
         if !obs.active() && !obs.metrics_on() {
-            return self.run_to_consensus(budget);
+            return match env {
+                Some(env) => self.run_to_consensus_env(budget, env),
+                None => self.run_to_consensus(budget),
+            };
         }
 
         let timer = Timer::start();
-        let source_opinion = self.z as u8;
+        let mut perturbations = 0u64;
         if obs.active() {
             for (rep, &label) in reps.iter().enumerate() {
                 if self.converged_at[rep] == Some(0) {
@@ -467,6 +589,9 @@ impl WideBatchedSim {
             }
         }
         while self.live() > 0 && self.round < budget {
+            if let Some(env) = env {
+                perturbations += self.perturb_round(env);
+            }
             // Sampled 1-in-8: a round is microseconds, so timing every
             // pass would itself cost a few percent (see
             // LATENCY_SAMPLE_EVERY).
@@ -483,6 +608,9 @@ impl WideBatchedSim {
             if !obs.active() {
                 continue;
             }
+            // Re-read after the step: a source flip mid-run changes the
+            // opinion the round events must carry.
+            let source_opinion = self.z as u8;
             let r = self.round;
             if obs.wants_round(r) {
                 for pos in 0..self.live_rep.len() {
@@ -528,7 +656,9 @@ impl WideBatchedSim {
             let mut rounds_total: u64 = 0;
             let mut samples_total: u64 = 0;
             for c in &self.converged_at {
-                let steps = c.unwrap_or(budget);
+                // Without retirement every replica runs the full loop, not
+                // just up to its first consensus hit.
+                let steps = if self.retire_on_consensus { c.unwrap_or(budget) } else { self.round };
                 rounds_total += steps;
                 samples_total =
                     samples_total.saturating_add(steps.saturating_mul(samples_per_round));
@@ -537,6 +667,9 @@ impl WideBatchedSim {
             obs.metrics().add_samples(samples_total);
             let retired = self.converged_at.iter().filter(|c| c.is_some()).count();
             obs.metrics().add_retired(retired as u64);
+            if env.is_some() {
+                obs.metrics().add_perturbations(perturbations);
+            }
         }
         self.outcomes(budget)
     }
@@ -589,6 +722,45 @@ pub fn replicate_wide_observed(
     budget: u64,
     obs: &Obs,
 ) -> Vec<Outcome> {
+    replicate_wide_inner(kernel, start, indices, base_seed, threads, budget, None, obs)
+}
+
+/// [`replicate_wide_observed`] under an environment schedule: every shard
+/// perturbs and steps through
+/// [`WideBatchedSim::run_to_consensus_env_observed`]. Perturbation draws
+/// are pure in `(stream, round)` like the transition words, so outcomes
+/// remain bit-deterministic across thread counts, chunk sizes, and index
+/// partitions.
+///
+/// # Panics
+///
+/// Panics if any shard task panics (the panic is propagated).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_wide_env_observed(
+    kernel: &Arc<Kernel>,
+    start: Configuration,
+    indices: &[usize],
+    base_seed: u64,
+    threads: Option<usize>,
+    budget: u64,
+    env: &EnvSchedule,
+    obs: &Obs,
+) -> Vec<Outcome> {
+    replicate_wide_inner(kernel, start, indices, base_seed, threads, budget, Some(env), obs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replicate_wide_inner(
+    kernel: &Arc<Kernel>,
+    start: Configuration,
+    indices: &[usize],
+    base_seed: u64,
+    threads: Option<usize>,
+    budget: u64,
+    env: Option<&EnvSchedule>,
+    obs: &Obs,
+) -> Vec<Outcome> {
     if indices.is_empty() {
         return Vec::new();
     }
@@ -612,7 +784,10 @@ pub fn replicate_wide_observed(
             chunk_indices.iter().map(|&rep| replication_seed(base_seed, rep as u64)).collect();
         let labels: Vec<u64> = chunk_indices.iter().map(|&rep| rep as u64).collect();
         let mut batch = WideBatchedSim::new(Arc::clone(kernel), start, &streams);
-        let outcomes = batch.run_to_consensus_observed(budget, obs, &labels);
+        let outcomes = match env {
+            Some(env) => batch.run_to_consensus_env_observed(budget, env, obs, &labels),
+            None => batch.run_to_consensus_observed(budget, obs, &labels),
+        };
         {
             let mut slots = slots.lock().expect("wide replication slots poisoned");
             for (offset, outcome) in outcomes.into_iter().enumerate() {
@@ -677,6 +852,72 @@ mod tests {
     }
 
     #[test]
+    fn source_flip_invalidates_cached_steps() {
+        // Regression: the step cache used to tag slots by `x` alone. A
+        // mid-run source flip changes `z`, and the law out of state `x`
+        // depends on both (`keep_n = x − z`, `flip_n = n − x − (1 − z)`),
+        // so a warm slot compiled under the old `z` silently encoded the
+        // wrong transition for the same `x`.
+        let n = 300u64; // < SLOTS, so slot aliasing cannot mask a stale hit
+        let voter = Voter::new(1).unwrap();
+        let kernel = kernel_of(&voter, n);
+        let mut warm = WideStepCache::new();
+        for x in 1..=n {
+            let (p0, p1) = kernel.eval(x as f64 / n as f64);
+            warm.insert(x, 1, WideStep::build(n, 1, x, p0, p1));
+        }
+        // Every z = 0 lookup must miss: the slots carry the old source
+        // opinion in their tag.
+        for x in 1..n {
+            assert!(warm.get(x, 0).is_none(), "stale z=1 slot served for x={x} under z=0");
+            assert!(warm.get(x, 1).is_some(), "the z=1 entry for x={x} is still intact");
+        }
+        // End to end: replaying a z = 0 trajectory against the warm cache
+        // and against a cold one, feeding both the same counter-rng words,
+        // must agree bit for bit (pre-fix, the warm cache replays the
+        // z = 1 law instead).
+        let mut cold = WideStepCache::new();
+        let stream = replication_seed(17, 0);
+        let mut x_warm = 150u64;
+        let mut x_cold = 150u64;
+        for t in 0..400u64 {
+            let word = counter_rng(stream, t);
+            let step_in = |cache: &mut WideStepCache, x: u64| -> u64 {
+                if cache.get(x, 0).is_none() {
+                    let (p0, p1) = kernel.eval(x as f64 / n as f64);
+                    cache.insert(x, 0, WideStep::build(n, 0, x, p0, p1));
+                }
+                cache.get(x, 0).unwrap().apply(word)
+            };
+            x_warm = step_in(&mut warm, x_warm);
+            x_cold = step_in(&mut cold, x_cold);
+            assert_eq!(x_warm, x_cold, "trajectories split at round {t}");
+        }
+    }
+
+    #[test]
+    fn build_clamps_transient_out_of_band_states() {
+        // A perturbation can momentarily hand the compiler `x < z` (the
+        // source flipped to 1 before any agent holds 1) or
+        // `x + (1 − z) > n`; the component sizes `x − z` and
+        // `n − x − (1 − z)` must not wrap `u64`, and the compiled step must
+        // stay inside `[z, n − (1 − z)]`. (A saturating guard would pass
+        // the no-wrap half but admit `flip_n = n` for `(z, x) = (1, 0)`,
+        // letting the step reach `n + 1`.)
+        let n = 64u64;
+        for (z, x) in [(1u64, 0u64), (0, 64)] {
+            let step = WideStep::build(n, z, x, 0.3, 0.7);
+            for t in 0..200u64 {
+                let next = step.apply(counter_rng(3, t));
+                assert!(
+                    next >= z && next <= n - (1 - z),
+                    "build({z}, {x}) stepped outside the band: {next}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batch_composition_cannot_change_a_trajectory() {
         // Counter streams make every replica's path a pure function of its
         // own stream: running it in a batch of 16 and in a batch of 1 must
@@ -694,6 +935,71 @@ mod tests {
             let alone =
                 WideBatchedSim::new(Arc::clone(&kernel), start, &[stream]).run_to_consensus(budget);
             assert_eq!(alone[0], together[rep], "rep {rep}");
+        }
+    }
+
+    #[test]
+    fn env_run_is_pure_per_stream_and_lane_mode() {
+        // Perturbation draws are counter-based like the transition words,
+        // so under an active schedule a replica's trajectory still cannot
+        // depend on batch composition — and the scalar-lane fallback stays
+        // bit-identical to the lane-blocked path.
+        let n = 250;
+        let minority = Minority::new(3).unwrap();
+        let kernel = kernel_of(&minority, n);
+        let start = Configuration::new(n, Opinion::One, 70).unwrap();
+        let env: EnvSchedule = "flip@60,noise:0.02".parse().unwrap();
+        let streams = streams_for(13, 16);
+        let budget = 30_000;
+        let together = WideBatchedSim::new(Arc::clone(&kernel), start, &streams)
+            .run_to_consensus_env(budget, &env);
+        for (rep, &stream) in streams.iter().enumerate() {
+            let alone = WideBatchedSim::new(Arc::clone(&kernel), start, &[stream])
+                .run_to_consensus_env(budget, &env);
+            assert_eq!(alone[0], together[rep], "rep {rep}");
+        }
+        let scalar = WideBatchedSim::with_lane_mode(Arc::clone(&kernel), start, &streams, true)
+            .run_to_consensus_env(budget, &env);
+        assert_eq!(scalar, together);
+
+        // The pooled env driver shards without changing outcomes either.
+        let indices: Vec<usize> = (0..16).collect();
+        for &threads in &[1usize, 3] {
+            let driven = replicate_wide_env_observed(
+                &kernel,
+                start,
+                &indices,
+                13,
+                Some(threads),
+                budget,
+                &env,
+                &Obs::none(),
+            );
+            assert_eq!(driven, together, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn no_retire_mode_keeps_stepping_past_first_consensus() {
+        // Conformance contract, wide flavour: with retirement off, first
+        // consensus hits are recorded but every replica keeps stepping, so
+        // a post-flip checkpoint reads its true, perturbed state.
+        let n = 64;
+        let voter = Voter::new(1).unwrap();
+        let kernel = kernel_of(&voter, n);
+        let start = Configuration::new(n, Opinion::One, 52).unwrap();
+        let env: EnvSchedule = "flip@500".parse().unwrap();
+        let streams = streams_for(21, 6);
+        let mut batch =
+            WideBatchedSim::with_mode(Arc::clone(&kernel), start, &streams, false, false);
+        let outcomes = batch.run_to_consensus_env(1000, &env);
+        assert_eq!(batch.live(), 6, "nothing retires without retirement");
+        assert_eq!(batch.round(), 1000, "the loop runs the whole budget");
+        for (rep, outcome) in outcomes.iter().enumerate() {
+            let k = outcome.rounds().expect("voter reaches the pre-flip consensus quickly");
+            assert!(k < 500, "rep {rep} converged before the flip");
+            assert_eq!(batch.converged_at(rep), Some(k), "first hit is kept, not overwritten");
+            assert!(batch.ones_of(rep) < n, "rep {rep} was knocked off the old consensus");
         }
     }
 

@@ -25,6 +25,7 @@ fn tiny_config() -> ConformConfig {
         checkpoints: vec![1, 2],
         act_checkpoint_mults: vec![1, 2],
         alpha_budget: 1e-9,
+        env_specs: vec!["flip@2".to_string()],
     }
 }
 
