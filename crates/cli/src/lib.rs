@@ -15,6 +15,12 @@
 //!   [--sequential]` — one adversarial run with a trajectory summary;
 //! * `exact <protocol> [--ell L] [--n N]` — exact expected hitting times
 //!   (small `n`);
+//! * `markov [--grid P:L,…] [--ns N1,N2,…] [--eps E] [--t-max T]
+//!   [--verify-n V] [--label L] [--out DIR]` — exact large-`n` analytics on
+//!   the ε-truncated sparse chain: hitting times (banded LU), mixing
+//!   rounds, survival quantiles and curves, spectral gaps at small `n`, a
+//!   sparse-vs-dense verification gate, and a versioned
+//!   `MARKOV_<label>.json` record;
 //! * `bench [--scale S] [--seed N] [--label L] [--out DIR]
 //!   [--max-workers W] [--compare BASELINE.json] [--check-only]` — run the
 //!   macro-benchmark suite, write a schema-versioned `BENCH_<label>.json`,
@@ -46,16 +52,21 @@ use std::sync::Arc;
 
 use bitdissem_analysis::{BiasPolynomial, LowerBoundWitness, RootStructure};
 use bitdissem_conformance::{
-    run_differential, run_fault_scenarios, ConformConfig, ConformReport, ConformScale,
-    CONFORM_SCHEMA_VERSION,
+    run_differential, run_fault_scenarios, sparse_dense_check, ConformConfig, ConformReport,
+    ConformScale, CONFORM_SCHEMA_VERSION,
 };
 use bitdissem_core::dynamics::{self, BoxedProtocol};
-use bitdissem_core::Protocol;
+use bitdissem_core::{Protocol, ProtocolExt};
 use bitdissem_experiments::bench::{run_all as bench_run_all, BenchCtx};
 use bitdissem_experiments::trace::TraceAccumulator;
 use bitdissem_experiments::{registry, ReplicationEngine, RunConfig, Scale};
-use bitdissem_markov::absorbing::expected_hitting_times;
-use bitdissem_markov::AggregateChain;
+use bitdissem_markov::absorbing::{expected_hitting_times, quantile_from_survival};
+use bitdissem_markov::{
+    expected_hitting_times_sparse, mixing_time_extremes_sparse, spectral_gap,
+    survival_curve_sparse, AggregateChain, SparseChain,
+};
+use bitdissem_obs::durable::atomic_replace;
+use bitdissem_obs::json::Value;
 use bitdissem_obs::{
     detect_format, stream_trace, BenchRecord, CheckpointLog, ColumnarReader, ColumnarSink,
     EventSink, JsonlSink, Obs, Progress, TraceFormat,
@@ -107,6 +118,8 @@ pub fn usage() -> String {
      \x20 bitdissem analyze <protocol> [--ell L] [--n N]\n\
      \x20 bitdissem simulate <protocol> [--ell L] [--n N] [--seed S] [--budget B] [--sequential]\n\
      \x20 bitdissem exact <protocol> [--ell L] [--n N]\n\
+     \x20 bitdissem markov [--grid voter:1,minority:3] [--ns 1024,8192] [--eps E] [--t-max T]\n\
+     \x20\x20\x20\x20 [--verify-n V] [--label L] [--out DIR]\n\
      \x20 bitdissem bench [--scale smoke|standard|full] [--seed N] [--label L] [--out DIR]\n\
      \x20\x20\x20\x20 [--max-workers W] [--compare BASELINE.json] [--check-only] [--metrics]\n\
      \x20 bitdissem trace <run.jsonl|run.bct>\n\
@@ -134,6 +147,23 @@ pub fn usage() -> String {
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 for run: recorded in manifests; perturbed batches checkpoint\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 under their own batch kind, so --resume never splices static\n\
      \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 results into a perturbed sweep\n\
+     \n\
+     exact large-n analytics (markov):\n\
+     \x20 builds the ε-truncated sparse aggregate chain for every (protocol, n) grid point\n\
+     \x20 and computes exact analytics that the dense solver cannot reach: expected hitting\n\
+     \x20 times via banded LU, extreme-start mixing rounds, the survival curve of the\n\
+     \x20 consensus time with exact median/p90, and (for n ≤ 2048) the spectral gap.\n\
+     \x20 Writes a schema-versioned MARKOV_<label>.json to --out.\n\
+     \x20 --grid P:L,P:L     protocols with sample sizes, e.g. voter:1,minority:3\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (default voter:1; bare names mean ell = 1)\n\
+     \x20 --ns N1,N2         population sizes (default 1024,8192; n = 1e5 stays under CI time)\n\
+     \x20 --eps E            relative row-truncation cutoff in (0,1) (default 1e-12)\n\
+     \x20 --t-max T          survival-curve horizon in rounds (default min(4n, 20000); 0 skips)\n\
+     \x20 --mix-max M        mixing-round cap (default 10000; 0 skips — slow-mixing chains\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 pay the full cap before reporting 'not mixed')\n\
+     \x20 --verify-n V       cross-check sparse rows against the dense chain at n = V before\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 reporting (default 64, range [2,512]; 0 skips). exit status 1\n\
+     \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 if any row disagrees beyond the tracked tail bound\n\
      \n\
      performance (bench):\n\
      \x20 --label L          name the output record BENCH_<L>.json (default: the scale name)\n\
@@ -234,6 +264,7 @@ pub fn dispatch_full(args: &Args) -> CommandOutput {
         Some("analyze") => cmd_analyze(args),
         Some("simulate") => cmd_simulate(args),
         Some("exact") => cmd_exact(args),
+        Some("markov") => cmd_markov(args),
         Some("bench") => cmd_bench(args),
         Some("trace") => cmd_trace(args),
         Some("conform") => cmd_conform(args),
@@ -996,6 +1027,300 @@ fn cmd_exact(args: &Args) -> CommandOutput {
 }
 
 // ---------------------------------------------------------------------------
+// markov: exact sparse-chain analytics at large n
+// ---------------------------------------------------------------------------
+
+/// Schema version of the `MARKOV_<label>.json` analytics record.
+pub const MARKOV_SCHEMA_VERSION: u64 = 1;
+
+/// Largest `n` for which the CLI attempts the spectral gap: the shifted
+/// power iteration needs `~1/gap` matvecs to converge, which is fine in the
+/// thousands of states and hopeless at `n = 1e5`.
+const MARKOV_GAP_MAX_N: u64 = 2048;
+
+/// Mixing tolerance used by the `markov` subcommand (the standard `1/4`).
+const MARKOV_MIX_EPSILON: f64 = 0.25;
+
+/// Default cap on mixing rounds before declaring the chain unmixed at this
+/// horizon (override with `--mix-max`; slow-mixing chains pay the full cap).
+const MARKOV_MIX_MAX_ROUNDS: usize = 10_000;
+
+/// Maximum number of survival-curve points embedded in the JSON record;
+/// longer curves are thinned to a uniform stride.
+const MARKOV_CURVE_POINTS: usize = 257;
+
+fn elapsed_ms(start: std::time::Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn cmd_markov(args: &Args) -> CommandOutput {
+    // --grid: comma-separated `protocol[:ell]` entries (bare name = ell 1).
+    let grid_spec = args.get("grid").unwrap_or("voter:1").to_string();
+    let mut grid: Vec<(String, usize, BoxedProtocol)> = Vec::new();
+    for part in grid_spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (name, ell) = match part.split_once(':') {
+            Some((name, ell_str)) => match ell_str.parse::<usize>() {
+                Ok(l) => (name, l),
+                Err(_) => {
+                    return usage_error(format!(
+                        "bad --grid entry '{part}': expected protocol[:ell]\n"
+                    ))
+                }
+            },
+            None => (part, 1),
+        };
+        match dynamics::by_name(name, ell) {
+            Some(Ok(p)) => grid.push((name.to_string(), ell, p)),
+            Some(Err(e)) => return usage_error(format!("invalid parameters for '{name}': {e}\n")),
+            None => return usage_error(format!("unknown protocol '{name}' in --grid\n")),
+        }
+    }
+    if grid.is_empty() {
+        return usage_error("--grid must name at least one protocol\n");
+    }
+    let ns_spec = args.get("ns").unwrap_or("1024,8192").to_string();
+    let mut ns: Vec<u64> = Vec::new();
+    for part in ns_spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match part.parse::<u64>() {
+            Ok(n) if n >= 2 => ns.push(n),
+            _ => return usage_error(format!("bad --ns entry '{part}': need integers >= 2\n")),
+        }
+    }
+    if ns.is_empty() {
+        return usage_error("--ns must name at least one population size\n");
+    }
+    let eps = match args.get("eps") {
+        Some(s) => match s.parse::<f64>() {
+            Ok(e) if e > 0.0 && e < 1.0 => Some(e),
+            _ => return usage_error("--eps must be a float in (0, 1)\n"),
+        },
+        None => None,
+    };
+    let t_max_flag: Option<usize> = match args.get("t-max") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(t) => Some(t),
+            Err(_) => return usage_error("--t-max must be a non-negative integer\n"),
+        },
+        None => None,
+    };
+    let mix_max = match args.get_parsed("mix-max", MARKOV_MIX_MAX_ROUNDS) {
+        Ok(m) => m,
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let verify_n = match args.get_parsed("verify-n", 64u64) {
+        Ok(0) => 0,
+        Ok(n) if (2..=512).contains(&n) => n,
+        Ok(n) => {
+            return usage_error(format!("--verify-n must be 0 (skip) or in [2, 512], got {n}\n"))
+        }
+        Err(e) => return usage_error(format!("{e}\n")),
+    };
+    let label = args.get("label").unwrap_or("markov").to_string();
+    let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("."));
+
+    let correct = bitdissem_core::Opinion::One;
+    let mut out = String::new();
+    let mut status = Status::Ok;
+
+    // Deterministic gate first: at --verify-n the sparse rows must agree
+    // with the dense chain within the tracked truncation tail bound.
+    let mut verify_json = Vec::new();
+    if verify_n > 0 {
+        for (name, ell, protocol) in &grid {
+            let table = match protocol.to_table(verify_n) {
+                Ok(t) => t,
+                Err(e) => return usage_error(format!("cannot materialize {name}:{ell}: {e}\n")),
+            };
+            let check =
+                sparse_dense_check(&format!("{name}(ell={ell})"), &table, verify_n, correct);
+            let _ = writeln!(
+                out,
+                "verify {name}:{ell} n={verify_n}: sparse~dense worst violation {:.3e} — {}",
+                check.statistic,
+                if check.pass { "ok" } else { "FAIL" }
+            );
+            if !check.pass {
+                status = Status::CheckFailed;
+            }
+            verify_json.push(Value::Obj(vec![
+                ("name".to_string(), Value::Str(check.name.clone())),
+                ("statistic".to_string(), Value::Num(check.statistic)),
+                ("pass".to_string(), Value::Bool(check.pass)),
+            ]));
+        }
+    }
+
+    let mut points_json = Vec::new();
+    for (name, ell, protocol) in &grid {
+        for &n in &ns {
+            let t_build = std::time::Instant::now();
+            let built = match eps {
+                Some(e) => SparseChain::build_with_eps(protocol.as_ref(), n, correct, e),
+                None => SparseChain::build(protocol.as_ref(), n, correct),
+            };
+            let chain = match built {
+                Ok(c) => c,
+                Err(e) => {
+                    return usage_error(format!(
+                        "cannot build chain for {name}:{ell} at n = {n}: {e}\n"
+                    ))
+                }
+            };
+            let build_ms = elapsed_ms(t_build);
+            let _ = writeln!(
+                out,
+                "{name}:{ell} n={n}: built {} states, nnz {}, band {}, tail {:.2e} ({:.0} ms)",
+                chain.num_states(),
+                chain.nnz(),
+                chain.max_bandwidth(),
+                chain.max_tail_bound(),
+                build_ms
+            );
+
+            let t_hit = std::time::Instant::now();
+            let hitting = expected_hitting_times_sparse(&chain);
+            let hit_ms = elapsed_ms(t_hit);
+            let hitting_json = match &hitting {
+                Some(times) => {
+                    let (worst_state, worst) = times.worst();
+                    let from_wrong = times.from_state(chain.state_lo());
+                    let _ = writeln!(
+                        out,
+                        "  hitting: worst {} rounds from X = {worst_state}, all-wrong {} \
+                         ({:.0} ms)",
+                        fmt_num(worst),
+                        fmt_num(from_wrong),
+                        hit_ms
+                    );
+                    Value::Obj(vec![
+                        ("worst_state".to_string(), Value::Int(i128::from(worst_state))),
+                        ("worst_rounds".to_string(), Value::Num(worst)),
+                        ("all_wrong_rounds".to_string(), Value::Num(from_wrong)),
+                        ("solve_ms".to_string(), Value::Num(hit_ms)),
+                    ])
+                }
+                None => {
+                    let _ = writeln!(out, "  hitting: consensus unreachable (singular system)");
+                    Value::Null
+                }
+            };
+
+            let mixing_json = if mix_max == 0 {
+                Value::Null
+            } else {
+                let t_mix = std::time::Instant::now();
+                let mixing = mixing_time_extremes_sparse(&chain, MARKOV_MIX_EPSILON, mix_max);
+                let mix_ms = elapsed_ms(t_mix);
+                match mixing {
+                    Some(rounds) => {
+                        let _ = writeln!(out, "  mixing(1/4): {rounds} rounds ({:.0} ms)", mix_ms);
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  mixing(1/4): not mixed within {mix_max} rounds ({:.0} ms)",
+                            mix_ms
+                        );
+                    }
+                }
+                Value::Obj(vec![
+                    ("epsilon".to_string(), Value::Num(MARKOV_MIX_EPSILON)),
+                    ("rounds".to_string(), mixing.map_or(Value::Null, |r| Value::Int(r as i128))),
+                    ("max_rounds".to_string(), Value::Int(mix_max as i128)),
+                    ("ms".to_string(), Value::Num(mix_ms)),
+                ])
+            };
+
+            let t_max = t_max_flag
+                .unwrap_or_else(|| usize::try_from((4 * n).min(20_000)).expect("t_max fits"));
+            let survival_json = if t_max == 0 {
+                Value::Null
+            } else {
+                let t_surv = std::time::Instant::now();
+                let curve = survival_curve_sparse(&chain, chain.state_lo(), t_max);
+                let surv_ms = elapsed_ms(t_surv);
+                let median = quantile_from_survival(&curve, 0.5);
+                let p90 = quantile_from_survival(&curve, 0.9);
+                let _ = writeln!(
+                    out,
+                    "  survival from all-wrong: median {}, p90 {} at t_max {t_max} ({:.0} ms)",
+                    median.map_or("> t_max".to_string(), |t| t.to_string()),
+                    p90.map_or("> t_max".to_string(), |t| t.to_string()),
+                    surv_ms
+                );
+                let stride = curve.len().div_ceil(MARKOV_CURVE_POINTS).max(1);
+                let mut ts = Vec::new();
+                let mut ss = Vec::new();
+                for (t, &s) in curve.iter().enumerate() {
+                    if t % stride == 0 || t == curve.len() - 1 {
+                        ts.push(Value::Int(t as i128));
+                        ss.push(Value::Num(s));
+                    }
+                }
+                Value::Obj(vec![
+                    ("t_max".to_string(), Value::Int(t_max as i128)),
+                    ("stride".to_string(), Value::Int(stride as i128)),
+                    ("median".to_string(), median.map_or(Value::Null, |t| Value::Int(t as i128))),
+                    ("p90".to_string(), p90.map_or(Value::Null, |t| Value::Int(t as i128))),
+                    ("ms".to_string(), Value::Num(surv_ms)),
+                    ("t".to_string(), Value::Arr(ts)),
+                    ("s".to_string(), Value::Arr(ss)),
+                ])
+            };
+
+            let gap_json = if n <= MARKOV_GAP_MAX_N {
+                match spectral_gap(&chain) {
+                    Some(gap) => {
+                        let _ = writeln!(out, "  spectral gap: {gap:.6e}");
+                        Value::Num(gap)
+                    }
+                    None => Value::Null,
+                }
+            } else {
+                Value::Null
+            };
+
+            points_json.push(Value::Obj(vec![
+                ("protocol".to_string(), Value::Str(name.clone())),
+                ("ell".to_string(), Value::Int(*ell as i128)),
+                ("n".to_string(), Value::Int(i128::from(n))),
+                ("rel_eps".to_string(), Value::Num(chain.rel_eps())),
+                ("num_states".to_string(), Value::Int(chain.num_states() as i128)),
+                ("nnz".to_string(), Value::Int(chain.nnz() as i128)),
+                ("max_bandwidth".to_string(), Value::Int(chain.max_bandwidth() as i128)),
+                ("max_tail_bound".to_string(), Value::Num(chain.max_tail_bound())),
+                ("build_ms".to_string(), Value::Num(build_ms)),
+                ("hitting".to_string(), hitting_json),
+                ("mixing".to_string(), mixing_json),
+                ("survival".to_string(), survival_json),
+                ("spectral_gap".to_string(), gap_json),
+            ]));
+        }
+    }
+
+    let record = Value::Obj(vec![
+        ("schema_version".to_string(), Value::Int(i128::from(MARKOV_SCHEMA_VERSION))),
+        ("label".to_string(), Value::Str(label.clone())),
+        ("grid".to_string(), Value::Str(grid_spec)),
+        ("ns".to_string(), Value::Arr(ns.iter().map(|&n| Value::Int(i128::from(n))).collect())),
+        ("verify_n".to_string(), Value::Int(i128::from(verify_n))),
+        ("pass".to_string(), Value::Bool(status == Status::Ok)),
+        ("verification".to_string(), Value::Arr(verify_json)),
+        ("points".to_string(), Value::Arr(points_json)),
+    ]);
+    let path = out_dir.join(format!("MARKOV_{label}.json"));
+    let mut rendered = record.render();
+    rendered.push('\n');
+    if let Err(e) = atomic_replace(&path, rendered.as_bytes()) {
+        let _ = writeln!(out, "cannot write {}: {e}", path.display());
+        return CommandOutput::ok(out, Status::UsageError);
+    }
+    let _ = writeln!(out, "wrote {}", path.display());
+    CommandOutput::ok(out, status)
+}
+
+// ---------------------------------------------------------------------------
 // watch: live telemetry view and exposition reconciliation
 // ---------------------------------------------------------------------------
 
@@ -1341,6 +1666,83 @@ mod tests {
     fn exact_rejects_large_n() {
         let (_, status) = run_cli(&["exact", "voter", "--n", "100000"]);
         assert_eq!(status, Status::UsageError);
+    }
+
+    #[test]
+    fn markov_writes_versioned_record_and_passes_verification() {
+        let dir = std::env::temp_dir().join(format!("markov_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_dir = dir.to_str().unwrap();
+        let (out, status) = run_cli(&[
+            "markov",
+            "--grid",
+            "voter:1,minority:3",
+            "--ns",
+            "96,192",
+            "--t-max",
+            "600",
+            "--verify-n",
+            "32",
+            "--label",
+            "t",
+            "--out",
+            out_dir,
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("verify voter:1"), "{out}");
+        assert!(out.contains("hitting: worst"), "{out}");
+        assert!(out.contains("mixing(1/4)"), "{out}");
+        assert!(out.contains("survival from all-wrong"), "{out}");
+        assert!(out.contains("spectral gap"), "{out}");
+        let raw = std::fs::read_to_string(dir.join("MARKOV_t.json")).unwrap();
+        let v = bitdissem_obs::json::parse(&raw).unwrap();
+        assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(MARKOV_SCHEMA_VERSION));
+        assert_eq!(v.get("pass").and_then(Value::as_bool), Some(true));
+        match v.get("points") {
+            Some(Value::Arr(points)) => {
+                assert_eq!(points.len(), 4, "2 protocols x 2 sizes");
+                for p in points {
+                    assert!(p.get("nnz").and_then(Value::as_u64).unwrap() > 0);
+                    assert!(p.get("hitting").is_some());
+                }
+            }
+            other => panic!("points missing: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn markov_reports_singular_chains_without_failing() {
+        let dir = std::env::temp_dir().join(format!("markov_stay_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (out, status) = run_cli(&[
+            "markov",
+            "--grid",
+            "stay",
+            "--ns",
+            "64",
+            "--t-max",
+            "0",
+            "--verify-n",
+            "0",
+            "--label",
+            "stay",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert_eq!(status, Status::Ok, "{out}");
+        assert!(out.contains("unreachable"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn markov_rejects_bad_inputs() {
+        assert_eq!(run_cli(&["markov", "--grid", "nonsense"]).1, Status::UsageError);
+        assert_eq!(run_cli(&["markov", "--grid", "voter:x"]).1, Status::UsageError);
+        assert_eq!(run_cli(&["markov", "--ns", "1"]).1, Status::UsageError);
+        assert_eq!(run_cli(&["markov", "--ns", ""]).1, Status::UsageError);
+        assert_eq!(run_cli(&["markov", "--eps", "2.0"]).1, Status::UsageError);
+        assert_eq!(run_cli(&["markov", "--verify-n", "1000"]).1, Status::UsageError);
     }
 
     #[test]

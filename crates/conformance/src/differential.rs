@@ -14,7 +14,11 @@
 //!   consensus-time distribution **in activations** plus marginals at
 //!   activation checkpoints (multiples of `n`);
 //! * duality — coalescing-dual absorption time vs forward Voter `ℓ = 1`
-//!   consensus time from the all-wrong start.
+//!   consensus time from the all-wrong start;
+//! * exact oracle — i.i.d. draws from the sparse chain's exact law
+//!   ([`crate::oracle::sample_exact`]) against each of the five parallel
+//!   backends under the same KS gates, plus the deterministic
+//!   sparse~dense row admission and the large-`n` drift-band envelopes.
 //!
 //! Every comparison is a two-sample KS test at level
 //! `α = alpha_budget / #checks` (Bonferroni), so the whole matrix has
@@ -34,6 +38,7 @@ use crate::backend::{
     sample_activation, sample_dual, sample_parallel, sample_parallel_env, ActivationBackend,
     ParallelBackend, RunSamples,
 };
+use crate::oracle::{drift_band_check, sample_exact, sparse_dense_check};
 
 /// How much of the matrix to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +168,13 @@ pub struct ConformConfig {
     /// engine must satisfy the same perturbed law — the env section holds
     /// all five to it with the same KS gates as the static section.
     pub env_specs: Vec<String>,
+    /// Population size for the drift-band oracle section (one check per
+    /// protocol cell: wide-engine steps inside exact-row envelopes).
+    pub drift_n: u64,
+    /// Wide-engine replications per drift-band cell.
+    pub drift_reps: usize,
+    /// Rounds per drift-band replication.
+    pub drift_rounds: u64,
     /// Total false-alarm budget, Bonferroni-split across all checks.
     pub alpha_budget: f64,
 }
@@ -186,6 +198,9 @@ impl ConformConfig {
             // per-round opinion noise: the two qualitatively different
             // perturbations — target moves vs state diffuses.
             env_specs: vec!["flip@2".to_string(), "noise:0.01".to_string()],
+            drift_n: 4096,
+            drift_reps: 24,
+            drift_rounds: 24,
             alpha_budget: 1e-9,
         };
         match scale {
@@ -194,26 +209,42 @@ impl ConformConfig {
                 ns: vec![24],
                 reps: 100,
                 budget: 400,
+                drift_n: 1024,
+                drift_reps: 12,
+                drift_rounds: 12,
                 ..common
             },
             ConformScale::Standard => common,
-            ConformScale::Full => ConformConfig { ns: vec![32, 64, 128], reps: 800, ..common },
+            ConformScale::Full => ConformConfig {
+                ns: vec![32, 64, 128],
+                reps: 800,
+                drift_n: 8192,
+                drift_reps: 32,
+                drift_rounds: 32,
+                ..common
+            },
         }
     }
 
-    /// Number of KS tests the matrix performs — the Bonferroni divisor.
+    /// Number of checks the matrix performs — the Bonferroni divisor (the
+    /// deterministic oracle checks are counted too, which only makes the
+    /// per-test level more conservative).
     #[must_use]
     pub fn num_checks(&self) -> usize {
         let per_parallel_pair = 1 + self.checkpoints.len();
-        // Four adjacent parallel-law pairs: agent~aggregate,
-        // aggregate~partial(n−1), partial(n−1)~batched, batched~wide.
-        let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 4 * per_parallel_pair;
+        // Four adjacent parallel-law pairs (agent~aggregate,
+        // aggregate~partial(n−1), partial(n−1)~batched, batched~wide) plus
+        // the exact oracle against each of the five backends.
+        let parallel = self.cells.len() * self.ns.len() * self.starts.len() * 9 * per_parallel_pair;
         let activation = self.cells.len() * self.ns.len() * (1 + self.act_checkpoint_mults.len());
         let dual = self.ns.len();
         // Env section: same four adjacent pairs per schedule, first start
-        // only.
+        // only (the unperturbed exact chain does not participate here).
         let env = self.env_specs.len() * self.cells.len() * self.ns.len() * 4 * per_parallel_pair;
-        parallel + activation + dual + env
+        // Deterministic sparse~dense row checks per (cell, n), plus one
+        // drift-band envelope check per cell at `drift_n`.
+        let oracle = self.cells.len() * self.ns.len() + self.cells.len();
+        parallel + activation + dual + env + oracle
     }
 
     /// Per-test significance level.
@@ -343,7 +374,34 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
                         &mut checks,
                     );
                 }
+                // Exact oracle: i.i.d. draws from the sparse chain's exact
+                // law against every simulation backend — the one side of
+                // these KS tests carries no implementation risk beyond the
+                // chain itself, which is gated deterministically below.
+                let exact = sample_exact(
+                    &table,
+                    start,
+                    cfg.reps,
+                    cfg.budget,
+                    &cfg.checkpoints,
+                    stream_seed(seed, &format!("{prefix}/exact")),
+                );
+                for (j, b) in backends.iter().enumerate() {
+                    pair_checks(
+                        &prefix,
+                        ("exact", b.name()),
+                        (&exact, &samples[j]),
+                        &cfg.checkpoints,
+                        "r",
+                        alpha,
+                        &mut checks,
+                    );
+                }
             }
+
+            // Deterministic oracle admission: the ε-truncated sparse rows
+            // against the dense chain, entry tolerances and tail bounds.
+            checks.push(sparse_dense_check(&cell.label(), &table, n, Opinion::One));
 
             // Environment section: the same five parallel backends under
             // each perturbation schedule, first start only. A backend
@@ -452,6 +510,20 @@ pub fn run_differential(cfg: &ConformConfig, seed: u64) -> Vec<Check> {
         ));
     }
 
+    // Drift-band oracle at large n: wide-engine trajectories inside
+    // exact-row envelopes, one check per protocol cell.
+    for cell in &cfg.cells {
+        let table = cell.table(cfg.drift_n);
+        checks.push(drift_band_check(
+            &cell.label(),
+            &table,
+            cfg.drift_n,
+            cfg.drift_reps,
+            cfg.drift_rounds,
+            stream_seed(seed, &format!("drift/{}", cell.label())),
+        ));
+    }
+
     debug_assert_eq!(checks.len(), cfg.num_checks(), "check count must match the Bonferroni split");
     checks
 }
@@ -474,6 +546,9 @@ mod tests {
             checkpoints: vec![1, 2],
             act_checkpoint_mults: vec![1, 2],
             env_specs: vec!["flip@2".to_string()],
+            drift_n: 512,
+            drift_reps: 6,
+            drift_rounds: 6,
             alpha_budget: 1e-9,
         }
     }
@@ -500,7 +575,11 @@ mod tests {
         assert_eq!(checks.len(), cfg.num_checks());
         for c in &checks {
             assert!(c.pass, "{}: D={} > {}", c.name, c.statistic, c.critical);
-            assert_eq!(c.sizes, (cfg.reps, cfg.reps));
+            // The deterministic oracle checks report state/step counts, not
+            // replication counts; every KS check uses the full sample.
+            if !c.name.contains("sparse~dense") && !c.name.contains("drift-band") {
+                assert_eq!(c.sizes, (cfg.reps, cfg.reps), "{}", c.name);
+            }
         }
     }
 

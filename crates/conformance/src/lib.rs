@@ -23,6 +23,11 @@
 //!   All tests share one false-alarm budget, Bonferroni-split across the
 //!   matrix, so a full run's probability of any spurious failure is
 //!   bounded by the budget (KS on discrete data is conservative).
+//! * [`oracle`] admits the exact Markov chain as a *reference backend*:
+//!   i.i.d. draws from the exact law for the KS matrix, a deterministic
+//!   sparse~dense row comparison at small `n`, and Proposition-5-style
+//!   drift-band envelopes that gate the wide engine at `n` in the
+//!   thousands, where replicated KS comparison is infeasible.
 //! * [`fault`] injects I/O failures — torn lines, short writes, transient
 //!   `Interrupted`/`WouldBlock` errors, a mid-batch kill — into the
 //!   checkpoint path via [`bitdissem_obs::FaultyWriter`], then proves a
@@ -36,10 +41,12 @@
 pub mod backend;
 pub mod differential;
 pub mod fault;
+pub mod oracle;
 pub mod report;
 
 pub use differential::{
     run_differential, Cell, Check, ConformConfig, ConformScale, ProtocolKind, StartKind,
 };
 pub use fault::{run_fault_scenarios, FaultCheck};
+pub use oracle::{drift_band_check, sample_exact, sparse_dense_check};
 pub use report::{ConformReport, CONFORM_SCHEMA_VERSION};

@@ -12,6 +12,10 @@
 //!   replication-engine replica-rounds per second: lock-step batches on
 //!   counter-rng streams, without and with pool sharding (the engine
 //!   behind large convergence sweeps);
+//! - `markov_rowbuild` / `markov_matvec` — exact sparse-chain analytics:
+//!   ε-truncated transition rows built per second, and stored entries
+//!   consumed per second by full distribution steps (the hot loops behind
+//!   exact hitting times and survival curves at large `n`);
 //! - `pool_scaling_w<k>` — replications per second through the persistent
 //!   worker pool at `k` workers, for `k` over `1, 2, 4, …, W` — the
 //!   scaling curve the CI pool-matrix job watches;
@@ -25,6 +29,7 @@
 use crate::config::Scale;
 use bitdissem_core::dynamics::{Minority, Voter};
 use bitdissem_core::{Configuration, Opinion, ProtocolExt};
+use bitdissem_markov::{AggregateChain, SparseChain};
 use bitdissem_obs::{CheckpointLog, ColumnarSink, Event, EventSink, JsonlSink, Obs, TraceFormat};
 use bitdissem_sim::aggregate::AggregateSim;
 use bitdissem_sim::batched::BatchedAggregateSim;
@@ -331,6 +336,60 @@ fn bench_sharded_rounds(ctx: &BenchCtx) -> BenchResult {
     BenchResult { id: "sharded_rounds".to_string(), unit: "rounds_per_sec", samples }
 }
 
+/// Sparse-chain row construction throughput: ε-truncated rows built per
+/// second from a prebuilt [`AggregateChain`] (the sparsification step in
+/// isolation — the dominant cost of exact analytics at large `n`).
+fn bench_markov_rowbuild(ctx: &BenchCtx) -> BenchResult {
+    let n = ctx.scale.pick(2048u64, 8192, 32_768);
+    let voter = Voter::new(1).expect("valid");
+    let agg = AggregateChain::build(&voter, n, Opinion::One).expect("valid");
+    let samples = (0..ctx.samples())
+        .map(|_| {
+            let agg = agg.clone();
+            throughput(n as f64, move || {
+                let chain = SparseChain::from_aggregate(agg, 1e-12);
+                assert!(chain.nnz() > 0);
+            })
+        })
+        .collect();
+    BenchResult { id: "markov_rowbuild".to_string(), unit: "rows_per_sec", samples }
+}
+
+/// Sparse matvec throughput: stored transition entries consumed per second
+/// while stepping a full state distribution through the truncated operator
+/// (the inner loop of exact survival curves and distribution stepping).
+fn bench_markov_matvec(ctx: &BenchCtx) -> BenchResult {
+    let n = ctx.scale.pick(2048u64, 8192, 32_768);
+    let iters = ctx.scale.pick(20u64, 40, 60);
+    let chain = SparseChain::build(&Voter::new(1).expect("valid"), n, Opinion::One).expect("valid");
+    let m = chain.num_states();
+    let lo = chain.state_lo();
+    #[allow(clippy::cast_precision_loss)]
+    let samples = (0..ctx.samples())
+        .map(|_| {
+            // A uniform start keeps every row active on every iteration, so
+            // the work is exactly `iters · nnz` multiply-adds.
+            let mut dist = vec![1.0 / m as f64; m];
+            let mut next = vec![0.0; m];
+            throughput((iters * chain.nnz() as u64) as f64, || {
+                for _ in 0..iters {
+                    next.fill(0.0);
+                    for (i, &w) in dist.iter().enumerate() {
+                        let (abs_lo, row) = chain.row(lo + i as u64);
+                        let base = (abs_lo - lo) as usize;
+                        for (slot, &p) in next[base..base + row.len()].iter_mut().zip(row) {
+                            *slot += w * p;
+                        }
+                    }
+                    std::mem::swap(&mut dist, &mut next);
+                }
+                assert!(dist.iter().sum::<f64>() > 0.5);
+            })
+        })
+        .collect();
+    BenchResult { id: "markov_matvec".to_string(), unit: "nnz_per_sec", samples }
+}
+
 /// Compiled-kernel adoption-probability evaluations per second.
 ///
 /// Sweeps `p` across a dense grid so the benchmark covers both Horner
@@ -534,6 +593,14 @@ pub fn run_all(ctx: &BenchCtx, obs: &Obs) -> Vec<BenchResult> {
         let _span = obs.span("bench/sharded_rounds");
         results.push(bench_sharded_rounds(ctx));
     }
+    {
+        let _span = obs.span("bench/markov_rowbuild");
+        results.push(bench_markov_rowbuild(ctx));
+    }
+    {
+        let _span = obs.span("bench/markov_matvec");
+        results.push(bench_markov_matvec(ctx));
+    }
     for workers in worker_counts(ctx.max_workers) {
         let _span = obs.span("bench/pool_scaling");
         results.push(bench_pool_scaling(ctx, workers));
@@ -590,6 +657,8 @@ mod tests {
                 "batched_rounds",
                 "simd_rounds",
                 "sharded_rounds",
+                "markov_rowbuild",
+                "markov_matvec",
                 "pool_scaling_w1",
                 "pool_scaling_w2",
                 "checkpoint_write",

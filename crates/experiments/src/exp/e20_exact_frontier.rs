@@ -1,0 +1,134 @@
+//! **E20 — the Theorem 2 / Theorem 12 frontier, charted exactly.**
+//!
+//! Theorem 2 says Voter with `ℓ = 1` converges in `O(n log n)` parallel
+//! rounds; Theorem 12 says *any* memory-less protocol with constant sample
+//! size needs `n^(1−ε)`-many. Simulation can only probe this frontier
+//! statistically and only at moderate `n`; the ε-truncated sparse chain
+//! computes both sides of it *exactly* at `n` in the tens of thousands:
+//!
+//! * the Voter worst-case expected hitting time, whose ratio to `n ln n`
+//!   must stay bounded (upper-bound side);
+//! * the Minority(3) survival probability from the all-wrong start at a
+//!   sublinear budget `⌈n^0.9⌉`, which must stay ≈ 1 (lower-bound side —
+//!   almost no mass converges below the almost-linear horizon);
+//! * agreement of the sparse solver with the dense LU solver at small `n`,
+//!   so the large-`n` curves inherit the dense solver's validation.
+
+use bitdissem_core::dynamics::{Minority, Voter};
+use bitdissem_core::Opinion;
+use bitdissem_markov::absorbing::expected_hitting_times;
+use bitdissem_markov::{
+    expected_hitting_times_sparse, survival_curve_sparse, AggregateChain, SparseChain,
+};
+use bitdissem_stats::table::fmt_num;
+use bitdissem_stats::Table;
+
+use crate::config::RunConfig;
+use crate::report::ExperimentReport;
+use bitdissem_obs::Obs;
+
+/// Runs experiment E20.
+#[must_use]
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+#[allow(clippy::cast_sign_loss, clippy::missing_panics_doc)]
+pub fn run(cfg: &RunConfig, obs: &Obs) -> ExperimentReport {
+    let _scope = obs.scope("e20");
+    let mut report = ExperimentReport::new(
+        "e20",
+        "Theorem 2 vs Theorem 12: the exact convergence frontier at large n",
+        "Voter worst-case expected time stays O(n log n) while Minority(3) \
+         keeps ~all survival mass at sublinear budgets; both computed \
+         exactly from the sparse chain",
+    );
+
+    let ns: Vec<u64> = match cfg.scale.pick(0, 1, 2) {
+        0 => vec![256, 512, 1024],
+        1 => vec![512, 2048, 8192],
+        _ => vec![2048, 8192, 32_768],
+    };
+
+    // Upper-bound side (Theorem 2): exact Voter worst-case hitting times.
+    let mut table = Table::new([
+        "n",
+        "voter worst E[T]",
+        "E[T]/(n ln n)",
+        "minority(3) budget",
+        "minority survival",
+    ]);
+    let mut ratios = Vec::with_capacity(ns.len());
+    let mut min_survival = f64::INFINITY;
+    for &n in &ns {
+        let voter =
+            SparseChain::build(&Voter::new(1).expect("valid"), n, Opinion::One).expect("valid");
+        let times = expected_hitting_times_sparse(&voter).expect("voter absorbs");
+        let (_, worst) = times.worst();
+        let ratio = worst / (n as f64 * (n as f64).ln());
+        ratios.push(ratio);
+
+        // Lower-bound side (Theorem 12): survival mass of the slow protocol
+        // at a sublinear budget. Minority(3) has constant sample size, so
+        // the almost-linear lower bound applies; at ⌈n^0.9⌉ rounds the
+        // exact absorbed mass must still be negligible.
+        let budget = (n as f64).powf(0.9).ceil() as usize;
+        let minority =
+            SparseChain::build(&Minority::new(3).expect("valid"), n, Opinion::One).expect("valid");
+        let curve = survival_curve_sparse(&minority, minority.state_lo(), budget);
+        let survival = *curve.last().expect("non-empty curve");
+        min_survival = min_survival.min(survival);
+
+        table.row([
+            n.to_string(),
+            fmt_num(worst),
+            format!("{ratio:.4}"),
+            budget.to_string(),
+            format!("{survival:.6}"),
+        ]);
+    }
+    report.add_table("exact frontier: Voter upper bound vs Minority lower bound", table);
+
+    let max_ratio = ratios.iter().copied().fold(0.0f64, f64::max);
+    report.check(
+        max_ratio < 1.0,
+        format!("Voter worst E[T]/(n ln n) bounded: max ratio {max_ratio:.4} < 1"),
+    );
+    // The Voter time is Θ(n): the ratio to n ln n must *shrink* as n grows,
+    // never grow — growth would contradict the Theorem 2 upper bound.
+    let monotone = ratios.windows(2).all(|w| w[1] <= w[0] * 1.05);
+    report.check(monotone, format!("ratio non-increasing along the n grid: {ratios:?}"));
+    report.check(
+        min_survival >= 0.99,
+        format!("Minority(3) survival at budget n^0.9 stays ≥ 0.99 (min {min_survival:.6})"),
+    );
+
+    // Validation splice: at dense-solver sizes the sparse hitting times must
+    // agree with the dense LU to far better than the ratios above resolve.
+    let n_check = 192u64;
+    let sparse =
+        SparseChain::build(&Voter::new(1).expect("valid"), n_check, Opinion::One).expect("valid");
+    let dense = AggregateChain::build(&Voter::new(1).expect("valid"), n_check, Opinion::One)
+        .expect("valid");
+    let ts = expected_hitting_times_sparse(&sparse).expect("voter absorbs");
+    let td = expected_hitting_times(&dense).expect("voter absorbs");
+    let worst_rel = ts
+        .iter()
+        .zip(td.iter())
+        .map(|((_, a), (_, b))| if b == 0.0 { (a - b).abs() } else { (a - b).abs() / b })
+        .fold(0.0f64, f64::max);
+    report.check(
+        worst_rel < 1e-9,
+        format!("sparse vs dense hitting times at n = {n_check}: worst rel err {worst_rel:.2e}"),
+    );
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_charts_the_frontier() {
+        let report = run(&RunConfig::smoke(41), &Obs::none());
+        assert!(report.pass, "{}", report.render());
+    }
+}

@@ -23,3 +23,4 @@ pub mod e16_selfstab;
 pub mod e17_synthesis;
 pub mod e18_synchronicity;
 pub mod e19_reconvergence;
+pub mod e20_exact_frontier;

@@ -126,6 +126,11 @@ pub fn all() -> Vec<Entry> {
             run: exp::e19_reconvergence::run,
         },
         Entry {
+            id: "e20",
+            description: "Theorem 2 vs 12: exact sparse-chain convergence frontier at large n",
+            run: exp::e20_exact_frontier::run,
+        },
+        Entry {
             id: "a1",
             description: "ablation: aggregate vs agent-level simulator",
             run: exp::a1_agg_vs_agent::run,
@@ -212,11 +217,11 @@ mod tests {
     #[test]
     fn registry_entries_are_unique() {
         let entries = all();
-        assert_eq!(entries.len(), 22);
+        assert_eq!(entries.len(), 23);
         let mut ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
     }
 
     #[test]

@@ -14,6 +14,12 @@ pub struct HittingTimes {
 }
 
 impl HittingTimes {
+    /// Assembles hitting times from a state offset and per-state values
+    /// (crate-internal: used by the sparse solver).
+    pub(crate) fn from_parts(lo: u64, times: Vec<f64>) -> Self {
+        Self { lo, times }
+    }
+
     /// Expected number of rounds to absorb from state `x`.
     ///
     /// # Panics
@@ -251,6 +257,22 @@ mod tests {
         assert_eq!(median_from_survival(&curve), Some(3));
         assert_eq!(quantile_from_survival(&curve, 0.9), Some(4));
         assert_eq!(quantile_from_survival(&curve, 0.99), None);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // q = 0 is satisfied by the very first entry of any non-empty curve
+        // (P(τ ≤ t) ≥ 0 always holds).
+        assert_eq!(quantile_from_survival(&[1.0, 0.4], 0.0), Some(0));
+        // q = 1 requires the curve to actually reach zero survival.
+        assert_eq!(quantile_from_survival(&[1.0, 0.4, 0.0], 1.0), Some(2));
+        assert_eq!(quantile_from_survival(&[1.0, 0.4, 0.1], 1.0), None);
+        // Empty curves have no quantiles at all.
+        assert_eq!(quantile_from_survival(&[], 0.0), None);
+        assert_eq!(quantile_from_survival(&[], 0.5), None);
+        // A flat all-ones curve (absorption never observed) has no median.
+        assert_eq!(quantile_from_survival(&[1.0; 8], 0.5), None);
+        assert_eq!(median_from_survival(&[1.0; 8]), None);
     }
 
     #[test]

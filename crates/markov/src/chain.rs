@@ -1,7 +1,7 @@
 //! The exact aggregate chains of the bit-dissemination process.
 
 use bitdissem_core::{Configuration, Opinion, Protocol, ProtocolError, ProtocolExt};
-use bitdissem_poly::binomial::binomial_pmf_vec;
+use bitdissem_poly::binomial::{binomial_pmf_into, binomial_pmf_vec};
 
 /// The parallel-setting aggregate chain on `X_t` (number of ones), for a
 /// fixed correct opinion `z`.
@@ -35,14 +35,13 @@ impl AggregateChain {
     /// # Errors
     ///
     /// Propagates table materialization errors
-    /// ([`ProtocolError::InvalidProbability`]) from the protocol, and
-    /// rejects `n < 2` with [`ProtocolError::ZeroSampleSize`] is never used
-    /// here — population-size validation uses the configuration type, so
-    /// this constructor only fails on invalid protocols.
+    /// ([`ProtocolError::InvalidProbability`]) from the protocol. This
+    /// constructor never returns [`ProtocolError::ZeroSampleSize`] —
+    /// population-size validation lives in the configuration type.
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2`.
+    /// Panics if `n < 2` (a chain needs at least one non-source agent).
     pub fn build<P: Protocol + ?Sized>(
         protocol: &P,
         n: u64,
@@ -53,9 +52,10 @@ impl AggregateChain {
         let ell = table.sample_size();
         let mut p0 = Vec::with_capacity(n as usize + 1);
         let mut p1 = Vec::with_capacity(n as usize + 1);
+        let mut weights = vec![0.0; ell + 1];
         for x in 0..=n {
             let p = x as f64 / n as f64;
-            let weights = binomial_pmf_vec(ell as u64, p);
+            binomial_pmf_into(ell as u64, p, &mut weights);
             let mut a0 = 0.0;
             let mut a1 = 0.0;
             for (k, &w) in weights.iter().enumerate() {

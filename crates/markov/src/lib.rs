@@ -14,7 +14,12 @@
 //!   hitting times follow from an `O(n)` tridiagonal solve;
 //! * [`absorbing`] — expected and median hitting times of the correct
 //!   consensus, plus full survival curves, via a dense LU solve
-//!   ([`linalg`]) or distribution iteration.
+//!   ([`linalg`]) or distribution iteration;
+//! * [`sparse`] — the same analytics at `n ≥ 10⁵`: an ε-truncated banded
+//!   operator ([`sparse::SparseChain`]) built in parallel, with banded
+//!   skyline hitting-time solves, log-space survival curves, pruned
+//!   distribution stepping and spectral gaps — each exact up to an
+//!   explicitly tracked truncation tail bound.
 //!
 //! These exact values validate the simulation engine (experiment E10) and
 //! provide ground truth for the Voter's `Θ(n log n)` behaviour at small `n`.
@@ -39,7 +44,12 @@ pub mod chain;
 pub mod linalg;
 pub mod mixing;
 pub mod optimize;
+pub mod sparse;
 pub mod stationary;
 
 pub use absorbing::{expected_hitting_times, survival_curve, HittingTimes};
 pub use chain::{AggregateChain, SequentialChain};
+pub use sparse::{
+    expected_hitting_times_sparse, mixing_time_extremes_sparse, spectral_gap, spectral_gap_shifted,
+    survival_curve_sparse, SparseChain,
+};

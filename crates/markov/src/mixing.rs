@@ -21,22 +21,21 @@ pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Iterates the chain one round from a distribution over the *valid* states
-/// (`state_lo..=state_hi`, indexed from 0).
-fn step_distribution(chain: &AggregateChain, dist: &[f64]) -> Vec<f64> {
-    let lo = chain.state_lo() as usize;
-    let mut next = vec![0.0; dist.len()];
+/// (`state_lo..=state_hi`, indexed from 0) into a caller-provided scratch
+/// buffer, using pre-materialized transition rows. Callers ping-pong two
+/// buffers so the stepping loop performs no per-step allocation.
+fn step_distribution_into(rows: &[Vec<f64>], lo: usize, dist: &[f64], next: &mut [f64]) {
+    next.fill(0.0);
     for (i, &w) in dist.iter().enumerate() {
         if w == 0.0 {
             continue;
         }
-        let row = chain.transition_row((lo + i) as u64);
-        for (y, &p) in row.iter().enumerate() {
+        for (y, &p) in rows[i].iter().enumerate() {
             if p > 0.0 {
                 next[y - lo] += w * p;
             }
         }
     }
-    next
 }
 
 /// The ε-mixing time from the two extreme starts: the first round `t` at
@@ -61,10 +60,15 @@ pub fn mixing_time_extremes(
     let lo = chain.state_lo() as usize;
     let hi = chain.state_hi() as usize;
     let m = hi - lo + 1;
+    // Materialize each transition row once: the old per-step
+    // `transition_row` recomputation dominated the loop for any t > 1.
+    let rows: Vec<Vec<f64>> = (lo..=hi).map(|x| chain.transition_row(x as u64)).collect();
     let mut from_lo = vec![0.0; m];
     from_lo[0] = 1.0;
     let mut from_hi = vec![0.0; m];
     from_hi[m - 1] = 1.0;
+    let mut scratch_lo = vec![0.0; m];
+    let mut scratch_hi = vec![0.0; m];
     for t in 0..=max_rounds {
         if total_variation(&from_lo, &from_hi) <= epsilon {
             return Some(t);
@@ -72,8 +76,10 @@ pub fn mixing_time_extremes(
         if t == max_rounds {
             break;
         }
-        from_lo = step_distribution(chain, &from_lo);
-        from_hi = step_distribution(chain, &from_hi);
+        step_distribution_into(&rows, lo, &from_lo, &mut scratch_lo);
+        step_distribution_into(&rows, lo, &from_hi, &mut scratch_hi);
+        std::mem::swap(&mut from_lo, &mut scratch_lo);
+        std::mem::swap(&mut from_hi, &mut scratch_hi);
     }
     None
 }

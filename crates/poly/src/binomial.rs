@@ -201,6 +201,147 @@ pub fn binomial_pmf_into(n: u64, p: f64, pmf: &mut [f64]) {
     }
 }
 
+/// Default relative cutoff for [`binomial_pmf_window`]: entries below
+/// `1e-12 ×` the modal mass are dropped into the tracked tail.
+pub const PMF_WINDOW_REL_EPS: f64 = 1e-12;
+
+/// An ε-truncated binomial PMF: the contiguous window of states whose mass
+/// exceeds `rel_eps` times the modal mass, plus an upper bound on everything
+/// that was dropped.
+///
+/// The window always contains the mode, so `weights` is never empty and the
+/// dropped mass satisfies `tail <= 1 - max_weight`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmfWindow {
+    /// First state covered by `weights` (absolute index into `0..=n`).
+    pub lo: u64,
+    /// Probabilities of states `lo..lo + weights.len()`, untruncated values
+    /// (bit-identical to [`binomial_pmf_vec`] on the same states).
+    pub weights: Vec<f64>,
+    /// Upper bound on the total mass outside the window.
+    pub tail: f64,
+}
+
+impl PmfWindow {
+    /// Number of states in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// A window is never empty (it always contains the mode).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// ε-truncated PMF of `Binomial(n, p)`: only the states whose probability is
+/// at least `rel_eps` times the modal probability, which for moderate `rel_eps`
+/// is a band of `O(sqrt(n log(1/rel_eps)))` states around the mean.
+///
+/// Values inside the window are computed with the same two-sided ratio
+/// recurrence as [`binomial_pmf_into`], so they are bit-identical to the full
+/// vector on the shared states. The recurrences are continued past the cutoff
+/// (until the terms underflow) to accumulate the *actual* dropped mass, so
+/// `tail` is a tight, explicitly tracked truncation bound rather than a crude
+/// `len × rel_eps` estimate.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `rel_eps` is not in `(0, 1)`.
+#[must_use]
+pub fn binomial_pmf_window(n: u64, p: f64, rel_eps: f64) -> PmfWindow {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    assert!(rel_eps > 0.0 && rel_eps < 1.0, "rel_eps must be in (0,1), got {rel_eps}");
+    if p == 0.0 || n == 0 {
+        return PmfWindow { lo: 0, weights: vec![1.0], tail: 0.0 };
+    }
+    if p == 1.0 {
+        return PmfWindow { lo: n, weights: vec![1.0], tail: 0.0 };
+    }
+    let q = 1.0 - p;
+    let mode = (((n + 1) as f64) * p).floor().min(n as f64) as u64;
+    let peak = binomial_pmf(n, p, mode);
+    let threshold = rel_eps * peak;
+
+    // Downward from the mode: collect in-window values, then bound the rest
+    // of the tail. Below the mode the step ratio `pmf(k-1)/pmf(k)` shrinks
+    // as `k` decreases, so after a few out-of-window steps the remaining
+    // mass is dominated by a geometric series — an O(1) rigorous bound that
+    // avoids marching thousands of serial divisions to underflow.
+    let mut below = Vec::new();
+    let mut dropped = 0.0_f64;
+    let mut v = peak;
+    let mut k = mode;
+    // In-window walk, bit-identical to `binomial_pmf_into`'s recurrence.
+    let mut exited = false;
+    while k > 0 {
+        v = v * (k as f64) * q / (((n - k + 1) as f64) * p);
+        k -= 1;
+        if v >= threshold {
+            below.push(v);
+        } else {
+            dropped += v;
+            exited = true;
+            break;
+        }
+    }
+    if exited {
+        let mut out_steps = 1u32;
+        while k > 0 && v >= f64::MIN_POSITIVE {
+            let r = (k as f64) * q / (((n - k + 1) as f64) * p);
+            if r < 1.0 && (out_steps >= 8 || r < 0.5) {
+                dropped += v * r / (1.0 - r);
+                break;
+            }
+            v *= r;
+            k -= 1;
+            dropped += v;
+            out_steps += 1;
+        }
+    }
+    let lo = mode - below.len() as u64;
+
+    // Upward from the mode, same scheme (the ratio `pmf(k+1)/pmf(k)` shrinks
+    // as `k` grows).
+    let mut above = Vec::new();
+    let mut v = peak;
+    let mut k = mode;
+    let mut exited = false;
+    while k < n {
+        v = v * ((n - k) as f64) * p / (((k + 1) as f64) * q);
+        k += 1;
+        if v >= threshold {
+            above.push(v);
+        } else {
+            dropped += v;
+            exited = true;
+            break;
+        }
+    }
+    if exited {
+        let mut out_steps = 1u32;
+        while k < n && v >= f64::MIN_POSITIVE {
+            let r = ((n - k) as f64) * p / (((k + 1) as f64) * q);
+            if r < 1.0 && (out_steps >= 8 || r < 0.5) {
+                dropped += v * r / (1.0 - r);
+                break;
+            }
+            v *= r;
+            k += 1;
+            dropped += v;
+            out_steps += 1;
+        }
+    }
+
+    let mut weights = Vec::with_capacity(below.len() + 1 + above.len());
+    weights.extend(below.iter().rev());
+    weights.push(peak);
+    weights.extend(above.iter());
+    PmfWindow { lo, weights, tail: dropped.max(0.0) }
+}
+
 /// Cumulative distribution function of `Binomial(n, p)`: `P(X <= k)`.
 ///
 /// # Panics
@@ -362,7 +503,46 @@ mod tests {
         assert!((var - binomial_variance(n, p)).abs() < 1e-9);
     }
 
+    #[test]
+    fn window_degenerate_cases() {
+        let w = binomial_pmf_window(10, 0.0, 1e-12);
+        assert_eq!((w.lo, w.weights.as_slice(), w.tail), (0, &[1.0][..], 0.0));
+        let w = binomial_pmf_window(10, 1.0, 1e-12);
+        assert_eq!((w.lo, w.weights.as_slice(), w.tail), (10, &[1.0][..], 0.0));
+        let w = binomial_pmf_window(0, 0.5, 1e-12);
+        assert_eq!((w.lo, w.weights.as_slice(), w.tail), (0, &[1.0][..], 0.0));
+    }
+
+    #[test]
+    fn window_is_narrow_at_large_n() {
+        let n = 100_000;
+        let w = binomial_pmf_window(n, 0.37, PMF_WINDOW_REL_EPS);
+        // ~7.4 sigma per side at rel_eps 1e-12; sigma ~ 153 here.
+        assert!(w.len() < 3000, "window unexpectedly wide: {}", w.len());
+        assert!(w.tail < 1e-10, "tail too large: {}", w.tail);
+        let sum: f64 = w.weights.iter().sum();
+        assert!((sum + w.tail - 1.0).abs() < 1e-9);
+    }
+
     proptest! {
+        #[test]
+        fn prop_window_matches_full_pmf_bitwise(n in 1u64..300, p in 0.0f64..=1.0) {
+            let full = binomial_pmf_vec(n, p);
+            let w = binomial_pmf_window(n, p, PMF_WINDOW_REL_EPS);
+            for (i, &v) in w.weights.iter().enumerate() {
+                let k = w.lo as usize + i;
+                prop_assert_eq!(v.to_bits(), full[k].to_bits(), "state {}", k);
+            }
+            // Dropped mass is covered by the tracked tail (plus fp slack).
+            let outside: f64 = full
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k < w.lo as usize || *k >= w.lo as usize + w.len())
+                .map(|(_, &v)| v)
+                .sum();
+            prop_assert!(outside <= w.tail + 1e-15, "outside {} > tail {}", outside, w.tail);
+        }
+
         #[test]
         fn prop_pmf_nonnegative_and_normalized(n in 1u64..300, p in 0.0f64..=1.0) {
             let pmf = binomial_pmf_vec(n, p);

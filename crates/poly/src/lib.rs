@@ -44,5 +44,6 @@ pub mod roots;
 pub mod sturm;
 
 pub use bernstein::Bernstein;
+pub use binomial::{binomial_pmf_window, PmfWindow, PMF_WINDOW_REL_EPS};
 pub use kernel::{Kernel, KernelError};
 pub use polynomial::Polynomial;

@@ -24,6 +24,9 @@ fn tiny_config() -> ConformConfig {
         budget: 200,
         checkpoints: vec![1, 2],
         act_checkpoint_mults: vec![1, 2],
+        drift_n: 512,
+        drift_reps: 6,
+        drift_rounds: 6,
         alpha_budget: 1e-9,
         env_specs: vec!["flip@2".to_string()],
     }
